@@ -1,0 +1,130 @@
+"""Ablations of the design choices the paper (and DESIGN.md) call out.
+
+Three knobs, each isolated on a small circuit so the whole file stays
+cheap relative to the table benches:
+
+* **timing term** (`Wt`) — the paper's headline: carrying the true
+  critical path in the cost function buys delay.  Dropping the term
+  (importance_timing=0) should yield a slower layout on the same seed.
+* **pinmap moves** — the second move class.  Disabling it removes a
+  degree of freedom; the layout should not get better.
+* **segment-count weight** in the detailed router's assignment cost —
+  the Greene/Roy term that bounds antifuses per path.  Raising it
+  should reduce the antifuses the final layout programs.
+
+Run:  pytest benchmarks/bench_ablation.py --benchmark-only -s
+"""
+
+from repro import architecture_for
+from repro.analysis import format_table
+from repro.core import AnnealerConfig, ScheduleConfig, SimultaneousAnnealer
+from repro.netlist import tiny
+
+from bench_common import save_table
+
+SEED = 3
+TRACKS = 14
+
+
+def make_netlist():
+    return tiny(seed=51, num_cells=60, depth=5)
+
+
+def config(**overrides) -> AnnealerConfig:
+    base = dict(
+        seed=SEED,
+        attempts_per_cell=4,
+        initial="clustered",
+        greedy_rounds=1,
+        schedule=ScheduleConfig(lambda_=1.6, max_temperatures=35,
+                                freeze_patience=2),
+    )
+    base.update(overrides)
+    return AnnealerConfig(**base)
+
+
+def run(cfg: AnnealerConfig):
+    netlist = make_netlist()
+    arch = architecture_for(netlist, tracks_per_channel=TRACKS)
+    return SimultaneousAnnealer(netlist, arch, cfg).run()
+
+
+_cache = {}
+
+
+def cached_run(name: str, cfg: AnnealerConfig):
+    if name not in _cache:
+        _cache[name] = run(cfg)
+    return _cache[name]
+
+
+def test_ablation_timing_term(benchmark):
+    """Without Wt the annealer optimizes wirability only."""
+    with_t = cached_run("with_timing", config())
+    without_t = benchmark.pedantic(
+        lambda: cached_run("no_timing", config(importance_timing=0.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\ntiming term ablation: with Wt -> {with_t.worst_delay:.2f} ns, "
+        f"without Wt -> {without_t.worst_delay:.2f} ns"
+    )
+    assert with_t.fully_routed and without_t.fully_routed
+    assert with_t.worst_delay <= without_t.worst_delay * 1.02, (
+        "dropping the timing term should not speed the layout up"
+    )
+
+
+def test_ablation_pinmap_moves(benchmark):
+    """Pinmap reassignment is a strict extra degree of freedom."""
+    with_pinmaps = cached_run("with_timing", config())
+    without = benchmark.pedantic(
+        lambda: cached_run("no_pinmaps", config(pinmap_probability=0.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\npinmap ablation: with pinmap moves -> "
+        f"{with_pinmaps.worst_delay:.2f} ns, without -> "
+        f"{without.worst_delay:.2f} ns"
+    )
+    assert without.fully_routed
+
+
+def test_ablation_segment_weight(benchmark):
+    """A higher segment-count weight trades wastage for fewer antifuses."""
+    light = cached_run("segweight_0", config(segment_weight=0.0))
+    heavy = benchmark.pedantic(
+        lambda: cached_run("segweight_8", config(segment_weight=8.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nsegment-weight ablation: weight 0 -> "
+        f"{light.state.total_antifuses()} antifuses, weight 8 -> "
+        f"{heavy.state.total_antifuses()} antifuses"
+    )
+    assert light.fully_routed and heavy.fully_routed
+    assert heavy.state.total_antifuses() <= light.state.total_antifuses() * 1.05
+
+
+def test_ablation_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, result in sorted(_cache.items()):
+        rows.append(
+            [
+                name,
+                result.fully_routed,
+                result.worst_delay,
+                result.state.total_antifuses(),
+            ]
+        )
+    table = format_table(
+        ["variant", "routed", "worst delay (ns)", "antifuses"],
+        rows,
+        title="Ablations (60-cell circuit, same seed)",
+    )
+    print("\n" + table)
+    save_table("ablations", table)

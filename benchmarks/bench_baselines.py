@@ -1,0 +1,95 @@
+"""Supplementary study: how strong can a sequential flow get?
+
+The paper compares against one sequential flow (wirelength-driven
+TimberWolfSC placement).  A fair question is whether classic
+*net-weighted* timing-driven placement closes the gap — the paper's
+Section-2.1 argument predicts it cannot, because the placement-level
+delay estimate is structurally blind to segmentation.
+
+Three flows on the same design and device:
+
+1. sequential, wirelength-driven (the paper's baseline);
+2. sequential, criticality-weighted net length (strongest classical);
+3. simultaneous (the paper's contribution).
+
+Run:  pytest benchmarks/bench_baselines.py --benchmark-only -s
+"""
+
+from repro import architecture_for
+from repro.analysis import format_table
+from repro.flows import SequentialConfig, run_sequential, run_simultaneous
+
+from bench_common import BENCH_SEED, get_netlist, save_table, turbo_sim_config
+from repro.core import ScheduleConfig
+
+DESIGN = "cse"
+TRACKS = 26
+
+_results = {}
+
+
+def seq_config(timing_driven: bool) -> SequentialConfig:
+    return SequentialConfig(
+        seed=BENCH_SEED,
+        attempts_per_cell=4,
+        initial="clustered",
+        timing_driven=timing_driven,
+        schedule=ScheduleConfig(lambda_=1.4, max_temperatures=60,
+                                freeze_patience=2),
+    )
+
+
+def run(variant: str):
+    if variant in _results:
+        return _results[variant]
+    netlist = get_netlist(DESIGN)
+    arch = architecture_for(netlist, tracks_per_channel=TRACKS)
+    if variant == "seq-wirelength":
+        result = run_sequential(netlist, arch, seq_config(False))
+    elif variant == "seq-timing-driven":
+        result = run_sequential(netlist, arch, seq_config(True))
+    else:
+        result = run_simultaneous(netlist, arch, turbo_sim_config(BENCH_SEED))
+    _results[variant] = result
+    return result
+
+
+def test_baseline_wirelength(benchmark):
+    benchmark.pedantic(lambda: run("seq-wirelength"), rounds=1, iterations=1)
+
+
+def test_baseline_timing_driven(benchmark):
+    benchmark.pedantic(lambda: run("seq-timing-driven"), rounds=1, iterations=1)
+
+
+def test_simultaneous(benchmark):
+    benchmark.pedantic(lambda: run("simultaneous"), rounds=1, iterations=1)
+
+
+def test_baselines_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for variant in ("seq-wirelength", "seq-timing-driven", "simultaneous"):
+        result = run(variant)
+        rows.append(
+            [
+                variant,
+                result.worst_delay,
+                result.fully_routed,
+                result.unrouted_nets,
+                result.wall_time_s,
+            ]
+        )
+    table = format_table(
+        ["flow", "worst delay (ns)", "routed", "unrouted", "time (s)"],
+        rows,
+        title=f"Baseline-strength study on {DESIGN} ({TRACKS} tracks/channel)",
+    )
+    print("\n" + table)
+    save_table("baselines", table)
+
+    simultaneous = run("simultaneous")
+    for variant in ("seq-wirelength", "seq-timing-driven"):
+        assert simultaneous.worst_delay < run(variant).worst_delay, (
+            f"simultaneous flow did not beat {variant}"
+        )

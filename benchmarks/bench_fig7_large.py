@@ -1,0 +1,57 @@
+"""Figure 7 — a larger 529-cell design routed to 100%.
+
+Paper (Section 4, Figure 7): "a larger 529 cell design completed with
+100% routing in roughly 8 hours on an IBM RS6000".  The figure itself
+is a die plot; the reproducible claims are (a) the simultaneous flow
+scales to ~500 cells and (b) it reaches 100% routing there.
+
+This bench runs the generated ``big529`` design through the
+simultaneous flow, prints the layout statistics plus a die-occupancy
+excerpt, and asserts full routing.
+
+Run:  pytest benchmarks/bench_fig7_large.py --benchmark-only -s
+"""
+
+from repro.analysis import format_table
+
+from bench_common import get_flow_result, save_table
+
+DESIGN = "big529"
+TRACKS = 28
+
+
+def test_fig7_large_design(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_flow_result(DESIGN, "simultaneous", TRACKS),
+        rounds=1,
+        iterations=1,
+    )
+    fabric = result.state.fabric
+    stats = [
+        ["cells", result.placement.netlist.num_cells],
+        ["nets", result.placement.netlist.num_nets],
+        ["device", f"{fabric.rows}x{fabric.cols}"],
+        ["tracks/channel", TRACKS],
+        ["fully routed", result.fully_routed],
+        ["worst-case delay (ns)", result.worst_delay],
+        ["antifuses programmed", result.state.total_antifuses()],
+        ["channel utilization (%)",
+         100 * fabric.horizontal_utilization()],
+        ["vertical utilization (%)",
+         100 * fabric.vertical_utilization()],
+        ["wall time (s)", result.wall_time_s],
+    ]
+    table = format_table(
+        ["metric", "value"],
+        stats,
+        title=f"Figure 7 - {DESIGN} layout (paper: 100% routing, ~8h 1994 HW)",
+        decimals=1,
+    )
+    # A die-map excerpt stands in for the paper's plot.
+    excerpt = "\n".join(fabric.occupancy_report().splitlines()[:14])
+    text = table + "\n\ndie occupancy (top channels):\n" + excerpt
+    print("\n" + text)
+    save_table("fig7_large", text)
+
+    assert result.fully_routed, "big529 did not reach 100% routing"
+    assert result.worst_delay > 0

@@ -1,0 +1,137 @@
+"""Table 2 — minimum tracks/channel for 100% wirability.
+
+Paper (Section 4, Table 2): reducing the channel track count until each
+tool failed, the simultaneous flow routed every design with 20-33%
+fewer tracks per channel than the sequential flow.
+
+This bench bisects the minimum track count per flow per design (every
+probe is a full layout run, so the cheap 'turbo' effort is used for
+both flows) and asserts the shape: the simultaneous flow needs no more
+tracks on any design and strictly fewer on most, with a mean reduction
+in the paper's ballpark.
+
+Run:  pytest benchmarks/bench_table2_wirability.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import architecture_for
+from repro.analysis import format_table, min_tracks_for_routing, percent_reduction
+from repro.flows import run_sequential, run_simultaneous
+from repro.netlist import TABLE_DESIGNS
+
+from bench_common import (
+    BENCH_SEED,
+    get_netlist,
+    save_table,
+    turbo_seq_config,
+    turbo_sim_config,
+)
+
+#: The paper's Table 2 (tracks/channel required).
+PAPER_TRACKS = {
+    "s1": (23, 18),
+    "cse": (22, 17),
+    "ex1": (26, 21),
+    "bw": (15, 10),
+    "s1a": (22, 17),
+}
+
+# Bisection bounds: the devices of interest sit well inside [12, 26]
+# (the paper's own Table-2 numbers span 10-26); probing below 12 is
+# wasted full-layout runs on clearly-unroutable budgets.
+SWEEP_LO = 12
+SWEEP_HI = 26
+
+_sweeps: dict[tuple[str, str], object] = {}
+
+
+def run_sweep(design: str, flow: str):
+    key = (design, flow)
+    if key in _sweeps:
+        return _sweeps[key]
+    netlist = get_netlist(design)
+    arch = architecture_for(netlist, tracks_per_channel=SWEEP_HI)
+    if flow == "sequential":
+        runner = lambda nl, a: run_sequential(nl, a, turbo_seq_config(BENCH_SEED))
+    else:
+        runner = lambda nl, a: run_simultaneous(nl, a, turbo_sim_config(BENCH_SEED))
+    _sweeps[key] = min_tracks_for_routing(
+        runner, netlist, arch, flow_name=flow, lo=SWEEP_LO, hi=SWEEP_HI
+    )
+    return _sweeps[key]
+
+
+@pytest.mark.parametrize("design", TABLE_DESIGNS)
+def test_table2_sequential_sweep(benchmark, design):
+    benchmark.pedantic(
+        lambda: run_sweep(design, "sequential"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("design", TABLE_DESIGNS)
+def test_table2_simultaneous_sweep(benchmark, design):
+    benchmark.pedantic(
+        lambda: run_sweep(design, "simultaneous"), rounds=1, iterations=1
+    )
+
+
+def test_table2_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    reductions = []
+    for design in TABLE_DESIGNS:
+        netlist = get_netlist(design)
+        seq = run_sweep(design, "sequential")
+        sim = run_sweep(design, "simultaneous")
+        reduction = None
+        if seq.min_tracks and sim.min_tracks:
+            reduction = percent_reduction(
+                float(seq.min_tracks), float(sim.min_tracks)
+            )
+            reductions.append(reduction)
+        paper_seq, paper_sim = PAPER_TRACKS[design]
+        rows.append(
+            [
+                design,
+                netlist.num_cells,
+                seq.min_tracks,
+                sim.min_tracks,
+                reduction,
+                paper_seq,
+                paper_sim,
+            ]
+        )
+    table = format_table(
+        [
+            "design",
+            "#cells",
+            "seq tracks",
+            "sim tracks",
+            "reduction %",
+            "paper seq",
+            "paper sim",
+        ],
+        rows,
+        title="Table 2 - tracks/channel required for 100% wirability",
+        decimals=1,
+    )
+    print("\n" + table)
+    save_table("table2_wirability", table)
+
+    # Shape assertions.
+    assert len(reductions) == len(TABLE_DESIGNS), "a sweep failed to converge"
+    for design in TABLE_DESIGNS:
+        seq = run_sweep(design, "sequential")
+        sim = run_sweep(design, "simultaneous")
+        assert sim.min_tracks <= seq.min_tracks, (
+            f"{design}: simultaneous needed MORE tracks than sequential"
+        )
+    wins = sum(1 for r in reductions if r > 0)
+    assert wins >= 3, f"simultaneous strictly better on only {wins}/5 designs"
+    mean_reduction = sum(reductions) / len(reductions)
+    assert 3.0 <= mean_reduction <= 50.0, (
+        f"mean track reduction {mean_reduction:.1f}% implausible versus "
+        "the paper's 20-33% (reduced-effort anneals land lower but must "
+        "stay clearly positive)"
+    )

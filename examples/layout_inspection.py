@@ -1,0 +1,55 @@
+"""Post-layout inspection: slacks, critical cells, save/reload.
+
+After a layout run, downstream users typically want to know *where*
+the timing pressure is (slack analysis), and to persist the layout so
+analysis doesn't require re-running the annealer.  This example shows
+both.
+
+Run:  python examples/layout_inspection.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import architecture_for, fast_config, run_simultaneous, tiny
+from repro.flows import load_layout, save_layout
+from repro.timing import analyze, compute_slacks, critical_cells, slack_histogram
+
+
+def main() -> None:
+    netlist = tiny(seed=61, num_cells=50, depth=5)
+    arch = architecture_for(netlist, tracks_per_channel=14)
+    result = run_simultaneous(netlist, arch, fast_config(seed=4))
+    print(f"laid out {netlist.name}: T = {result.worst_delay:.2f} ns, "
+          f"routed = {result.fully_routed}\n")
+
+    # --- Slack analysis ------------------------------------------------
+    report = result.timing
+    slacks = compute_slacks(result.state, arch.technology, report)
+    critical = critical_cells(result.state, arch.technology, report)
+    print(f"slack range: {min(slacks):.2f} .. {max(slacks):.2f} ns")
+    print(f"critical cells ({len(critical)} of {netlist.num_cells}): "
+          f"{', '.join(critical[:10])}{' ...' if len(critical) > 10 else ''}")
+
+    print("\nslack histogram (ns -> #cells):")
+    for lo, hi, count in slack_histogram(result.state, arch.technology,
+                                         report, bins=6):
+        bar = "#" * count
+        print(f"  [{lo:6.2f}, {hi:6.2f})  {count:3d}  {bar}")
+
+    # --- Save / reload ---------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "layout.json"
+        save_layout(result.placement, result.state, path)
+        print(f"\nsaved layout to {path.name} "
+              f"({path.stat().st_size} bytes)")
+
+        placement2, state2 = load_layout(netlist, arch, path)
+        report2 = analyze(state2, arch.technology)
+        print(f"reloaded: T = {report2.worst_delay:.2f} ns "
+              f"(identical: {abs(report2.worst_delay - report.worst_delay) < 1e-9})")
+        print(f"occupancy consistent: {state2.check_consistency() == []}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: lay out one circuit with the simultaneous flow.
+
+Generates a small synthetic circuit, sizes an ACT-1-like row-based
+FPGA for it, runs the paper's simultaneous place-and-route annealer,
+and prints the resulting layout quality.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import architecture_for, fast_config, run_simultaneous, tiny
+from repro.timing import path_depth
+
+
+def main() -> None:
+    # 1. A circuit.  (Swap in repro.paper_benchmark("s1") for a
+    #    paper-scale design; this small one keeps the demo snappy.)
+    netlist = tiny(seed=7, num_cells=60, depth=5)
+    print(f"circuit: {netlist.name}")
+    for key, value in netlist.stats().items():
+        print(f"  {key:>12}: {value}")
+
+    # 2. A device: rows of logic slots, segmented channels, antifuse RC.
+    arch = architecture_for(netlist, tracks_per_channel=14)
+    fabric = arch.build()
+    print(f"\ndevice: {fabric!r}")
+
+    # 3. Simultaneous placement + global routing + detailed routing.
+    result = run_simultaneous(netlist, arch, fast_config(seed=1))
+
+    # 4. What came out.
+    print(f"\nflow finished in {result.wall_time_s:.1f} s")
+    print(f"  fully routed     : {result.fully_routed}")
+    print(f"  worst-case delay : {result.worst_delay:.2f} ns")
+    print(f"  critical path    : {' -> '.join(result.timing.critical_path)}")
+    print(f"  path depth       : {path_depth(result.timing)} logic levels")
+    print(f"  antifuses used   : {result.state.total_antifuses()}")
+    print(f"  channel usage    : "
+          f"{100 * result.state.fabric.horizontal_utilization():.1f}%")
+
+    dynamics = result.extra["dynamics"]
+    print(f"\nanneal dynamics over {len(dynamics)} temperatures "
+          f"(the paper's Figure-6 signature):")
+    print(f"  placement activity decays   : {dynamics.placement_activity_decays()}")
+    print(f"  global routing converged    : {dynamics.global_routing_converges_by()}")
+    print(f"  full routing at the end     : {dynamics.converged_to_full_routing()}")
+
+
+if __name__ == "__main__":
+    main()

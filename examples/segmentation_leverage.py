@@ -1,0 +1,61 @@
+"""The paper's Figure-2 argument, reconstructed on a real channel.
+
+Demonstrates why net-length-driven placement fails on segmented
+row-based FPGAs:
+
+* a net interval that straddles a segment break consumes BOTH segments
+  (joined by a horizontal antifuse), starving its neighbours;
+* an equal-length interval aligned inside one segment coexists happily;
+* so two placements with IDENTICAL wirelength can differ between
+  unroutable and routable — and a one-cell move is all it takes to fix
+  the bad one ("leverage", paper Section 2.1).
+
+Run:  python examples/segmentation_leverage.py
+"""
+
+from repro.arch import Channel, custom_segmentation
+
+
+def show(channel: Channel, title: str) -> None:
+    print(f"  {title}")
+    for t, row in enumerate(channel.occupancy_rows()):
+        print(f"    track {t}: {row}")
+
+
+def main() -> None:
+    print("Channel: 8 columns, ONE track, segment break at column 4")
+    print("         segments: [0,4) | [4,8)\n")
+
+    # --- The compact (net-length-optimal-looking) placement -----------
+    print("Placement A: net N1 spans columns [2,4], net N2 spans [5,6]")
+    channel = Channel(0, custom_segmentation(8, [[4]]))
+    n1 = channel.candidate_on(0, 2, 4)
+    print(f"  N1 [2,4]: crosses the break -> uses {n1.num_segments} segments "
+          f"({n1.num_segments - 1} antifuse)")
+    channel.claim(1, n1, 2, 4)
+    show(channel, "after routing N1:")
+    n2 = channel.candidate_on(0, 5, 6)
+    print(f"  N2 [5,6]: {'routable' if n2 else 'UNROUTABLE - segment [4,8) is gone'}")
+
+    # --- One cell moved ------------------------------------------------
+    print("\nPlacement B: one endpoint of N1 moved by ONE column -> N1 = [2,3]")
+    channel = Channel(0, custom_segmentation(8, [[4]]))
+    n1 = channel.candidate_on(0, 2, 3)
+    print(f"  N1 [2,3]: fits inside segment [0,4) -> uses {n1.num_segments} segment")
+    channel.claim(1, n1, 2, 3)
+    n2 = channel.candidate_on(0, 5, 6)
+    print(f"  N2 [5,6]: {'routable' if n2 else 'UNROUTABLE'}")
+    channel.claim(2, n2, 5, 6)
+    show(channel, "after routing both:")
+
+    # --- The moral -------------------------------------------------------
+    print(
+        "\nBoth placements give N1 a span of 2 columns: a wirelength-driven"
+        "\nplacer cannot tell them apart, yet one is unroutable.  Routing"
+        "\nknowledge must live INSIDE the placement loop - which is exactly"
+        "\nwhat the simultaneous formulation does."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Experiment analysis helpers: sweeps and report formatting."""
+
+from .report import format_table, percent_reduction, sparkline
+from .sweeps import SweepResult, min_tracks_for_routing
+
+__all__ = [
+    "SweepResult",
+    "format_table",
+    "min_tracks_for_routing",
+    "percent_reduction",
+    "sparkline",
+]

@@ -1,0 +1,74 @@
+"""Plain-text table formatting for the experiment harnesses.
+
+The benchmark scripts print the same rows the paper's tables report;
+these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, decimals: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    decimals: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [
+        [_format_cell(cell, decimals) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def percent_reduction(baseline: float, improved: float) -> Optional[float]:
+    """100 * (baseline - improved) / baseline, or None if undefined."""
+    if baseline <= 0:
+        return None
+    return 100.0 * (baseline - improved) / baseline
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode sparkline (used by the Figure-6 bench)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[1] * min(width, len(values))
+    step = max(1, len(values) // width)
+    picked = [values[i] for i in range(0, len(values), step)]
+    return "".join(
+        blocks[1 + int((v - lo) / (hi - lo) * (len(blocks) - 2))] for v in picked
+    )

@@ -1,0 +1,89 @@
+"""Wirability sweeps: the Table-2 measurement procedure.
+
+"To measure the wirability improvement ... the number of tracks per
+channel in these designs was reduced for each example to the point that
+our simultaneous tool, and the sequential tool failed to meet 100%
+wirability.  By this process we determined the minimum number of tracks
+required in each channel." (paper, Section 4)
+
+:func:`min_tracks_for_routing` binary-searches the smallest
+tracks-per-channel at which a flow still reaches 100% routing.
+Routability is monotone in the track count for a fixed flow
+configuration in expectation, but annealing is stochastic — so the
+search verifies the final candidate and exposes every probe in the
+returned :class:`SweepResult` for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..arch.presets import Architecture
+from ..netlist.netlist import Netlist
+from .. flows.common import FlowResult
+
+FlowRunner = Callable[[Netlist, Architecture], FlowResult]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one min-tracks search."""
+
+    design: str
+    flow: str
+    min_tracks: Optional[int]
+    probes: dict[int, bool] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult({self.design}, {self.flow}, "
+            f"min_tracks={self.min_tracks}, probes={len(self.probes)})"
+        )
+
+
+def min_tracks_for_routing(
+    runner: FlowRunner,
+    netlist: Netlist,
+    architecture: Architecture,
+    flow_name: str = "",
+    lo: int = 2,
+    hi: Optional[int] = None,
+    max_expand: int = 3,
+) -> SweepResult:
+    """Smallest tracks/channel at which ``runner`` reaches 100% routing.
+
+    ``hi`` defaults to the architecture's configured track count.  If
+    the flow cannot route even at ``hi``, the ceiling is doubled up to
+    ``max_expand`` times before giving up (min_tracks = None).
+    """
+    if hi is None:
+        hi = architecture.spec.tracks_per_channel
+    if lo < 1 or hi < lo:
+        raise ValueError(f"need 1 <= lo <= hi, got lo={lo}, hi={hi}")
+
+    probes: dict[int, bool] = {}
+
+    def routable(tracks: int) -> bool:
+        if tracks not in probes:
+            result = runner(netlist, architecture.with_tracks(tracks))
+            probes[tracks] = result.fully_routed
+        return probes[tracks]
+
+    # Establish a routable ceiling.
+    expansions = 0
+    while not routable(hi):
+        if expansions >= max_expand:
+            return SweepResult(netlist.name, flow_name, None, probes)
+        hi *= 2
+        expansions += 1
+
+    # Binary search the smallest routable track count in [lo, hi].
+    low, high = lo, hi
+    while low < high:
+        mid = (low + high) // 2
+        if routable(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return SweepResult(netlist.name, flow_name, high, probes)

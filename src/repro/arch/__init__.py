@@ -1,0 +1,61 @@
+"""Row-based FPGA architecture substrate.
+
+Models the device the paper targets: rows of logic-module slots
+separated by segmented routing channels, segmented vertical tracks,
+antifuse electrical technology, and pinmap palettes.
+"""
+
+from .channel import Channel, ChannelClaim, TrackCandidate
+from .fabric import Fabric, FabricSpec, IO, LOGIC, fabric_spec_for
+from .pinmap import (
+    BOTTOM,
+    TOP,
+    PhysicalPin,
+    Pinmap,
+    PinmapPalette,
+    generate_palette,
+)
+from .presets import Architecture, PRESETS, act1_like, coarse_grained, fine_grained, wire_dominated
+from .segmentation import (
+    Segmentation,
+    custom_segmentation,
+    full_length_segmentation,
+    mixed_segmentation,
+    uniform_segmentation,
+)
+from .technology import ANTIFUSE_DOMINATED, WIRE_DOMINATED, Technology
+from .vertical import VerticalClaim, VerticalColumn, mixed_vertical_segmentation
+
+__all__ = [
+    "ANTIFUSE_DOMINATED",
+    "Architecture",
+    "BOTTOM",
+    "Channel",
+    "ChannelClaim",
+    "Fabric",
+    "FabricSpec",
+    "IO",
+    "LOGIC",
+    "PRESETS",
+    "PhysicalPin",
+    "Pinmap",
+    "PinmapPalette",
+    "Segmentation",
+    "Technology",
+    "TOP",
+    "TrackCandidate",
+    "VerticalClaim",
+    "VerticalColumn",
+    "WIRE_DOMINATED",
+    "act1_like",
+    "coarse_grained",
+    "custom_segmentation",
+    "fabric_spec_for",
+    "fine_grained",
+    "full_length_segmentation",
+    "generate_palette",
+    "mixed_segmentation",
+    "mixed_vertical_segmentation",
+    "uniform_segmentation",
+    "wire_dominated",
+]

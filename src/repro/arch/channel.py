@@ -1,0 +1,215 @@
+"""Segmented routing channel with segment-level occupancy.
+
+A :class:`Channel` instantiates a :class:`~repro.arch.segmentation.Segmentation`
+and tracks which net owns each segment.  It is the shared substrate of
+both detailed routers (the baseline full-channel router and the
+incremental in-the-loop router): they only differ in *when* and *in what
+order* they call :meth:`Channel.candidates` / :meth:`Channel.claim`.
+
+Geometry conventions
+--------------------
+Columns are integer positions ``0 .. width-1``.  A net's presence in a
+channel is an inclusive column interval ``[lo, hi]`` (``lo == hi`` for a
+single connection point).  The interval must be covered by a run of
+*consecutive free segments on a single track*; adjacent segments in the
+run are joined by programming the horizontal antifuse at their shared
+break point.  This "one track per channel passage" rule is the rigidity
+the paper builds its whole argument on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .segmentation import Segmentation
+
+NetId = int
+
+
+@dataclass(frozen=True)
+class ChannelClaim:
+    """A committed detailed-routing assignment inside one channel.
+
+    Attributes
+    ----------
+    channel: index of the channel the claim lives in.
+    track: track index within the channel.
+    first_seg, last_seg: inclusive run of segment indices on the track.
+    lo, hi: the column interval the net actually needed.
+    """
+
+    channel: int
+    track: int
+    first_seg: int
+    last_seg: int
+    lo: int
+    hi: int
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments in the claimed run."""
+        return self.last_seg - self.first_seg + 1
+
+    @property
+    def num_antifuses(self) -> int:
+        """Horizontal antifuses programmed to join the segment run."""
+        return self.num_segments - 1
+
+
+@dataclass(frozen=True)
+class TrackCandidate:
+    """A feasible (free) track assignment for an interval, with its cost terms."""
+
+    track: int
+    first_seg: int
+    last_seg: int
+    used_length: int
+    wastage: int
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments in the claimed run."""
+        return self.last_seg - self.first_seg + 1
+
+
+class Channel:
+    """One segmented channel of the device, with per-segment occupancy."""
+
+    def __init__(self, index: int, segmentation: Segmentation) -> None:
+        self.index = index
+        self.segmentation = segmentation
+        # _owner[t][s] is the net id occupying segment s of track t, or None.
+        self._owner: list[list[Optional[NetId]]] = [
+            [None] * len(track) for track in segmentation.tracks
+        ]
+        # Cache of segment start columns per track for bisection.
+        self._starts: list[list[int]] = [
+            [seg[0] for seg in track] for track in segmentation.tracks
+        ]
+
+    @property
+    def width(self) -> int:
+        """Channel width in columns."""
+        return self.segmentation.width
+
+    @property
+    def num_tracks(self) -> int:
+        """Number of tracks."""
+        return self.segmentation.num_tracks
+
+    def _check_interval(self, lo: int, hi: int) -> None:
+        if not 0 <= lo <= hi < self.width:
+            raise ValueError(
+                f"interval [{lo}, {hi}] outside channel of width {self.width}"
+            )
+
+    def _segment_at(self, track: int, col: int) -> int:
+        """Index of the segment of ``track`` containing column ``col``."""
+        return bisect_right(self._starts[track], col) - 1
+
+    def run_for(self, track: int, lo: int, hi: int) -> tuple[int, int]:
+        """Segment-index run on ``track`` needed to cover ``[lo, hi]``."""
+        self._check_interval(lo, hi)
+        return self._segment_at(track, lo), self._segment_at(track, hi)
+
+    def is_free(self, track: int, first_seg: int, last_seg: int) -> bool:
+        """Whether every segment in the run is unowned."""
+        owner = self._owner[track]
+        return all(owner[s] is None for s in range(first_seg, last_seg + 1))
+
+    def candidate_on(self, track: int, lo: int, hi: int) -> Optional[TrackCandidate]:
+        """The feasible assignment of ``[lo, hi]`` on ``track``, if any."""
+        first_seg, last_seg = self.run_for(track, lo, hi)
+        if not self.is_free(track, first_seg, last_seg):
+            return None
+        segs = self.segmentation.tracks[track]
+        used = segs[last_seg][1] - segs[first_seg][0]
+        span = hi - lo + 1
+        return TrackCandidate(track, first_seg, last_seg, used, used - span)
+
+    def candidates(self, lo: int, hi: int) -> Iterator[TrackCandidate]:
+        """All feasible track assignments for ``[lo, hi]``, in track order."""
+        self._check_interval(lo, hi)
+        for track in range(self.num_tracks):
+            candidate = self.candidate_on(track, lo, hi)
+            if candidate is not None:
+                yield candidate
+
+    def claim(self, net: NetId, candidate: TrackCandidate, lo: int, hi: int) -> ChannelClaim:
+        """Commit ``candidate`` for ``net``; returns the recorded claim."""
+        owner = self._owner[candidate.track]
+        for s in range(candidate.first_seg, candidate.last_seg + 1):
+            if owner[s] is not None:
+                raise RuntimeError(
+                    f"channel {self.index} track {candidate.track} segment {s} "
+                    f"already owned by net {owner[s]}"
+                )
+        for s in range(candidate.first_seg, candidate.last_seg + 1):
+            owner[s] = net
+        return ChannelClaim(
+            self.index, candidate.track, candidate.first_seg, candidate.last_seg, lo, hi
+        )
+
+    def release(self, net: NetId, claim: ChannelClaim) -> None:
+        """Release a previously committed claim (exact inverse of claim)."""
+        if claim.channel != self.index:
+            raise ValueError(
+                f"claim for channel {claim.channel} released on channel {self.index}"
+            )
+        owner = self._owner[claim.track]
+        for s in range(claim.first_seg, claim.last_seg + 1):
+            if owner[s] != net:
+                raise RuntimeError(
+                    f"channel {self.index} track {claim.track} segment {s} "
+                    f"owned by {owner[s]}, expected net {net}"
+                )
+            owner[s] = None
+
+    def reclaim(self, net: NetId, claim: ChannelClaim) -> None:
+        """Re-commit a claim captured earlier (used by move rollback)."""
+        owner = self._owner[claim.track]
+        for s in range(claim.first_seg, claim.last_seg + 1):
+            if owner[s] is not None:
+                raise RuntimeError(
+                    f"rollback collision: channel {self.index} track {claim.track} "
+                    f"segment {s} owned by {owner[s]}"
+                )
+        for s in range(claim.first_seg, claim.last_seg + 1):
+            owner[s] = net
+
+    def owner_of(self, track: int, seg: int) -> Optional[NetId]:
+        """Net id owning a segment, or None if free."""
+        return self._owner[track][seg]
+
+    def segments_used(self) -> int:
+        """Count of currently owned segments."""
+        return sum(
+            1 for track in self._owner for owner in track if owner is not None
+        )
+
+    def utilization(self) -> float:
+        """Fraction of total segment *length* currently owned."""
+        total = 0
+        used = 0
+        for t, track in enumerate(self.segmentation.tracks):
+            for s, (start, end) in enumerate(track):
+                total += end - start
+                if self._owner[t][s] is not None:
+                    used += end - start
+        return used / total if total else 0.0
+
+    def occupancy_rows(self) -> list[str]:
+        """ASCII occupancy map, one string per track ('.' free, '#' used,
+        '|' at segment breaks).  Used by the Figure-7 report."""
+        rows = []
+        for t, track in enumerate(self.segmentation.tracks):
+            chars: list[str] = []
+            for s, (start, end) in enumerate(track):
+                fill = "#" if self._owner[t][s] is not None else "."
+                chars.append(fill * (end - start))
+                if s + 1 < len(track):
+                    chars.append("|")
+            rows.append("".join(chars))
+        return rows

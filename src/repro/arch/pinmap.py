@@ -1,0 +1,199 @@
+"""Pinmaps: legal physical pin assignments for a logic module.
+
+Because each logic module is built from programmable lookup-table style
+circuitry, one cell-level function can be realized with many different
+assignments of its logical ports to the module's physical pins (paper,
+Section 3.2: "Cell Pin Assignments").  The physically meaningful degree
+of freedom in a row-based part is **which side** of the module each port
+connects on: a cell in row ``r`` reaches channel ``r`` through its
+bottom pins and channel ``r+1`` through its top pins.  Flipping a port
+between sides moves that net terminal to a different channel — which can
+unblock a congested channel or shorten a vertical span.
+
+A :class:`Pinmap` maps each logical port name to a :class:`PhysicalPin`
+(side + pin-site index); a :class:`PinmapPalette` is the compile-time
+enumerated set of legal alternatives the annealer's pinmap-reassignment
+move selects from (the paper assumes "a manageable palette of pinmap
+alternatives" generated at compile time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+BOTTOM = "bottom"
+TOP = "top"
+SIDES = (BOTTOM, TOP)
+
+
+@dataclass(frozen=True)
+class PhysicalPin:
+    """A physical pin site on one side of a logic module."""
+
+    side: str
+    site: int
+
+    def __post_init__(self) -> None:
+        if self.side not in SIDES:
+            raise ValueError(f"side must be one of {SIDES}, got {self.side!r}")
+        if self.site < 0:
+            raise ValueError(f"pin site must be >= 0, got {self.site}")
+
+
+class Pinmap:
+    """An immutable assignment of logical port names to physical pins."""
+
+    __slots__ = ("_pins",)
+
+    def __init__(self, pins: Mapping[str, PhysicalPin]) -> None:
+        if not pins:
+            raise ValueError("a pinmap must assign at least one port")
+        used: set[tuple[str, int]] = set()
+        for port, pin in pins.items():
+            key = (pin.side, pin.site)
+            if key in used:
+                raise ValueError(
+                    f"pinmap assigns two ports to the same site {key} (port {port!r})"
+                )
+            used.add(key)
+        self._pins = dict(pins)
+
+    def side_of(self, port: str) -> str:
+        """Side ('bottom'/'top') the port is assigned to."""
+        return self._pins[port].side
+
+    def pin_of(self, port: str) -> PhysicalPin:
+        """Physical pin assigned to the port."""
+        return self._pins[port]
+
+    def ports(self) -> Iterable[str]:
+        """Port names covered by this pinmap."""
+        return self._pins.keys()
+
+    def items(self) -> Iterable[tuple[str, PhysicalPin]]:
+        """(port, physical pin) pairs."""
+        return self._pins.items()
+
+    def count_on_side(self, side: str) -> int:
+        """Number of ports assigned to the given side."""
+        return sum(1 for pin in self._pins.values() if pin.side == side)
+
+    def __len__(self) -> int:
+        return len(self._pins)
+
+    def __contains__(self, port: str) -> bool:
+        return port in self._pins
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pinmap):
+            return NotImplemented
+        return self._pins == other._pins
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._pins.items()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{port}->{pin.side[0]}{pin.site}" for port, pin in sorted(self._pins.items())
+        )
+        return f"Pinmap({body})"
+
+
+class PinmapPalette:
+    """The legal pinmap alternatives for one cell type."""
+
+    __slots__ = ("_alternatives",)
+
+    def __init__(self, alternatives: Sequence[Pinmap]) -> None:
+        if not alternatives:
+            raise ValueError("a palette needs at least one pinmap")
+        ports = set(alternatives[0].ports())
+        for alternative in alternatives[1:]:
+            if set(alternative.ports()) != ports:
+                raise ValueError("all pinmaps in a palette must cover the same ports")
+        self._alternatives = tuple(alternatives)
+
+    def __len__(self) -> int:
+        return len(self._alternatives)
+
+    def __getitem__(self, index: int) -> Pinmap:
+        return self._alternatives[index]
+
+    def __iter__(self):
+        return iter(self._alternatives)
+
+    @property
+    def default(self) -> Pinmap:
+        """The palette's canonical (first) pinmap."""
+        return self._alternatives[0]
+
+    def index_of(self, pinmap: Pinmap) -> int:
+        """Palette index of the given pinmap."""
+        return self._alternatives.index(pinmap)
+
+
+def _assign_sites(ports: Sequence[str], sides: Sequence[str]) -> Pinmap:
+    """Build a pinmap giving each port the next free site on its side."""
+    next_site = {BOTTOM: 0, TOP: 0}
+    pins = {}
+    for port, side in zip(ports, sides):
+        pins[port] = PhysicalPin(side, next_site[side])
+        next_site[side] += 1
+    return Pinmap(pins)
+
+
+def generate_palette(
+    ports: Sequence[str],
+    sites_per_side: int = 4,
+    max_alternatives: int = 8,
+) -> PinmapPalette:
+    """Enumerate a deterministic palette of legal pinmaps for ``ports``.
+
+    The palette always starts with a balanced canonical assignment
+    (ports alternate bottom/top), then adds the two uniform assignments
+    and single-port side flips of the canonical one, until either the
+    alternatives are exhausted or ``max_alternatives`` is reached.
+    Assignments that overflow ``sites_per_side`` on either side are
+    skipped.
+    """
+    if not ports:
+        raise ValueError("cannot build a palette for a cell with no ports")
+    if sites_per_side <= 0:
+        raise ValueError(f"sites_per_side must be positive, got {sites_per_side}")
+    if max_alternatives <= 0:
+        raise ValueError(f"max_alternatives must be positive, got {max_alternatives}")
+    if len(ports) > 2 * sites_per_side:
+        raise ValueError(
+            f"{len(ports)} ports cannot fit on 2 sides of {sites_per_side} sites"
+        )
+
+    def legal(sides: Sequence[str]) -> bool:
+        return (
+            sides.count(BOTTOM) <= sites_per_side
+            and sides.count(TOP) <= sites_per_side
+        )
+
+    side_patterns: list[tuple[str, ...]] = []
+
+    def add(sides: Sequence[str]) -> None:
+        pattern = tuple(sides)
+        if legal(pattern) and pattern not in side_patterns:
+            side_patterns.append(pattern)
+
+    canonical = tuple(SIDES[i % 2] for i in range(len(ports)))
+    add(canonical)
+    add(tuple(BOTTOM for _ in ports))
+    add(tuple(TOP for _ in ports))
+    add(tuple(SIDES[(i + 1) % 2] for i in range(len(ports))))
+    for flip in range(len(ports)):
+        sides = list(canonical)
+        sides[flip] = TOP if sides[flip] == BOTTOM else BOTTOM
+        add(sides)
+        if len(side_patterns) >= max_alternatives:
+            break
+
+    alternatives = [
+        _assign_sites(ports, pattern) for pattern in side_patterns[:max_alternatives]
+    ]
+    return PinmapPalette(alternatives)

@@ -1,0 +1,120 @@
+"""Named architecture presets.
+
+These bundle a :class:`~repro.arch.fabric.FabricSpec` recipe with a
+:class:`~repro.arch.technology.Technology` so experiments can say
+"an ACT-1-like part" and get a consistent device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fabric import FabricSpec, fabric_spec_for
+from .segmentation import full_length_segmentation, uniform_segmentation
+from .technology import ANTIFUSE_DOMINATED, WIRE_DOMINATED, Technology
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A device family: fabric recipe plus electrical technology."""
+
+    name: str
+    spec: FabricSpec
+    technology: Technology
+
+    def build(self):
+        """Instantiate the device from this recipe."""
+        return self.spec.build()
+
+    def with_tracks(self, tracks_per_channel: int) -> "Architecture":
+        """Same architecture with a different horizontal track budget."""
+        return Architecture(
+            self.name, self.spec.with_tracks(tracks_per_channel), self.technology
+        )
+
+
+def act1_like(
+    num_io: int,
+    num_logic: int,
+    tracks_per_channel: int = 24,
+    vtracks_per_column: int = 8,
+    utilization: float = 0.85,
+) -> Architecture:
+    """The default device: mixed segmentation, antifuse-dominated RC."""
+    spec = fabric_spec_for(
+        num_io,
+        num_logic,
+        tracks_per_channel=tracks_per_channel,
+        vtracks_per_column=vtracks_per_column,
+        utilization=utilization,
+    )
+    return Architecture("act1_like", spec, ANTIFUSE_DOMINATED)
+
+
+def fine_grained(
+    num_io: int, num_logic: int, tracks_per_channel: int = 24
+) -> Architecture:
+    """Ablation device: everything cut into short segments.
+
+    Maximizes wirability (segment reuse) at the cost of many antifuses
+    per path — the 'small segments' end of the paper's trade-off.
+    """
+    spec = fabric_spec_for(
+        num_io, num_logic, tracks_per_channel=tracks_per_channel
+    )
+    spec = FabricSpec(
+        rows=spec.rows,
+        cols=spec.cols,
+        tracks_per_channel=spec.tracks_per_channel,
+        vtracks_per_column=spec.vtracks_per_column,
+        io_cols=spec.io_cols,
+        channel_scheme=lambda width, tracks: uniform_segmentation(
+            width, tracks, max(2, width // 10)
+        ),
+    )
+    return Architecture("fine_grained", spec, ANTIFUSE_DOMINATED)
+
+
+def coarse_grained(
+    num_io: int, num_logic: int, tracks_per_channel: int = 24
+) -> Architecture:
+    """Ablation device: full-length tracks only (semi-custom-like).
+
+    No horizontal antifuses at all; each track serves exactly one net
+    per channel — the 'large segments' end of the trade-off.
+    """
+    spec = fabric_spec_for(
+        num_io, num_logic, tracks_per_channel=tracks_per_channel
+    )
+    spec = FabricSpec(
+        rows=spec.rows,
+        cols=spec.cols,
+        tracks_per_channel=spec.tracks_per_channel,
+        vtracks_per_column=spec.vtracks_per_column,
+        io_cols=spec.io_cols,
+        channel_scheme=lambda width, tracks: full_length_segmentation(width, tracks),
+    )
+    return Architecture("coarse_grained", spec, ANTIFUSE_DOMINATED)
+
+
+def wire_dominated(
+    num_io: int, num_logic: int, tracks_per_channel: int = 24
+) -> Architecture:
+    """Ablation device: cheap antifuses, expensive wire.
+
+    In this regime net *length* (not antifuse count) dominates delay and
+    sequential placement estimates are far less wrong — useful for
+    showing where the paper's advantage comes from.
+    """
+    spec = fabric_spec_for(
+        num_io, num_logic, tracks_per_channel=tracks_per_channel
+    )
+    return Architecture("wire_dominated", spec, WIRE_DOMINATED)
+
+
+PRESETS = {
+    "act1_like": act1_like,
+    "fine_grained": fine_grained,
+    "coarse_grained": coarse_grained,
+    "wire_dominated": wire_dominated,
+}

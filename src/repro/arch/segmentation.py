@@ -1,0 +1,191 @@
+"""Track segmentation schemes for segmented routing channels.
+
+A row-based FPGA channel is a stack of *tracks*; each track is cut into
+*segments* by fixed break points.  Adjacent segments of the same track
+can be joined by programming the horizontal antifuse at the break, but
+there is no way to hop between tracks inside a channel — a connection
+crosses a channel on exactly one track (paper, Section 2.1).
+
+The *segmentation* of a channel is the list, per track, of segment
+boundaries.  Small segments maximize usage (several short nets can share
+one track) but force long nets through many antifuses; long segments
+waste wire on short nets but give long nets fast, fuse-free passage.
+Real parts therefore mix segment lengths (paper, Section 1).  This
+module provides the schemes used throughout the reproduction:
+
+* :func:`uniform_segmentation` — every track cut into equal pieces;
+* :func:`mixed_segmentation` — the realistic scheme: a spread of short,
+  medium, long and full-width tracks, staggered so break points do not
+  align across tracks;
+* :func:`custom_segmentation` — explicit boundaries, used by unit tests
+  and by the Figure-2 leverage reconstruction.
+
+A scheme is represented as a :class:`Segmentation`: a tuple of tracks,
+each track a tuple of ``(start, end)`` half-open column intervals that
+exactly tile ``[0, width)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+Interval = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Segmentation:
+    """A channel segmentation: per-track segment interval lists.
+
+    ``tracks[t]`` is a tuple of half-open ``(start, end)`` column
+    intervals, sorted, contiguous, and exactly tiling ``[0, width)``.
+    """
+
+    width: int
+    tracks: tuple[tuple[Interval, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"channel width must be positive, got {self.width}")
+        for t, track in enumerate(self.tracks):
+            if not track:
+                raise ValueError(f"track {t} has no segments")
+            pos = 0
+            for start, end in track:
+                if start != pos:
+                    raise ValueError(
+                        f"track {t}: segment starts at {start}, expected {pos}"
+                    )
+                if end <= start:
+                    raise ValueError(
+                        f"track {t}: empty/negative segment ({start}, {end})"
+                    )
+                pos = end
+            if pos != self.width:
+                raise ValueError(
+                    f"track {t} tiles [0, {pos}), expected [0, {self.width})"
+                )
+
+    @property
+    def num_tracks(self) -> int:
+        """Number of tracks."""
+        return len(self.tracks)
+
+    def segments_of(self, track: int) -> tuple[Interval, ...]:
+        """Segment intervals of one track."""
+        return self.tracks[track]
+
+    def segment_count(self) -> int:
+        """Total number of segments across all tracks."""
+        return sum(len(track) for track in self.tracks)
+
+    def mean_segment_length(self) -> float:
+        """Average segment length across all tracks."""
+        count = self.segment_count()
+        return self.width * self.num_tracks / count if count else 0.0
+
+    def with_tracks(self, num_tracks: int) -> "Segmentation":
+        """Return a segmentation with ``num_tracks`` tracks.
+
+        Tracks are kept (or cycled) from this scheme in order.  This is
+        the primitive behind the Table-2 wirability sweep, which shrinks
+        a channel until routing fails.
+        """
+        if num_tracks <= 0:
+            raise ValueError(f"num_tracks must be positive, got {num_tracks}")
+        base = self.tracks
+        tracks = tuple(base[t % len(base)] for t in range(num_tracks))
+        return Segmentation(self.width, tracks)
+
+
+def _cut(width: int, lengths: Iterable[int], offset: int = 0) -> tuple[Interval, ...]:
+    """Tile ``[0, width)`` with a repeating ``lengths`` pattern.
+
+    The pattern is rotated by ``offset`` columns so that break points
+    are staggered across tracks; the final segment is clipped to the
+    channel edge.
+    """
+    pattern = list(lengths)
+    if not pattern or any(length <= 0 for length in pattern):
+        raise ValueError(f"segment lengths must be positive, got {pattern!r}")
+    segments: list[Interval] = []
+    pos = 0
+    index = 0
+    first = offset % pattern[0]
+    if first:
+        segments.append((0, min(first, width)))
+        pos = min(first, width)
+        index = 1
+    while pos < width:
+        length = pattern[index % len(pattern)]
+        segments.append((pos, min(pos + length, width)))
+        pos = min(pos + length, width)
+        index += 1
+    return tuple(segments)
+
+
+def uniform_segmentation(width: int, num_tracks: int, segment_length: int) -> Segmentation:
+    """Every track cut into equal ``segment_length``-column segments."""
+    if segment_length <= 0:
+        raise ValueError(f"segment_length must be positive, got {segment_length}")
+    track = _cut(width, [segment_length])
+    return Segmentation(width, tuple(track for _ in range(num_tracks)))
+
+
+def full_length_segmentation(width: int, num_tracks: int) -> Segmentation:
+    """Unsegmented tracks — the semi-custom 'channel' limit, no antifuses."""
+    track = ((0, width),)
+    return Segmentation(width, tuple(track for _ in range(num_tracks)))
+
+
+def mixed_segmentation(width: int, num_tracks: int) -> Segmentation:
+    """The default realistic scheme: a mix of short/medium/long tracks.
+
+    Track classes cycle through the stack:
+
+    * ~40% *short* tracks (segments of ~width/8, min 2), staggered;
+    * ~40% *medium* tracks (segments of ~width/4, min 4), staggered;
+    * ~20% *long* tracks, one of which is full-width.
+
+    Staggering offsets break points between same-class tracks so that a
+    net unroutable on one short track may fit the next — exactly the
+    fine-grain structure the paper says is invisible to a placement-level
+    wirability estimate.
+    """
+    if num_tracks <= 0:
+        raise ValueError(f"num_tracks must be positive, got {num_tracks}")
+    short = max(2, width // 8)
+    medium = max(4, width // 4)
+    long_len = max(8, width // 2)
+    tracks: list[tuple[Interval, ...]] = []
+    for t in range(num_tracks):
+        slot = t % 5
+        if slot in (0, 1):
+            tracks.append(_cut(width, [short], offset=(t // 5) * (short // 2 + 1)))
+        elif slot in (2, 3):
+            tracks.append(_cut(width, [medium], offset=(t // 5) * (medium // 2 + 1)))
+        elif slot == 4 and (t // 5) % 2 == 0:
+            tracks.append(((0, width),))
+        else:
+            tracks.append(_cut(width, [long_len], offset=(t // 5) * 3))
+    return Segmentation(width, tuple(tracks))
+
+
+def custom_segmentation(
+    width: int, boundaries_per_track: Sequence[Sequence[int]]
+) -> Segmentation:
+    """Build a segmentation from explicit interior break columns.
+
+    ``boundaries_per_track[t]`` lists the columns at which track ``t``
+    is cut; an empty list means one full-width segment.
+    """
+    tracks: list[tuple[Interval, ...]] = []
+    for t, cuts in enumerate(boundaries_per_track):
+        ordered = sorted(set(cuts))
+        if any(cut <= 0 or cut >= width for cut in ordered):
+            raise ValueError(
+                f"track {t}: break columns must be inside (0, {width}), got {cuts!r}"
+            )
+        points = [0, *ordered, width]
+        tracks.append(tuple(zip(points[:-1], points[1:])))
+    return Segmentation(width, tuple(tracks))

@@ -1,0 +1,183 @@
+"""Electrical technology parameters for a row-based antifuse FPGA.
+
+The paper's timing model (Section 3.5) charges delay to three kinds of
+physical resources:
+
+* **wire segments** — distributed RC, proportional to segment length;
+* **antifuses** — a programmed antifuse is a series resistance plus a
+  parasitic capacitance.  Three flavours exist in a row-based part:
+  *horizontal* antifuses joining adjacent segments of the same track,
+  *cross* antifuses connecting a module pin (or a vertical wire) to a
+  horizontal segment, and *vertical* antifuses joining adjacent vertical
+  segments of the same vertical track;
+* **logic cells** — an intrinsic block delay plus a driver output
+  resistance and per-input pin capacitance.
+
+:class:`Technology` gathers these into one immutable record.  All
+lengths are measured in *columns* (logic-module pitches) so that the
+geometric model in :mod:`repro.arch.fabric` needs no unit conversions;
+time is in nanoseconds, resistance in kilo-ohms, capacitance in
+picofarads (so R*C is directly in ns).
+
+The default values are modelled after published ACT-1 era antifuse data
+(roughly 0.5 kOhm programmed antifuse resistance, a few fF parasitic,
+module delays of a few ns).  Absolute accuracy is not the point — the
+paper compares two layout flows under *one* model — but the relative
+magnitudes matter: antifuse delay must be a substantial fraction of
+total interconnect delay, which is what makes segment-count (not just
+net length) the dominant delay driver the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Immutable electrical parameters for delay modelling.
+
+    Attributes
+    ----------
+    r_segment_per_col:
+        Wire resistance of one column-length of a routing segment (kOhm).
+    c_segment_per_col:
+        Wire capacitance of one column-length of a routing segment (pF).
+    r_antifuse:
+        Series resistance of a programmed horizontal antifuse (kOhm).
+    c_antifuse:
+        Parasitic capacitance hung on the path per programmed
+        horizontal antifuse (pF).
+    r_cross:
+        Series resistance of a programmed cross antifuse (pin-to-track
+        or vertical-to-horizontal connection) (kOhm).
+    c_cross:
+        Parasitic capacitance per programmed cross antifuse (pF).
+    r_vertical_per_chan / c_vertical_per_chan:
+        RC of a vertical wire crossing one channel+row pitch.
+    r_vantifuse / c_vantifuse:
+        RC of a vertical antifuse joining two vertical segments.
+    c_unprogrammed:
+        Capacitive load contributed by each *unprogrammed* antifuse
+        hanging off a used segment, per column of segment length.  This
+        is what penalizes the use of overly long segments for short
+        connections (wastage is not free electrically either).
+    r_driver:
+        Output resistance of a logic-module driver (kOhm).
+    c_pin:
+        Input pin capacitance of a logic module (pF).
+    t_comb / t_seq / t_io:
+        Intrinsic delays of combinational cells, sequential cells
+        (clock-to-q) and I/O cells (ns).
+    """
+
+    r_segment_per_col: float = 0.025
+    c_segment_per_col: float = 0.035
+    r_antifuse: float = 0.50
+    c_antifuse: float = 0.010
+    r_cross: float = 0.55
+    c_cross: float = 0.012
+    r_vertical_per_chan: float = 0.030
+    c_vertical_per_chan: float = 0.045
+    r_vantifuse: float = 0.60
+    c_vantifuse: float = 0.012
+    c_unprogrammed: float = 0.004
+    r_driver: float = 1.2
+    c_pin: float = 0.050
+    t_comb: float = 3.0
+    t_seq: float = 4.0
+    t_io: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "r_segment_per_col",
+            "c_segment_per_col",
+            "r_antifuse",
+            "c_antifuse",
+            "r_cross",
+            "c_cross",
+            "r_vertical_per_chan",
+            "c_vertical_per_chan",
+            "r_vantifuse",
+            "c_vantifuse",
+            "c_unprogrammed",
+            "r_driver",
+            "c_pin",
+            "t_comb",
+            "t_seq",
+            "t_io",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"Technology.{name} must be >= 0, got {value!r}")
+        if self.r_driver == 0:
+            raise ValueError("Technology.r_driver must be positive")
+
+    def scaled(self, factor: float) -> "Technology":
+        """Return a copy with every RC parameter scaled by ``factor``.
+
+        Intrinsic cell delays are left untouched; this is the knob used
+        by ablation studies to vary the interconnect/logic delay ratio.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        return replace(
+            self,
+            r_segment_per_col=self.r_segment_per_col * factor,
+            c_segment_per_col=self.c_segment_per_col * factor,
+            r_antifuse=self.r_antifuse * factor,
+            c_antifuse=self.c_antifuse * factor,
+            r_cross=self.r_cross * factor,
+            c_cross=self.c_cross * factor,
+            r_vertical_per_chan=self.r_vertical_per_chan * factor,
+            c_vertical_per_chan=self.c_vertical_per_chan * factor,
+            r_vantifuse=self.r_vantifuse * factor,
+            c_vantifuse=self.c_vantifuse * factor,
+            c_unprogrammed=self.c_unprogrammed * factor,
+        )
+
+    def cell_delay(self, kind: str) -> float:
+        """Intrinsic delay for a cell kind (``'comb'``, ``'seq'``, ``'io'``)."""
+        if kind == "comb":
+            return self.t_comb
+        if kind == "seq":
+            return self.t_seq
+        if kind == "io":
+            return self.t_io
+        raise ValueError(f"unknown cell kind {kind!r}")
+
+    def segment_rc(self, length_cols: float) -> tuple[float, float]:
+        """(R, C) of a horizontal segment of ``length_cols`` columns."""
+        if length_cols < 0:
+            raise ValueError(f"segment length must be >= 0, got {length_cols!r}")
+        return (
+            self.r_segment_per_col * length_cols,
+            self.c_segment_per_col * length_cols,
+        )
+
+    def vertical_rc(self, span_channels: float) -> tuple[float, float]:
+        """(R, C) of a vertical segment spanning ``span_channels`` channels."""
+        if span_channels < 0:
+            raise ValueError(f"vertical span must be >= 0, got {span_channels!r}")
+        return (
+            self.r_vertical_per_chan * span_channels,
+            self.c_vertical_per_chan * span_channels,
+        )
+
+
+#: A technology in which antifuse delay dominates wire delay — the regime
+#: the paper argues makes segment *count* the first-order delay concern.
+ANTIFUSE_DOMINATED = Technology()
+
+#: A technology with cheap antifuses, for ablation: here net *length*
+#: dominates and sequential placement estimates are much less wrong.
+WIRE_DOMINATED = Technology(
+    r_antifuse=0.05,
+    c_antifuse=0.002,
+    r_cross=0.05,
+    c_cross=0.002,
+    r_vantifuse=0.05,
+    c_vantifuse=0.002,
+    r_segment_per_col=0.12,
+    c_segment_per_col=0.16,
+)

@@ -1,0 +1,170 @@
+"""Vertical routing resources: segmented vertical tracks per column.
+
+A net whose pins sit in different channels needs vertical wire to cross
+the intervening rows.  In a row-based part this wire comes from
+*vertical tracks* running at each column position; like the horizontal
+tracks, vertical tracks "may themselves be segmented" (paper, Section 1)
+with vertical antifuses joining adjacent segments.
+
+Global routing (paper, Section 3.3) is precisely the assignment of these
+vertical segments: a net spanning channels ``[cmin, cmax]`` must find,
+at some column ``x``, one vertical track whose free segments cover that
+channel range.  The heuristic router prefers columns near the net's
+bounding-box center.
+
+The occupancy mechanics are identical to a horizontal channel with the
+coordinate axis reinterpreted (columns -> channels), so
+:class:`VerticalColumn` delegates to an internal
+:class:`~repro.arch.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .channel import Channel, TrackCandidate
+from .segmentation import Segmentation, full_length_segmentation, uniform_segmentation
+
+NetId = int
+
+
+@dataclass(frozen=True)
+class VerticalClaim:
+    """A committed vertical (global-routing) assignment at one column.
+
+    Attributes
+    ----------
+    column: the trunk column the net crosses rows at.
+    track: vertical track index at that column.
+    first_seg, last_seg: inclusive run of vertical segment indices.
+    cmin, cmax: inclusive channel range the net spans.
+    """
+
+    column: int
+    track: int
+    first_seg: int
+    last_seg: int
+    cmin: int
+    cmax: int
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments in the claimed run."""
+        return self.last_seg - self.first_seg + 1
+
+    @property
+    def num_antifuses(self) -> int:
+        """Vertical antifuses programmed to join the segment run."""
+        return self.num_segments - 1
+
+    @property
+    def span_channels(self) -> int:
+        """Channel distance covered by the claim."""
+        return self.cmax - self.cmin
+
+
+class VerticalColumn:
+    """Vertical tracks available at one column position."""
+
+    def __init__(self, column: int, segmentation: Segmentation) -> None:
+        self.column = column
+        self._channel = Channel(column, segmentation)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels the vertical tracks cross."""
+        return self._channel.width
+
+    @property
+    def num_tracks(self) -> int:
+        """Number of tracks."""
+        return self._channel.num_tracks
+
+    @property
+    def segmentation(self) -> Segmentation:
+        """The vertical track segmentation."""
+        return self._channel.segmentation
+
+    def candidates(self, cmin: int, cmax: int) -> Iterator[TrackCandidate]:
+        """Feasible vertical track assignments covering channels [cmin, cmax]."""
+        return self._channel.candidates(cmin, cmax)
+
+    def best_candidate(self, cmin: int, cmax: int) -> Optional[TrackCandidate]:
+        """Least-wasteful feasible assignment, ties broken by fewer segments."""
+        best: Optional[TrackCandidate] = None
+        for candidate in self._channel.candidates(cmin, cmax):
+            if best is None or (candidate.wastage, candidate.num_segments) < (
+                best.wastage,
+                best.num_segments,
+            ):
+                best = candidate
+        return best
+
+    def claim(self, net: NetId, candidate: TrackCandidate, cmin: int, cmax: int) -> VerticalClaim:
+        """Commit a candidate assignment for a net."""
+        claim = self._channel.claim(net, candidate, cmin, cmax)
+        return VerticalClaim(
+            self.column, claim.track, claim.first_seg, claim.last_seg, cmin, cmax
+        )
+
+    def release(self, net: NetId, claim: VerticalClaim) -> None:
+        """Release a previously committed claim."""
+        self._channel.release(net, self._to_channel_claim(claim))
+
+    def reclaim(self, net: NetId, claim: VerticalClaim) -> None:
+        """Re-commit a claim captured earlier (move rollback)."""
+        self._channel.reclaim(net, self._to_channel_claim(claim))
+
+    def _to_channel_claim(self, claim: VerticalClaim):
+        from .channel import ChannelClaim
+
+        if claim.column != self.column:
+            raise ValueError(
+                f"claim for column {claim.column} applied to column {self.column}"
+            )
+        return ChannelClaim(
+            self.column, claim.track, claim.first_seg, claim.last_seg,
+            claim.cmin, claim.cmax,
+        )
+
+    def utilization(self) -> float:
+        """Fraction of wire length currently owned."""
+        return self._channel.utilization()
+
+    def segments_used(self) -> int:
+        """Count of currently owned segments."""
+        return self._channel.segments_used()
+
+
+def uniform_vertical_segmentation(
+    num_channels: int, num_tracks: int, span: int
+) -> Segmentation:
+    """Vertical tracks cut into equal ``span``-channel segments."""
+    return uniform_segmentation(num_channels, num_tracks, span)
+
+
+def mixed_vertical_segmentation(num_channels: int, num_tracks: int) -> Segmentation:
+    """Default vertical scheme: short feedthroughs plus long vertical tracks.
+
+    Roughly half the tracks are cut into 2-channel feedthrough segments
+    (one-row hops, the commonest need); the remainder alternate between
+    half-height and full-height ("LVT") tracks.
+    """
+    if num_tracks <= 0:
+        raise ValueError(f"num_tracks must be positive, got {num_tracks}")
+    short = uniform_segmentation(num_channels, 1, min(2, num_channels)).tracks[0]
+    half = uniform_segmentation(
+        num_channels, 1, max(2, num_channels // 2)
+    ).tracks[0]
+    full = full_length_segmentation(num_channels, 1).tracks[0]
+    tracks = []
+    for t in range(num_tracks):
+        slot = t % 4
+        if slot in (0, 1):
+            tracks.append(short)
+        elif slot == 2:
+            tracks.append(half)
+        else:
+            tracks.append(full)
+    return Segmentation(num_channels, tuple(tracks))

@@ -1,0 +1,147 @@
+"""Command-line driver: ``repro-fpga`` / ``python -m repro``.
+
+Subcommands
+-----------
+``info <design>``
+    Print statistics of one generated benchmark.
+``generate <design> <path>``
+    Write a generated benchmark to a ``.net`` file.
+``run <design> [--flow ...] [--tracks N] [--seed N] [--effort ...]``
+    Run one layout flow on one design and print its metrics.
+``compare <design> [...]``
+    Run both flows and print the Table-1-style comparison row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import architecture_for
+from .analysis import format_table
+from .core import AnnealerConfig, fast_config, thorough_config
+from .flows import (
+    SequentialConfig,
+    fast_sequential_config,
+    run_sequential,
+    run_simultaneous,
+    timing_improvement_percent,
+)
+from .netlist import PAPER_SPECS, dump, paper_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("design", choices=sorted(PAPER_SPECS))
+    parser.add_argument("--tracks", type=int, default=24,
+                        help="horizontal tracks per channel (default 24)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--effort", choices=("fast", "normal", "thorough"), default="fast"
+    )
+
+
+def _configs(effort: str, seed: int):
+    if effort == "fast":
+        return fast_config(seed), fast_sequential_config(seed)
+    if effort == "thorough":
+        return thorough_config(seed), SequentialConfig(seed=seed,
+                                                       attempts_per_cell=14)
+    return AnnealerConfig(seed=seed), SequentialConfig(seed=seed)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    netlist = paper_benchmark(args.design)
+    print(netlist)
+    for key, value in netlist.stats().items():
+        print(f"  {key:>12}: {value}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    netlist = paper_benchmark(args.design)
+    dump(netlist, args.path)
+    print(f"wrote {netlist.num_cells} cells / {netlist.num_nets} nets to {args.path}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    netlist = paper_benchmark(args.design)
+    arch = architecture_for(netlist, tracks_per_channel=args.tracks)
+    sim_cfg, seq_cfg = _configs(args.effort, args.seed)
+    if args.flow == "simultaneous":
+        result = run_simultaneous(netlist, arch, sim_cfg)
+    else:
+        result = run_sequential(netlist, arch, seq_cfg)
+    print(result)
+    for key, value in result.metrics().items():
+        print(f"  {key:>24}: {value}")
+    return 0 if result.fully_routed else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    netlist = paper_benchmark(args.design)
+    arch = architecture_for(netlist, tracks_per_channel=args.tracks)
+    sim_cfg, seq_cfg = _configs(args.effort, args.seed)
+    seq = run_sequential(netlist, arch, seq_cfg)
+    sim = run_simultaneous(netlist, arch, sim_cfg)
+    improvement = timing_improvement_percent(seq, sim)
+    print(
+        format_table(
+            ["design", "#cells", "seq T (ns)", "sim T (ns)", "% improvement",
+             "seq routed", "sim routed"],
+            [[
+                args.design,
+                netlist.num_cells,
+                seq.worst_delay,
+                sim.worst_delay,
+                improvement,
+                seq.fully_routed,
+                sim.fully_routed,
+            ]],
+            title="Timing comparison (Table-1 style)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga",
+        description="Simultaneous place and route for row-based FPGAs "
+        "(Nag & Rutenbar, DAC 1994 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print benchmark statistics")
+    p_info.add_argument("design", choices=sorted(PAPER_SPECS))
+    p_info.set_defaults(func=_cmd_info)
+
+    p_gen = sub.add_parser("generate", help="write a benchmark .net file")
+    p_gen.add_argument("design", choices=sorted(PAPER_SPECS))
+    p_gen.add_argument("path")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_run = sub.add_parser("run", help="run one flow on one design")
+    _add_common(p_run)
+    p_run.add_argument(
+        "--flow", choices=("sequential", "simultaneous"), default="simultaneous"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run both flows and compare")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

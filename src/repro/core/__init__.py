@@ -1,0 +1,38 @@
+"""The paper's contribution: the simultaneous place-and-route annealer."""
+
+from .annealer import (
+    AnnealResult,
+    AnnealerConfig,
+    SimultaneousAnnealer,
+    fast_config,
+    thorough_config,
+)
+from .cost import CostEvaluator, CostTerms, CostWeights, TermAccumulator
+from .dynamics import DynamicsTrace, TemperatureSample
+from .moves import Move, MoveGenerator, PinmapMove, SwapMove
+from .schedule import CoolingSchedule, ScheduleConfig
+from .transaction import LayoutContext, TransactionRecord, apply_move, rollback
+
+__all__ = [
+    "AnnealResult",
+    "AnnealerConfig",
+    "CoolingSchedule",
+    "CostEvaluator",
+    "CostTerms",
+    "CostWeights",
+    "DynamicsTrace",
+    "LayoutContext",
+    "Move",
+    "MoveGenerator",
+    "PinmapMove",
+    "ScheduleConfig",
+    "SimultaneousAnnealer",
+    "SwapMove",
+    "TemperatureSample",
+    "TermAccumulator",
+    "TransactionRecord",
+    "apply_move",
+    "fast_config",
+    "rollback",
+    "thorough_config",
+]

@@ -1,0 +1,338 @@
+"""The paper's contribution: simultaneous place / global route / detail
+route under a single simulated-annealing optimization.
+
+The annealer manipulates *all* the design variables concurrently
+(Section 3.1): every move perturbs the placement or a pinmap, rips up
+the nets it touches, lets the fast incremental routers repair what they
+can, updates the worst-case delay incrementally, and accepts or rejects
+the whole cascade against ``Cost = Wg*G + Wd*D + Wt*T`` under the
+adaptive Huang/Romeo/Sangiovanni-Vincentelli cooling schedule.
+
+Intermediate layouts are deliberately *incomplete* — cells are always
+legally placed but nets may be unrouted at any point; unroutability is
+cost, not an error.  The run converges exactly the way the paper's
+Figure 6 shows: hot = placement search, warm = global-routing
+stabilization, cold = detailed-routing convergence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.presets import Architecture
+from ..arch.technology import Technology
+from ..netlist.netlist import Netlist
+from ..place.initial import clustered_placement, random_placement
+from ..place.placement import Placement
+from ..route.channel_router import DEFAULT_SEGMENT_WEIGHT
+from ..route.incremental import IncrementalRouter
+from ..route.state import RoutingState
+from ..timing.incremental import IncrementalTiming
+from .cost import CostEvaluator, CostTerms, CostWeights, TermAccumulator
+from .dynamics import DynamicsTrace, TemperatureSample
+from .moves import MoveGenerator
+from .schedule import CoolingSchedule, ScheduleConfig
+from .transaction import LayoutContext, apply_move, rollback
+
+
+@dataclass
+class AnnealerConfig:
+    """Everything that parameterizes one simultaneous P&R run."""
+
+    seed: int = 0
+    attempts_per_cell: int = 8
+    pinmap_probability: float = 0.15
+    importance_global: float = 1.0
+    importance_detail: float = 1.0
+    importance_timing: float = 1.0
+    segment_weight: float = DEFAULT_SEGMENT_WEIGHT
+    initial: str = "random"  # or "clustered"
+    schedule: ScheduleConfig = field(default_factory=ScheduleConfig)
+    #: Acceptance band for the TimberWolf-style range limiter.
+    target_acceptance: float = 0.44
+    #: Hill-climbing clean-up rounds after the anneal freezes.
+    greedy_rounds: int = 2
+    #: Criticality-directed moves (the paper's "current work" speed
+    #: direction): fraction of swap proposals drawn from the current
+    #: near-zero-slack cells instead of uniformly.  0 disables.
+    critical_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.attempts_per_cell <= 0:
+            raise ValueError("attempts_per_cell must be positive")
+        if self.initial not in ("random", "clustered"):
+            raise ValueError(f"initial must be random|clustered, got {self.initial!r}")
+        if not 0 <= self.critical_bias <= 1:
+            raise ValueError(
+                f"critical_bias must be in [0, 1], got {self.critical_bias}"
+            )
+
+
+def fast_config(seed: int = 0) -> AnnealerConfig:
+    """Reduced-effort preset for tests and quick benchmarks."""
+    return AnnealerConfig(
+        seed=seed,
+        attempts_per_cell=4,
+        initial="clustered",
+        greedy_rounds=1,
+        schedule=ScheduleConfig(lambda_=1.4, max_temperatures=60,
+                                freeze_patience=2),
+    )
+
+
+def thorough_config(seed: int = 0) -> AnnealerConfig:
+    """High-effort preset (closest to the paper's multi-hour runs)."""
+    return AnnealerConfig(
+        seed=seed,
+        attempts_per_cell=14,
+        schedule=ScheduleConfig(lambda_=0.5, max_temperatures=400),
+    )
+
+
+@dataclass
+class AnnealResult:
+    """Outcome of one simultaneous place-and-route run."""
+
+    placement: Placement
+    state: RoutingState
+    timing: IncrementalTiming
+    terms: CostTerms
+    dynamics: DynamicsTrace
+    moves_attempted: int
+    moves_accepted: int
+    temperatures: int
+    wall_time_s: float
+
+    @property
+    def fully_routed(self) -> bool:
+        """Whether every net is completely routed."""
+        return self.state.is_complete()
+
+    @property
+    def worst_delay(self) -> float:
+        """Worst-case critical-path delay (ns)."""
+        return self.terms.worst_delay
+
+    def metrics(self) -> dict[str, float]:
+        """Summary metrics as a flat name -> value dict."""
+        return {
+            "worst_delay_ns": self.terms.worst_delay,
+            "global_unrouted": self.terms.global_unrouted,
+            "detail_unrouted": self.terms.detail_unrouted,
+            "fully_routed": float(self.fully_routed),
+            "moves_attempted": self.moves_attempted,
+            "moves_accepted": self.moves_accepted,
+            "temperatures": self.temperatures,
+            "wall_time_s": self.wall_time_s,
+            "total_antifuses": self.state.total_antifuses(),
+        }
+
+
+class SimultaneousAnnealer:
+    """One-shot driver: construct, then :meth:`run`."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        architecture: Architecture,
+        config: Optional[AnnealerConfig] = None,
+    ) -> None:
+        self.netlist = netlist.freeze()
+        self.architecture = architecture
+        self.technology: Technology = architecture.technology
+        self.config = config or AnnealerConfig()
+        self.rng = random.Random(self.config.seed)
+
+        fabric = architecture.build()
+        if self.config.initial == "clustered":
+            placement = clustered_placement(netlist, fabric, self.rng)
+        else:
+            placement = random_placement(netlist, fabric, self.rng)
+        state = RoutingState(placement)
+        router = IncrementalRouter(state, self.config.segment_weight)
+        router.route_all_from_scratch()
+        timing = IncrementalTiming(state, self.technology)
+        self.ctx = LayoutContext(placement, state, router, timing)
+        self.weights = CostWeights(
+            self.config.importance_global,
+            self.config.importance_detail,
+            self.config.importance_timing,
+        )
+        self.evaluator = CostEvaluator(state, timing, self.weights)
+        self.moves = MoveGenerator(
+            placement, self.rng, self.config.pinmap_probability
+        )
+        self.schedule = CoolingSchedule(self.config.schedule)
+        self.dynamics = DynamicsTrace()
+        self._attempted = 0
+        self._accepted = 0
+
+    # ------------------------------------------------------------------
+    # Pieces of the run
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, temperature: float, current: CostTerms
+    ) -> tuple[bool, CostTerms, list[int]]:
+        """Propose + apply + accept/reject one move.
+
+        Returns (accepted, resulting terms, cells the move touched if
+        accepted else an empty list).
+        """
+        move = self.moves.propose()
+        if move is None:
+            return False, current, []
+        cells_touched = move.cells_involved(self.ctx.placement)
+        self._attempted += 1
+        record = apply_move(self.ctx, move)
+        new_terms = self.evaluator.terms()
+        delta = self.weights.scalar(new_terms) - self.weights.scalar(current)
+        if delta <= 0:
+            accept = True
+        elif temperature <= 0:
+            accept = False
+        else:
+            exponent = -delta / temperature
+            accept = exponent > -60 and self.rng.random() < math.exp(exponent)
+        if accept:
+            self._accepted += 1
+            return True, new_terms, cells_touched
+        rollback(self.ctx, record)
+        return False, current, []
+
+    def _random_walk(self, moves: int) -> tuple[list[float], CostTerms]:
+        """Accept-everything walk to seed T0 and the first weights.
+
+        Term samples are collected first and the weights recalibrated
+        from their means, then the walk's scalar costs are computed with
+        the *calibrated* weights so T0 lives on the same scale as the
+        anneal it starts.
+        """
+        samples: list[CostTerms] = []
+        accumulator = TermAccumulator()
+        current = self.evaluator.terms()
+        for _ in range(moves):
+            accepted, current, _ = self._attempt(float("inf"), current)
+            accumulator.add(current)
+            samples.append(current)
+        self.weights.recalibrate(accumulator.mean_terms())
+        return [self.weights.scalar(terms) for terms in samples], current
+
+    def _greedy_cleanup(self, current: CostTerms) -> CostTerms:
+        """Zero-temperature improvement rounds after the freeze."""
+        attempts = self.config.attempts_per_cell * self.netlist.num_cells
+        for _ in range(self.config.greedy_rounds):
+            improved = False
+            for _ in range(attempts):
+                accepted, current, _ = self._attempt(0.0, current)
+                improved = improved or accepted
+            if not improved:
+                break
+        return current
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self) -> AnnealResult:
+        """Execute to completion and return the result."""
+        started = time.perf_counter()
+        num_cells = self.netlist.num_cells
+        num_nets = max(1, self.netlist.num_nets)
+        attempts_per_temp = self.config.attempts_per_cell * num_cells
+
+        walk_costs, current = self._random_walk(max(24, num_cells // 2))
+        temperature = self.schedule.start(walk_costs)
+
+        while not self.schedule.frozen:
+            if self.config.critical_bias > 0:
+                self._refocus_moves()
+            accumulator = TermAccumulator()
+            costs: list[float] = []
+            perturbed_cells: set[int] = set()
+            accepted_here = 0
+            for _ in range(attempts_per_temp):
+                accepted, current, cells_touched = self._attempt(
+                    temperature, current
+                )
+                if accepted:
+                    accepted_here += 1
+                    perturbed_cells.update(cells_touched)
+                accumulator.add(current)
+                costs.append(self.weights.scalar(current))
+            acceptance = accepted_here / attempts_per_temp
+            self.dynamics.record(
+                TemperatureSample(
+                    temperature=temperature,
+                    attempts=attempts_per_temp,
+                    accepted=accepted_here,
+                    cells_perturbed_frac=len(perturbed_cells) / num_cells,
+                    global_unrouted_frac=current.global_unrouted / num_nets,
+                    unrouted_frac=current.detail_unrouted / num_nets,
+                    worst_delay=current.worst_delay,
+                    mean_cost=(sum(costs) / len(costs)) if costs else 0.0,
+                )
+            )
+            self.weights.recalibrate(accumulator.mean_terms())
+            current = self.evaluator.terms()  # same raw terms, fresh object
+            self._adjust_window(acceptance)
+            self.schedule.observe(acceptance, costs)
+            temperature = self.schedule.next_temperature(costs)
+
+        current = self._greedy_cleanup(current)
+
+        return AnnealResult(
+            placement=self.ctx.placement,
+            state=self.ctx.state,
+            timing=self.ctx.timing,
+            terms=current,
+            dynamics=self.dynamics,
+            moves_attempted=self._attempted,
+            moves_accepted=self._accepted,
+            temperatures=self.schedule.temperatures_done,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+    def _refocus_moves(self) -> None:
+        """Point the move generator at the current near-critical cells.
+
+        Recomputed once per temperature: cells whose slack is within 10%
+        of the worst delay of zero become preferred swap candidates with
+        probability ``critical_bias``.
+        """
+        from ..timing.analyzer import TimingReport
+        from ..timing.slack import compute_slacks
+
+        timing = self.ctx.timing
+        report = TimingReport(
+            worst_delay=timing.worst_delay(),
+            arrival=list(timing.arrival),
+            boundary_in=dict(timing.boundary_in),
+            critical_path=[],
+            critical_endpoint=None,
+        )
+        slacks = compute_slacks(self.ctx.state, self.technology, report)
+        threshold = 0.10 * max(report.worst_delay, 1e-9)
+        focus = [
+            index for index, slack in enumerate(slacks) if slack <= threshold
+        ]
+        self.moves.set_focus(focus, self.config.critical_bias)
+
+    def _adjust_window(self, acceptance: float) -> None:
+        """Range limiting: shrink the swap window toward the acceptance target."""
+        target = self.config.target_acceptance
+        if acceptance > target + 0.1:
+            self.moves.set_window(self.moves.window * 0.9)
+        elif acceptance < target - 0.1:
+            self.moves.set_window(self.moves.window * 1.1)
+
+    # ------------------------------------------------------------------
+    # Audits (tests call this after runs)
+    # ------------------------------------------------------------------
+    def audit(self) -> list[str]:
+        """Invariant check; returns problems (empty = clean)."""
+        problems = self.ctx.state.check_consistency()
+        problems.extend(self.ctx.timing.audit())
+        return problems

@@ -1,0 +1,140 @@
+"""The annealer's cost function: ``Cost = Wg*G + Wd*D + Wt*T``.
+
+"G counts the number of globally unrouted nets.  Similarly, D counts
+the number of nets that lack a complete detailed routing.  T measures
+the worst-case delay on the slowest path in the current placement ...
+Perhaps most interestingly, there is no wirelength estimation term.
+... The weights Wg, Wd and Wt are determined adaptively at runtime so
+as to normalize the components of the cost function."
+(paper, Section 3.2)
+
+Normalization scheme: at every temperature boundary the annealer feeds
+:meth:`CostWeights.recalibrate` the mean magnitude of each raw term
+observed during the previous temperature; each weight becomes
+``importance / mean_magnitude``, so each term contributes its
+importance's share of the scalar cost regardless of its natural units
+(counts vs. nanoseconds).  Relative importances default to equal and
+are the knobs ablation studies turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from ..route.state import RoutingState
+from ..timing.incremental import IncrementalTiming
+
+
+@dataclass(frozen=True)
+class CostTerms:
+    """One evaluation of the raw cost components."""
+
+    global_unrouted: int  # G
+    detail_unrouted: int  # D
+    worst_delay: float    # T
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """The raw terms as a (G, D, T) float tuple."""
+        return (float(self.global_unrouted), float(self.detail_unrouted),
+                self.worst_delay)
+
+
+class CostWeights:
+    """Adaptive weights Wg, Wd, Wt."""
+
+    def __init__(
+        self,
+        importance_global: float = 1.0,
+        importance_detail: float = 1.0,
+        importance_timing: float = 1.0,
+    ) -> None:
+        for name, value in (
+            ("importance_global", importance_global),
+            ("importance_detail", importance_detail),
+            ("importance_timing", importance_timing),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        self.importance = (importance_global, importance_detail, importance_timing)
+        self.wg = importance_global
+        self.wd = importance_detail
+        self.wt = importance_timing
+
+    def recalibrate(self, mean_terms: CostTerms) -> None:
+        """Set each weight to importance / mean magnitude of its term.
+
+        A term whose mean is (near) zero keeps a floor magnitude of 1 so
+        that re-introducing unroutability after full convergence is
+        still sharply penalized.
+        """
+        means = mean_terms.as_tuple()
+        self.wg = self.importance[0] / max(1.0, means[0])
+        self.wd = self.importance[1] / max(1.0, means[1])
+        self.wt = self.importance[2] / max(1e-9, means[2])
+
+    def scalar(self, terms: CostTerms) -> float:
+        """The weighted scalar cost of one evaluation."""
+        return (
+            self.wg * terms.global_unrouted
+            + self.wd * terms.detail_unrouted
+            + self.wt * terms.worst_delay
+        )
+
+    def __repr__(self) -> str:
+        return f"CostWeights(wg={self.wg:.4g}, wd={self.wd:.4g}, wt={self.wt:.4g})"
+
+
+class CostEvaluator:
+    """Reads the raw terms off the live routing + timing state."""
+
+    def __init__(
+        self,
+        state: RoutingState,
+        timing: IncrementalTiming,
+        weights: CostWeights,
+    ) -> None:
+        self.state = state
+        self.timing = timing
+        self.weights = weights
+
+    def terms(self) -> CostTerms:
+        """Current raw cost terms read from live state."""
+        return CostTerms(
+            self.state.count_global_unrouted(),
+            self.state.count_detail_unrouted(),
+            self.timing.worst_delay(),
+        )
+
+    def scalar(self) -> float:
+        """Weighted scalar cost under the current weights."""
+        return self.weights.scalar(self.terms())
+
+
+class TermAccumulator:
+    """Running means of the raw terms, for weight recalibration."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._sums = [0.0, 0.0, 0.0]
+
+    def add(self, terms: CostTerms) -> None:
+        """Accumulate one sample."""
+        self.count += 1
+        for i, value in enumerate(terms.as_tuple()):
+            self._sums[i] += value
+
+    def mean_terms(self) -> CostTerms:
+        """Mean of the accumulated term samples."""
+        if not self.count:
+            return CostTerms(0, 0, 0.0)
+        return CostTerms(
+            int(self._sums[0] / self.count),
+            int(self._sums[1] / self.count),
+            self._sums[2] / self.count,
+        )
+
+    def reset(self) -> None:
+        """Clear all accumulated samples."""
+        self.count = 0
+        self._sums = [0.0, 0.0, 0.0]

@@ -1,0 +1,190 @@
+"""The annealer's move set: cell swaps/translations and pinmap changes.
+
+"Our move-set is actually quite simple, comprising only two orthogonal
+classes of moves: cell swaps, and pinmap reassignments.  Swaps randomly
+exchange the contents at two different logic module locations.  Since
+one of these locations may be empty, we also support single cell
+translations.  Pinmap reassignments randomly change the pin assignments
+for a particular cell from a palette of fixed, legal alternatives."
+(paper, Section 3.2)
+
+There are deliberately *no* moves that alter nets: routing changes only
+as the rip-up/repair consequence of these placement moves.
+
+A TimberWolf-style *range limiter* shrinks the swap window as the
+anneal cools, so late moves are local refinements; the window is a
+fraction supplied by the annealer each temperature.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..arch.fabric import Slot
+from ..place.placement import Placement
+
+
+@dataclass(frozen=True)
+class SwapMove:
+    """Exchange the contents of two slots (one may be empty)."""
+
+    slot_a: Slot
+    slot_b: Slot
+
+    def cells_involved(self, placement: Placement) -> list[int]:
+        """Indices of cells this move touches."""
+        cells = []
+        for slot in (self.slot_a, self.slot_b):
+            cell = placement.cell_at(slot)
+            if cell is not None:
+                cells.append(cell)
+        return cells
+
+    def apply(self, placement: Placement) -> None:
+        """Apply the move to the placement."""
+        placement.swap_slots(self.slot_a, self.slot_b)
+
+    def undo(self, placement: Placement) -> None:
+        """Exactly invert a previously applied move."""
+        placement.swap_slots(self.slot_a, self.slot_b)
+
+
+@dataclass(frozen=True)
+class PinmapMove:
+    """Switch one cell to a different pinmap from its palette."""
+
+    cell_index: int
+    new_index: int
+    old_index: int
+
+    def cells_involved(self, placement: Placement) -> list[int]:
+        """Indices of cells this move touches."""
+        return [self.cell_index]
+
+    def apply(self, placement: Placement) -> None:
+        """Apply the move to the placement."""
+        placement.set_pinmap(self.cell_index, self.new_index)
+
+    def undo(self, placement: Placement) -> None:
+        """Exactly invert a previously applied move."""
+        placement.set_pinmap(self.cell_index, self.old_index)
+
+
+Move = Union[SwapMove, PinmapMove]
+
+
+class MoveGenerator:
+    """Random move proposals over a placement.
+
+    ``pinmap_probability`` is the fraction of proposals that reassign a
+    pinmap instead of swapping slots; ``window`` in (0, 1] scales the
+    maximum row/column distance of a swap (range limiting).
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        rng: random.Random,
+        pinmap_probability: float = 0.15,
+    ) -> None:
+        if not 0 <= pinmap_probability < 1:
+            raise ValueError(
+                f"pinmap_probability must be in [0, 1), got {pinmap_probability}"
+            )
+        self.placement = placement
+        self.rng = rng
+        self.pinmap_probability = pinmap_probability
+        self.window = 1.0
+        # Criticality focus: when set, a fraction of swap proposals pick
+        # their cell from this list instead of uniformly (the paper's
+        # "current work" speed direction: spend moves where the timing
+        # pressure is).
+        self._focus_cells: list[int] = []
+        self._focus_probability = 0.0
+        fabric = placement.fabric
+        self._slots_by_class: dict[str, list[Slot]] = {
+            "io": fabric.slots_of_kind("io"),
+            "logic": fabric.slots_of_kind("logic"),
+        }
+        # Cells with more than one pinmap alternative (pinmap moves only
+        # make sense for these).
+        self._pinmap_cells = [
+            cell.index
+            for cell in placement.netlist.cells
+            if len(placement.palette(cell.index)) > 1
+        ]
+
+    def set_window(self, window: float) -> None:
+        """Set the range-limiting window fraction (clamped to (0, 1])."""
+        self.window = min(1.0, max(0.02, window))
+
+    def set_focus(self, cell_indices: list[int], probability: float) -> None:
+        """Bias swap proposals toward the given cells.
+
+        With the given probability, a swap proposal picks its moved cell
+        from ``cell_indices`` (e.g. the near-zero-slack cells) instead of
+        uniformly.  An empty list or zero probability disables the bias.
+        """
+        if not 0 <= probability <= 1:
+            raise ValueError(
+                f"focus probability must be in [0, 1], got {probability}"
+            )
+        self._focus_cells = list(cell_indices)
+        self._focus_probability = probability if cell_indices else 0.0
+
+    def propose(self) -> Optional[Move]:
+        """One random legal move, or None if no proposal is possible."""
+        if self._pinmap_cells and self.rng.random() < self.pinmap_probability:
+            return self._propose_pinmap()
+        return self._propose_swap()
+
+    def _propose_pinmap(self) -> Optional[PinmapMove]:
+        cell_index = self.rng.choice(self._pinmap_cells)
+        palette = self.placement.palette(cell_index)
+        old_index = self.placement.pinmap_index(cell_index)
+        new_index = self.rng.randrange(len(palette) - 1)
+        if new_index >= old_index:
+            new_index += 1
+        return PinmapMove(cell_index, new_index, old_index)
+
+    def _propose_swap(self) -> Optional[SwapMove]:
+        """A swap between a random occupied slot and a window-limited
+        compatible slot (possibly empty, never identical)."""
+        placement = self.placement
+        fabric = placement.fabric
+        netlist = placement.netlist
+        for _ in range(16):  # retry budget against degenerate picks
+            if (
+                self._focus_cells
+                and self.rng.random() < self._focus_probability
+            ):
+                cell_index = self.rng.choice(self._focus_cells)
+            else:
+                cell_index = self.rng.randrange(netlist.num_cells)
+            slot_a = placement.slot_of(cell_index)
+            if slot_a is None:
+                continue
+            slot_class = netlist.cells[cell_index].slot_class
+            row_a, col_a = slot_a
+            max_rows = max(1, int(self.window * fabric.rows))
+            max_cols = max(1, int(self.window * fabric.cols))
+            pool = self._slots_by_class[slot_class]
+            slot_b = self.rng.choice(pool)
+            if slot_b == slot_a:
+                continue
+            if (
+                abs(slot_b[0] - row_a) > max_rows
+                or abs(slot_b[1] - col_a) > max_cols
+            ):
+                continue
+            other = placement.cell_at(slot_b)
+            if other is not None:
+                # Both cells must be able to live in each other's slots;
+                # same slot class guarantees it, but keep the guard for
+                # future heterogeneous slot classes.
+                if not placement.compatible(other, slot_a):
+                    continue
+            return SwapMove(slot_a, slot_b)
+        return None

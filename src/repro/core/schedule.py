@@ -1,0 +1,113 @@
+"""Adaptive cooling schedule after Huang, Romeo and
+Sangiovanni-Vincentelli (ICCAD 1986) — the schedule the paper cites
+([4], Section 3.2).
+
+Three adaptive pieces:
+
+* **starting temperature** — from the cost standard deviation ``sigma``
+  of an initial random walk: ``T0 = sigma / -ln(chi0)`` puts the
+  initial acceptance probability of an average uphill move near
+  ``chi0`` (default 0.9, i.e. a hot start);
+* **temperature decrement** — ``T' = T * exp(-lambda_ * T / sigma_T)``
+  where ``sigma_T`` is the cost standard deviation observed *at this
+  temperature*: when the cost landscape is rough (large sigma) the
+  temperature falls slowly, when it is smooth it falls quickly.  The
+  ratio is clamped to ``[min_ratio, max_ratio]`` to avoid freezing out
+  of a single noisy sample;
+* **termination** — frozen when the accepted-move cost impact stays
+  within tolerance (acceptance ratio below ``freeze_acceptance`` or
+  relative cost spread below ``freeze_spread``) for
+  ``freeze_patience`` consecutive temperatures.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+
+@dataclass
+class ScheduleConfig:
+    """Cooling-schedule knobs (see module docstring)."""
+
+    chi0: float = 0.9
+    lambda_: float = 0.7
+    min_ratio: float = 0.5
+    max_ratio: float = 0.98
+    freeze_acceptance: float = 0.02
+    freeze_spread: float = 1e-4
+    freeze_patience: int = 3
+    min_temperature: float = 1e-8
+    max_temperatures: int = 400
+
+    def __post_init__(self) -> None:
+        if not 0 < self.chi0 < 1:
+            raise ValueError(f"chi0 must be in (0, 1), got {self.chi0}")
+        if self.lambda_ <= 0:
+            raise ValueError(f"lambda_ must be positive, got {self.lambda_}")
+        if not 0 < self.min_ratio < self.max_ratio <= 1:
+            raise ValueError("need 0 < min_ratio < max_ratio <= 1")
+
+
+class CoolingSchedule:
+    """Stateful schedule driven by per-temperature statistics."""
+
+    def __init__(self, config: ScheduleConfig) -> None:
+        self.config = config
+        self.temperature = 0.0
+        self.temperatures_done = 0
+        self._calm_streak = 0
+        self._started = False
+
+    def start(self, walk_costs: list[float]) -> float:
+        """Set T0 from the costs seen along an initial random walk."""
+        if len(walk_costs) < 2:
+            raise ValueError("need at least 2 random-walk cost samples")
+        sigma = statistics.pstdev(walk_costs)
+        if sigma <= 0:
+            sigma = max(1e-6, abs(walk_costs[0]) * 0.01 + 1e-6)
+        self.temperature = sigma / -math.log(self.config.chi0)
+        self._started = True
+        return self.temperature
+
+    def next_temperature(self, costs_at_temperature: list[float]) -> float:
+        """Decrement the temperature given this temperature's cost samples."""
+        if not self._started:
+            raise RuntimeError("call start() before next_temperature()")
+        sigma = (
+            statistics.pstdev(costs_at_temperature)
+            if len(costs_at_temperature) >= 2
+            else 0.0
+        )
+        if sigma <= 0:
+            ratio = self.config.min_ratio
+        else:
+            ratio = math.exp(-self.config.lambda_ * self.temperature / sigma)
+            ratio = min(self.config.max_ratio, max(self.config.min_ratio, ratio))
+        self.temperature *= ratio
+        self.temperatures_done += 1
+        return self.temperature
+
+    def observe(self, acceptance: float, costs_at_temperature: list[float]) -> None:
+        """Feed termination statistics for the temperature just finished."""
+        if len(costs_at_temperature) >= 2:
+            mean = statistics.fmean(costs_at_temperature)
+            spread = statistics.pstdev(costs_at_temperature)
+            relative = spread / abs(mean) if mean else spread
+        else:
+            relative = 0.0
+        calm = (
+            acceptance < self.config.freeze_acceptance
+            or relative < self.config.freeze_spread
+        )
+        self._calm_streak = self._calm_streak + 1 if calm else 0
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the termination criterion has been met."""
+        return (
+            self._calm_streak >= self.config.freeze_patience
+            or self.temperature < self.config.min_temperature
+            or self.temperatures_done >= self.config.max_temperatures
+        )

@@ -1,0 +1,70 @@
+"""Atomic move transactions: apply -> evaluate -> commit or rollback.
+
+One placement move sets off the paper's cascade (Section 3.2): rip up
+every net on the perturbed cells, mutate the placement, recompute the
+affected nets' geometry, let the incremental global and detailed
+routers repair whatever they can (including previously-unroutable
+bystander nets that fit the freed resources), and propagate the delay
+change to the boundaries.
+
+Because the annealer may reject the move, the whole cascade must be
+undoable bit-exactly.  :func:`apply_move` journals every net whose
+claims can change and captures the timing delta; :func:`rollback`
+replays them in the correct order (placement first — route geometry is
+recomputed from it — then routing claims, then timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..place.placement import Placement
+from ..route.incremental import IncrementalRouter, NetJournal
+from ..route.state import RoutingState
+from ..timing.incremental import IncrementalTiming, TimingDelta
+from .moves import Move
+
+
+@dataclass
+class LayoutContext:
+    """The live mutable state one annealer instance operates on."""
+
+    placement: Placement
+    state: RoutingState
+    router: IncrementalRouter
+    timing: IncrementalTiming
+
+
+@dataclass
+class TransactionRecord:
+    """Everything needed to undo one applied move."""
+
+    move: Move
+    journal: NetJournal
+    timing_delta: TimingDelta
+    nets_touched: int
+
+
+def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
+    """Apply ``move`` and the full rip-up/repair/timing cascade."""
+    affected_cells = move.cells_involved(ctx.placement)
+    affected_nets: set[int] = set()
+    for cell_index in affected_cells:
+        affected_nets.update(ctx.placement.netlist.nets_of_cell(cell_index))
+
+    journal = NetJournal(ctx.state)
+    ctx.router.rip_up_nets(affected_nets, journal)
+    move.apply(ctx.placement)
+    ctx.router.refresh_nets(affected_nets)
+    ctx.router.repair(journal)
+
+    touched = journal.touched()
+    timing_delta = ctx.timing.update_nets(touched)
+    return TransactionRecord(move, journal, timing_delta, len(touched))
+
+
+def rollback(ctx: LayoutContext, record: TransactionRecord) -> None:
+    """Undo an applied move bit-exactly."""
+    record.move.undo(ctx.placement)
+    record.journal.restore_all()
+    ctx.timing.restore(record.timing_delta)

@@ -1,0 +1,32 @@
+"""End-to-end layout flows: the sequential baseline and the paper's flow."""
+
+from .common import FlowResult, timing_improvement_percent
+from .sequential import (
+    SequentialConfig,
+    SequentialPlacer,
+    fast_sequential_config,
+    run_sequential,
+)
+from .layout_io import (
+    LayoutFormatError,
+    layout_from_dict,
+    layout_to_dict,
+    load_layout,
+    save_layout,
+)
+from .simultaneous import run_simultaneous
+
+__all__ = [
+    "FlowResult",
+    "LayoutFormatError",
+    "layout_from_dict",
+    "layout_to_dict",
+    "load_layout",
+    "save_layout",
+    "SequentialConfig",
+    "SequentialPlacer",
+    "fast_sequential_config",
+    "run_sequential",
+    "run_simultaneous",
+    "timing_improvement_percent",
+]

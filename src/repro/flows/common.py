@@ -1,0 +1,78 @@
+"""Shared flow-result record for the sequential and simultaneous flows.
+
+Both flows end in the same place — a placement, a routing state, and a
+post-layout static timing analysis — so the experiment harnesses can
+compare them field by field.  The post-layout STA plays the role of the
+paper's independent "Texas Instruments timing analyzer + RICE" check:
+it re-derives the critical path from the final embedded layout rather
+than trusting the optimizer's internal running estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..place.placement import Placement
+from ..route.state import RoutingState
+from ..timing.analyzer import TimingReport
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one complete layout flow on one design."""
+
+    flow: str
+    design: str
+    placement: Placement
+    state: RoutingState
+    timing: TimingReport
+    wall_time_s: float
+    #: Flow-specific extras (anneal statistics, dynamics traces, ...).
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def worst_delay(self) -> float:
+        """Worst-case critical-path delay (ns)."""
+        return self.timing.worst_delay
+
+    @property
+    def fully_routed(self) -> bool:
+        """Whether every net is completely routed."""
+        return self.state.is_complete()
+
+    @property
+    def unrouted_nets(self) -> int:
+        """Nets lacking a complete detailed routing."""
+        return self.state.count_detail_unrouted()
+
+    def metrics(self) -> dict[str, float]:
+        """Summary metrics as a flat name -> value dict."""
+        return {
+            "worst_delay_ns": self.worst_delay,
+            "fully_routed": float(self.fully_routed),
+            "global_unrouted": self.state.count_global_unrouted(),
+            "detail_unrouted": self.state.count_detail_unrouted(),
+            "total_antifuses": self.state.total_antifuses(),
+            "horizontal_utilization": self.state.fabric.horizontal_utilization(),
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def __repr__(self) -> str:
+        status = "routed" if self.fully_routed else f"{self.unrouted_nets} unrouted"
+        return (
+            f"FlowResult({self.flow}, {self.design}, "
+            f"T={self.worst_delay:.2f} ns, {status})"
+        )
+
+
+def timing_improvement_percent(
+    sequential: FlowResult, simultaneous: FlowResult
+) -> Optional[float]:
+    """Table-1 number: % reduction in worst-case delay vs the baseline."""
+    if sequential.worst_delay <= 0:
+        return None
+    return 100.0 * (
+        (sequential.worst_delay - simultaneous.worst_delay)
+        / sequential.worst_delay
+    )

@@ -1,0 +1,176 @@
+"""Layout serialization: save and reload a finished place-and-route.
+
+A layout against a given (netlist, architecture) pair is fully
+described by the slot of every cell, the pinmap index of every cell,
+and the committed segment claims of every net.  This module dumps that
+to JSON and reconstructs a live :class:`~repro.route.RoutingState` from
+it — re-claiming every segment through the normal occupancy machinery,
+so an edited or corrupted file that would double-book a segment is
+rejected rather than silently loaded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+from ..arch.channel import ChannelClaim
+from ..arch.presets import Architecture
+from ..arch.vertical import VerticalClaim
+from ..netlist.netlist import Netlist
+from ..place.placement import Placement
+from ..route.state import RoutingState
+
+FORMAT_VERSION = 1
+
+
+class LayoutFormatError(ValueError):
+    """The layout file is malformed or inconsistent with the design."""
+
+
+def layout_to_dict(placement: Placement, state: RoutingState) -> dict:
+    """A JSON-serializable description of the layout."""
+    netlist = placement.netlist
+    cells = {}
+    for cell in netlist.cells:
+        slot = placement.slot_of(cell.index)
+        if slot is None:
+            raise LayoutFormatError(
+                f"cell {cell.name!r} is unplaced; only complete layouts "
+                "can be serialized"
+            )
+        cells[cell.name] = {
+            "slot": list(slot),
+            "pinmap": placement.pinmap_index(cell.index),
+        }
+    nets = {}
+    for route in state.routes:
+        net = netlist.nets[route.net_index]
+        entry: dict = {"claims": []}
+        for channel, claim in sorted(route.claims.items()):
+            entry["claims"].append(
+                [channel, claim.track, claim.first_seg, claim.last_seg,
+                 claim.lo, claim.hi]
+            )
+        if route.vertical is not None:
+            v = route.vertical
+            entry["vertical"] = [
+                v.column, v.track, v.first_seg, v.last_seg, v.cmin, v.cmax
+            ]
+        nets[net.name] = entry
+    return {
+        "format": FORMAT_VERSION,
+        "circuit": netlist.name,
+        "cells": cells,
+        "nets": nets,
+    }
+
+
+def save_layout(
+    placement: Placement,
+    state: RoutingState,
+    destination: Union[str, Path, TextIO],
+) -> None:
+    """Write a layout to a JSON file or stream."""
+    data = layout_to_dict(placement, state)
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1)
+        return
+    json.dump(data, destination, indent=1)
+
+
+def layout_from_dict(
+    netlist: Netlist, architecture: Architecture, data: dict
+) -> tuple[Placement, RoutingState]:
+    """Rebuild a live placement + routing state from serialized form.
+
+    Every claim is re-committed through the occupancy machinery; any
+    double-booking, unknown cell/net, or illegal slot raises
+    :class:`LayoutFormatError`.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise LayoutFormatError(
+            f"unsupported layout format {data.get('format')!r}"
+        )
+    if data.get("circuit") != netlist.name:
+        raise LayoutFormatError(
+            f"layout is for circuit {data.get('circuit')!r}, "
+            f"netlist is {netlist.name!r}"
+        )
+    netlist.freeze()
+    fabric = architecture.build()
+    placement = Placement(netlist, fabric)
+
+    cells = data.get("cells", {})
+    for cell in netlist.cells:
+        if cell.name not in cells:
+            raise LayoutFormatError(f"cell {cell.name!r} missing from layout")
+    for name, entry in cells.items():
+        if not netlist.has_cell(name):
+            raise LayoutFormatError(f"layout names unknown cell {name!r}")
+        cell = netlist.cell(name)
+        try:
+            placement.place(cell.index, tuple(entry["slot"]))
+            placement.set_pinmap(cell.index, entry.get("pinmap", 0))
+        except Exception as exc:
+            raise LayoutFormatError(f"cell {name!r}: {exc}") from exc
+
+    state = RoutingState(placement)
+    for name, entry in data.get("nets", {}).items():
+        try:
+            net = netlist.net(name)
+        except KeyError:
+            raise LayoutFormatError(f"layout names unknown net {name!r}") from None
+        route = state.routes[net.index]
+        vertical = entry.get("vertical")
+        try:
+            if vertical is not None:
+                column, track, first_seg, last_seg, cmin, cmax = vertical
+                claim = VerticalClaim(column, track, first_seg, last_seg,
+                                      cmin, cmax)
+                fabric.vcolumns[column].reclaim(net.index, claim)
+                state.commit_vertical(net.index, claim)
+            for channel, track, first_seg, last_seg, lo, hi in entry.get(
+                "claims", ()
+            ):
+                claim = ChannelClaim(channel, track, first_seg, last_seg,
+                                     lo, hi)
+                fabric.channels[channel].reclaim(net.index, claim)
+                state.commit_detail(net.index, claim)
+        except LayoutFormatError:
+            raise
+        except Exception as exc:
+            raise LayoutFormatError(f"net {name!r}: {exc}") from exc
+        # The stored claims must actually satisfy this net's geometry.
+        if route.globally_routed:
+            needs = route.requirements()
+            for channel, (lo, hi) in needs.items():
+                claim = route.claims.get(channel)
+                if claim is not None and (claim.lo, claim.hi) != (lo, hi):
+                    raise LayoutFormatError(
+                        f"net {name!r}: claim in channel {channel} covers "
+                        f"[{claim.lo},{claim.hi}] but the placement needs "
+                        f"[{lo},{hi}]"
+                    )
+    problems = state.check_consistency()
+    if problems:
+        raise LayoutFormatError(
+            "layout inconsistent after load: " + "; ".join(problems[:3])
+        )
+    return placement, state
+
+
+def load_layout(
+    netlist: Netlist,
+    architecture: Architecture,
+    source: Union[str, Path, TextIO],
+) -> tuple[Placement, RoutingState]:
+    """Read and validate a layout from a JSON file or stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    return layout_from_dict(netlist, architecture, data)

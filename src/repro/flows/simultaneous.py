@@ -1,0 +1,44 @@
+"""The paper's flow: one simultaneous place-and-route anneal.
+
+Thin wrapper that runs :class:`repro.core.SimultaneousAnnealer` and
+scores the final layout with the same post-layout STA used for the
+sequential baseline, so Table-1 comparisons are apples to apples.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..arch.presets import Architecture
+from ..core.annealer import AnnealerConfig, SimultaneousAnnealer
+from ..netlist.netlist import Netlist
+from ..timing.analyzer import analyze
+from .common import FlowResult
+
+
+def run_simultaneous(
+    netlist: Netlist,
+    architecture: Architecture,
+    config: Optional[AnnealerConfig] = None,
+) -> FlowResult:
+    """Run the simultaneous flow end to end."""
+    started = time.perf_counter()
+    annealer = SimultaneousAnnealer(netlist, architecture, config)
+    result = annealer.run()
+    report = analyze(result.state, architecture.technology)
+    return FlowResult(
+        flow="simultaneous",
+        design=netlist.name,
+        placement=result.placement,
+        state=result.state,
+        timing=report,
+        wall_time_s=time.perf_counter() - started,
+        extra={
+            "dynamics": result.dynamics,
+            "moves_attempted": result.moves_attempted,
+            "moves_accepted": result.moves_accepted,
+            "temperatures": result.temperatures,
+            "internal_worst_delay": result.worst_delay,
+        },
+    )

@@ -1,0 +1,45 @@
+"""Mapped-netlist substrate: cells, nets, generators, I/O, validation."""
+
+from .cell import CELL_KINDS, COMB, INPUT, OUTPUT, SEQ, Cell, count_kinds, ports_for
+from .generators import (
+    PAPER_SPECS,
+    TABLE_DESIGNS,
+    CircuitSpec,
+    generate,
+    paper_benchmark,
+    paper_benchmarks,
+    tiny,
+)
+from .io import NetlistFormatError, dump, dumps, load, loads
+from .net import Net, Terminal
+from .netlist import Netlist, build_netlist
+from .validate import combinational_cycles, validate
+
+__all__ = [
+    "CELL_KINDS",
+    "COMB",
+    "Cell",
+    "CircuitSpec",
+    "INPUT",
+    "Net",
+    "Netlist",
+    "NetlistFormatError",
+    "OUTPUT",
+    "PAPER_SPECS",
+    "SEQ",
+    "TABLE_DESIGNS",
+    "Terminal",
+    "build_netlist",
+    "combinational_cycles",
+    "count_kinds",
+    "dump",
+    "dumps",
+    "generate",
+    "load",
+    "loads",
+    "paper_benchmark",
+    "paper_benchmarks",
+    "ports_for",
+    "tiny",
+    "validate",
+]

@@ -1,0 +1,133 @@
+"""Cell types and instances for mapped row-based FPGA netlists.
+
+The input to layout is a technology-mapped netlist of FPGA-module-sized
+cells (paper, Section 1).  Four kinds exist in this reproduction:
+
+* ``input``  — a primary-input pad module (one output port ``pad_out``);
+* ``output`` — a primary-output pad module (one input port ``pad_in``);
+* ``comb``   — a combinational logic module with ``k`` input ports
+  ``i0 .. i{k-1}`` and one output port ``y``;
+* ``seq``    — a sequential module (flip-flop) with input ``d`` and
+  output ``q``.
+
+``input``, ``output`` and ``seq`` cells are *boundary* elements for
+timing: critical paths run between them (paper, Section 3.5).  The
+clock network is assumed to be distributed on dedicated resources and is
+not part of the routed netlist (standard for antifuse parts; noted in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+INPUT = "input"
+OUTPUT = "output"
+COMB = "comb"
+SEQ = "seq"
+
+CELL_KINDS = (INPUT, OUTPUT, COMB, SEQ)
+
+#: Which slot class each cell kind may occupy.
+SLOT_CLASS = {INPUT: "io", OUTPUT: "io", COMB: "logic", SEQ: "logic"}
+
+#: Intrinsic-delay class used by :meth:`repro.arch.Technology.cell_delay`.
+DELAY_CLASS = {INPUT: "io", OUTPUT: "io", COMB: "comb", SEQ: "seq"}
+
+
+def ports_for(kind: str, num_inputs: int) -> tuple[tuple[str, str], ...]:
+    """The ``(name, direction)`` port list for a cell kind.
+
+    Direction is ``'in'`` or ``'out'`` from the cell's point of view.
+    """
+    if kind == INPUT:
+        if num_inputs != 0:
+            raise ValueError("input pads have no input ports")
+        return (("pad_out", "out"),)
+    if kind == OUTPUT:
+        if num_inputs != 1:
+            raise ValueError("output pads have exactly one input port")
+        return (("pad_in", "in"),)
+    if kind == COMB:
+        if not 1 <= num_inputs <= 8:
+            raise ValueError(
+                f"comb cells take 1..8 inputs, got {num_inputs}"
+            )
+        inputs = tuple((f"i{k}", "in") for k in range(num_inputs))
+        return inputs + (("y", "out"),)
+    if kind == SEQ:
+        if num_inputs != 1:
+            raise ValueError("seq cells have exactly one data input")
+        return (("d", "in"), ("q", "out"))
+    raise ValueError(f"unknown cell kind {kind!r}")
+
+
+@dataclass
+class Cell:
+    """One placeable module instance.
+
+    Attributes
+    ----------
+    name: unique instance name.
+    kind: one of :data:`CELL_KINDS`.
+    num_inputs: number of input ports (fixed per kind except ``comb``).
+    index: dense id assigned by the owning :class:`~repro.netlist.Netlist`.
+    """
+
+    name: str
+    kind: str
+    num_inputs: int = 0
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+        # Validates the input count for the kind as a side effect.
+        self._ports = ports_for(self.kind, self.num_inputs)
+
+    @property
+    def ports(self) -> tuple[tuple[str, str], ...]:
+        """Port names covered by this pinmap."""
+        return self._ports
+
+    @property
+    def port_names(self) -> tuple[str, ...]:
+        """All port names, inputs first."""
+        return tuple(name for name, _ in self._ports)
+
+    @property
+    def input_ports(self) -> tuple[str, ...]:
+        """Names of the input ports."""
+        return tuple(name for name, direction in self._ports if direction == "in")
+
+    @property
+    def output_ports(self) -> tuple[str, ...]:
+        """Names of the output ports."""
+        return tuple(name for name, direction in self._ports if direction == "out")
+
+    @property
+    def is_boundary(self) -> bool:
+        """True for timing-path endpoints (pads and flip-flops)."""
+        return self.kind in (INPUT, OUTPUT, SEQ)
+
+    @property
+    def slot_class(self) -> str:
+        """Slot class this cell may occupy ('io'/'logic')."""
+        return SLOT_CLASS[self.kind]
+
+    @property
+    def delay_class(self) -> str:
+        """Intrinsic-delay class ('io'/'comb'/'seq')."""
+        return DELAY_CLASS[self.kind]
+
+    def __repr__(self) -> str:
+        return f"Cell({self.name!r}, {self.kind}, in={self.num_inputs})"
+
+
+def count_kinds(cells: Iterable[Cell]) -> dict[str, int]:
+    """Histogram of cell kinds, for netlist statistics."""
+    counts = {kind: 0 for kind in CELL_KINDS}
+    for cell in cells:
+        counts[cell.kind] += 1
+    return counts

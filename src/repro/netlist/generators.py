@@ -1,0 +1,344 @@
+"""Seeded synthetic benchmark circuits at MCNC scale.
+
+The paper evaluates on five MCNC benchmarks mapped to row-based FPGA
+cells (``s1``, ``cse``, ``ex1``, ``bw``, ``s1a``) plus a 529-cell design
+(Figure 7).  The original mapped netlists are not redistributable, so
+this module generates *synthetic mapped netlists with the same cell
+counts* and with the structural properties that drive layout behaviour:
+
+* a realistic kind mix (primary inputs/outputs, flip-flops,
+  combinational modules with 1-4 inputs);
+* a levelized combinational DAG between timing boundaries, with a
+  controllable depth;
+* a heavy-tailed fanout distribution (most nets fan out to 1-3 sinks, a
+  few high-fanout nets exist, fanout is capped);
+* Rent-style locality: cells belong to clusters and prefer intra-cluster
+  connections, so good placements exist to be found.
+
+All generation is driven by an explicit seed; the paper-benchmark suite
+(:func:`paper_benchmarks`) is bit-reproducible.
+
+The experiments compare two layout flows *on the same netlist*, so the
+substitution preserves what the tables measure: relative timing and
+relative wirability of the flows (see DESIGN.md, Section 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .cell import COMB, INPUT, OUTPUT, SEQ, Cell
+from .net import Net, Terminal
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Parameters of one synthetic circuit.
+
+    Attributes
+    ----------
+    name: circuit name (also the netlist name).
+    num_cells: total cell count, *including* pad cells.
+    seed: RNG seed; same spec -> identical netlist.
+    frac_inputs / frac_outputs / frac_seq: kind mix (rest is comb).
+    depth: number of combinational levels between boundaries.
+    fanin_weights: probability weights for comb fanin 1..4.
+    max_fanout: hard cap on sinks per output.
+    cluster_size: cells per locality cluster.
+    p_local: probability a connection is drawn intra-cluster when possible.
+    """
+
+    name: str
+    num_cells: int
+    seed: int
+    frac_inputs: float = 0.09
+    frac_outputs: float = 0.08
+    frac_seq: float = 0.12
+    depth: int = 7
+    fanin_weights: tuple[float, float, float, float] = (0.10, 0.30, 0.35, 0.25)
+    max_fanout: int = 10
+    cluster_size: int = 16
+    p_local: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.num_cells < 8:
+            raise ValueError(f"need at least 8 cells, got {self.num_cells}")
+        if self.depth < 2:
+            raise ValueError(f"depth must be >= 2, got {self.depth}")
+        if not 0 < self.frac_inputs + self.frac_outputs + self.frac_seq < 1:
+            raise ValueError("kind fractions must leave room for comb cells")
+
+
+def _kind_counts(spec: CircuitSpec) -> tuple[int, int, int, int]:
+    n_pi = max(2, round(spec.num_cells * spec.frac_inputs))
+    n_po = max(2, round(spec.num_cells * spec.frac_outputs))
+    n_ff = max(1, round(spec.num_cells * spec.frac_seq))
+    n_comb = spec.num_cells - n_pi - n_po - n_ff
+    if n_comb < spec.depth:
+        raise ValueError(
+            f"{spec.name}: only {n_comb} comb cells for depth {spec.depth}"
+        )
+    return n_pi, n_po, n_ff, n_comb
+
+
+@dataclass
+class _Output:
+    """A driver output awaiting sinks during generation."""
+
+    terminal: Terminal
+    level: int
+    cluster: int
+    fanout: int = 0
+
+
+@dataclass
+class _Slot:
+    """An input port awaiting a driver during generation."""
+
+    terminal: Terminal
+    level: int  # drivers must come from strictly below this level
+    cluster: int
+    driver: int = -1  # index into the outputs list, -1 while unfilled
+
+
+def generate(spec: CircuitSpec) -> Netlist:
+    """Generate the synthetic netlist described by ``spec``."""
+    rng = random.Random(spec.seed)
+    n_pi, n_po, n_ff, n_comb = _kind_counts(spec)
+
+    pi_names = [f"pi{k}" for k in range(n_pi)]
+    po_names = [f"po{k}" for k in range(n_po)]
+    ff_names = [f"ff{k}" for k in range(n_ff)]
+    comb_names = [f"c{k}" for k in range(n_comb)]
+    fanins = dict(
+        zip(comb_names, rng.choices((1, 2, 3, 4), weights=spec.fanin_weights,
+                                    k=n_comb))
+    )
+
+    # Comb levels: guarantee at least one cell per level, spread the rest.
+    levels = list(range(1, spec.depth + 1))
+    levels += rng.choices(range(1, spec.depth + 1), k=n_comb - spec.depth)
+    # Outputs at the deepest level can only sink into boundary inputs
+    # (FF d / PO pads); rebalance so they cannot outnumber those slots.
+    deepest_cap = max(1, n_ff + n_po - 1)
+    if spec.depth > 1:
+        deepest = [i for i, level in enumerate(levels) if level == spec.depth]
+        for index in deepest[deepest_cap:]:
+            levels[index] = rng.randrange(1, spec.depth)
+    rng.shuffle(levels)
+    comb_level = dict(zip(comb_names, levels))
+
+    # Locality clusters over all cells, in a shuffled order.
+    order = pi_names + po_names + ff_names + comb_names
+    rng.shuffle(order)
+    cluster_of = {name: i // spec.cluster_size for i, name in enumerate(order)}
+
+    outputs: list[_Output] = []
+    for name in pi_names:
+        outputs.append(_Output((name, "pad_out"), 0, cluster_of[name]))
+    for name in ff_names:
+        outputs.append(_Output((name, "q"), 0, cluster_of[name]))
+    for name in comb_names:
+        outputs.append(_Output((name, "y"), comb_level[name], cluster_of[name]))
+
+    # Boundary sinks see every level (they close paths, no cycles possible).
+    boundary_level = spec.depth + 1
+    slots: list[_Slot] = []
+    for name in comb_names:
+        for k in range(fanins[name]):
+            slots.append(
+                _Slot((name, f"i{k}"), comb_level[name], cluster_of[name])
+            )
+    for name in ff_names:
+        slots.append(_Slot((name, "d"), boundary_level, cluster_of[name]))
+    for name in po_names:
+        slots.append(_Slot((name, "pad_in"), boundary_level, cluster_of[name]))
+
+    _wire(spec, rng, outputs, slots, fanins, comb_level, cluster_of)
+
+    # Cells are materialized after wiring because the wirer may bump a
+    # comb cell's fanin to create a sink for an otherwise-danging output.
+    netlist = Netlist(spec.name)
+    for name in pi_names:
+        netlist.add_cell(Cell(name, INPUT))
+    for name in po_names:
+        netlist.add_cell(Cell(name, OUTPUT, num_inputs=1))
+    for name in ff_names:
+        netlist.add_cell(Cell(name, SEQ, num_inputs=1))
+    for name in comb_names:
+        netlist.add_cell(Cell(name, COMB, num_inputs=fanins[name]))
+
+    # Group slots by driver output into nets.
+    sinks_of: dict[int, list[Terminal]] = {}
+    for slot in slots:
+        sinks_of.setdefault(slot.driver, []).append(slot.terminal)
+    for out_index, output in enumerate(outputs):
+        sinks = sinks_of.get(out_index)
+        if not sinks:
+            raise RuntimeError(
+                f"{spec.name}: output {output.terminal} ended up with no sinks"
+            )
+        net_name = f"n_{output.terminal[0]}"
+        netlist.add_net(Net(net_name, output.terminal, tuple(sinks)))
+    return netlist.freeze()
+
+
+def _wire(
+    spec: CircuitSpec,
+    rng: random.Random,
+    outputs: list[_Output],
+    slots: list[_Slot],
+    fanins: dict[str, int],
+    comb_level: dict[str, int],
+    cluster_of: dict[str, int],
+) -> None:
+    """Assign a driver output to every slot; every output gets >= 1 sink.
+
+    If coverage runs out of free sinks for an output, a comb cell at a
+    deeper level gets its fanin bumped (up to 4 inputs) to create one —
+    this keeps arbitrary (cells, depth, seed) combinations feasible.
+    """
+    slots_by_level: dict[int, list[int]] = {}
+    for s, slot in enumerate(slots):
+        slots_by_level.setdefault(slot.level, []).append(s)
+
+    def eligible_slots(output_level: int) -> list[int]:
+        result: list[int] = []
+        for level, indices in slots_by_level.items():
+            if level > output_level:
+                result.extend(indices)
+        return result
+
+    def bump_fanin(output: _Output) -> int:
+        """Create a fresh input slot above ``output.level``; returns its
+        index, or -1 if every deeper comb cell is already at max fanin."""
+        candidates = [
+            name
+            for name, level in comb_level.items()
+            if level > output.level and fanins[name] < 4
+        ]
+        if not candidates:
+            return -1
+        local = [n for n in candidates if cluster_of[n] == output.cluster]
+        pool = local if local and rng.random() < spec.p_local else candidates
+        name = rng.choice(pool)
+        port = f"i{fanins[name]}"
+        fanins[name] += 1
+        slot = _Slot((name, port), comb_level[name], cluster_of[name])
+        slots.append(slot)
+        index = len(slots) - 1
+        slots_by_level.setdefault(slot.level, []).append(index)
+        return index
+
+    # Phase 1 — coverage: give each output one sink, deepest outputs first
+    # so they grab the boundary slots before those run out.
+    for out_index in sorted(
+        range(len(outputs)), key=lambda i: -outputs[i].level
+    ):
+        output = outputs[out_index]
+        candidates = [s for s in eligible_slots(output.level) if slots[s].driver < 0]
+        if not candidates:
+            # Try to steal a slot whose driver already has other sinks,
+            # else grow a deeper comb cell's fanin to make room.
+            stealable = [
+                s
+                for s in eligible_slots(output.level)
+                if slots[s].driver >= 0 and outputs[slots[s].driver].fanout > 1
+            ]
+            if stealable:
+                victim = rng.choice(stealable)
+                outputs[slots[victim].driver].fanout -= 1
+                slots[victim].driver = out_index
+                output.fanout += 1
+                continue
+            grown = bump_fanin(output)
+            if grown < 0:
+                raise RuntimeError(
+                    f"{spec.name}: cannot find a sink for {output.terminal}"
+                )
+            slots[grown].driver = out_index
+            output.fanout += 1
+            continue
+        local = [s for s in candidates if slots[s].cluster == output.cluster]
+        pool = local if local and rng.random() < spec.p_local else candidates
+        chosen = rng.choice(pool)
+        slots[chosen].driver = out_index
+        output.fanout += 1
+
+    # Phase 2 — fill every remaining slot, preferring local, low-fanout drivers.
+    outputs_by_level: dict[int, list[int]] = {}
+    for o, output in enumerate(outputs):
+        outputs_by_level.setdefault(output.level, []).append(o)
+
+    def eligible_outputs(slot_level: int) -> list[int]:
+        result: list[int] = []
+        for level, indices in outputs_by_level.items():
+            if level < slot_level:
+                result.extend(indices)
+        return result
+
+    for s, slot in enumerate(slots):
+        if slot.driver >= 0:
+            continue
+        candidates = [
+            o
+            for o in eligible_outputs(slot.level)
+            if outputs[o].fanout < spec.max_fanout
+        ]
+        if not candidates:  # everything is at the cap; ignore the cap
+            candidates = eligible_outputs(slot.level)
+        local = [o for o in candidates if outputs[o].cluster == slot.cluster]
+        pool = local if local and rng.random() < spec.p_local else candidates
+        weights = [1.0 / (1 + outputs[o].fanout) for o in pool]
+        chosen = rng.choices(pool, weights=weights, k=1)[0]
+        slot.driver = chosen
+        outputs[chosen].fanout += 1
+
+
+# ----------------------------------------------------------------------
+# The paper's benchmark suite
+# ----------------------------------------------------------------------
+
+#: Cell counts from Tables 1 and 2 plus the Figure-7 design.
+PAPER_SPECS: dict[str, CircuitSpec] = {
+    "s1": CircuitSpec("s1", num_cells=181, seed=9401, depth=8),
+    "cse": CircuitSpec("cse", num_cells=156, seed=9402, depth=7),
+    "ex1": CircuitSpec("ex1", num_cells=227, seed=9403, depth=8),
+    "bw": CircuitSpec("bw", num_cells=158, seed=9404, depth=6),
+    "s1a": CircuitSpec("s1a", num_cells=163, seed=9405, depth=8),
+    "big529": CircuitSpec("big529", num_cells=529, seed=9407, depth=10),
+}
+
+#: The five designs of Tables 1 and 2, in paper order.
+TABLE_DESIGNS = ("s1", "cse", "ex1", "bw", "s1a")
+
+
+def paper_benchmark(name: str) -> Netlist:
+    """One of the paper's designs by name (see :data:`PAPER_SPECS`)."""
+    try:
+        spec = PAPER_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(PAPER_SPECS)}"
+        ) from None
+    return generate(spec)
+
+
+def paper_benchmarks() -> dict[str, Netlist]:
+    """All five table designs, generated fresh."""
+    return {name: paper_benchmark(name) for name in TABLE_DESIGNS}
+
+
+def tiny(seed: int = 1, num_cells: int = 24, depth: int = 3) -> Netlist:
+    """A small circuit for unit tests and the quickstart example."""
+    return generate(
+        CircuitSpec(
+            f"tiny{seed}",
+            num_cells=num_cells,
+            seed=seed,
+            depth=depth,
+            cluster_size=6,
+        )
+    )

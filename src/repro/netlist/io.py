@@ -1,0 +1,121 @@
+"""Plain-text netlist format reader/writer.
+
+The ``.net`` format is line-oriented and diff-friendly::
+
+    # comment, blank lines allowed
+    circuit <name>
+    cell <name> <kind> <num_inputs>
+    net <name> <driver_cell>.<port> <sink_cell>.<port> [<sink>...]
+
+Cells must be declared before the nets that reference them.  The writer
+emits cells in index order and nets in index order, so write->read is an
+exact round trip.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from .cell import Cell
+from .net import Net, Terminal
+from .netlist import Netlist
+
+
+class NetlistFormatError(ValueError):
+    """A syntax or semantic error in a ``.net`` file."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_terminal(line_no: int, token: str) -> Terminal:
+    cell, sep, port = token.partition(".")
+    if not sep or not cell or not port:
+        raise NetlistFormatError(
+            line_no, f"terminal must look like cell.port, got {token!r}"
+        )
+    return (cell, port)
+
+
+def loads(text: str) -> Netlist:
+    """Parse a netlist from a string."""
+    return load(io.StringIO(text))
+
+
+def load(source: Union[TextIO, str, Path]) -> Netlist:
+    """Parse a netlist from an open file, a path, or a path string."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load(handle)
+
+    netlist: Netlist = Netlist()
+    saw_circuit = False
+    for line_no, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == "circuit":
+            if saw_circuit:
+                raise NetlistFormatError(line_no, "duplicate circuit line")
+            if len(tokens) != 2:
+                raise NetlistFormatError(line_no, "usage: circuit <name>")
+            netlist.name = tokens[1]
+            saw_circuit = True
+        elif keyword == "cell":
+            if len(tokens) != 4:
+                raise NetlistFormatError(
+                    line_no, "usage: cell <name> <kind> <num_inputs>"
+                )
+            name, kind, num_inputs_text = tokens[1], tokens[2], tokens[3]
+            try:
+                num_inputs = int(num_inputs_text)
+            except ValueError:
+                raise NetlistFormatError(
+                    line_no, f"num_inputs must be an integer, got {num_inputs_text!r}"
+                ) from None
+            try:
+                netlist.add_cell(Cell(name, kind, num_inputs=num_inputs))
+            except ValueError as exc:
+                raise NetlistFormatError(line_no, str(exc)) from None
+        elif keyword == "net":
+            if len(tokens) < 4:
+                raise NetlistFormatError(
+                    line_no, "usage: net <name> <driver> <sink> [<sink>...]"
+                )
+            name = tokens[1]
+            driver = _parse_terminal(line_no, tokens[2])
+            sinks = tuple(_parse_terminal(line_no, t) for t in tokens[3:])
+            try:
+                netlist.add_net(Net(name, driver, sinks))
+            except ValueError as exc:
+                raise NetlistFormatError(line_no, str(exc)) from None
+        else:
+            raise NetlistFormatError(line_no, f"unknown keyword {keyword!r}")
+    return netlist.freeze()
+
+
+def dumps(netlist: Netlist) -> str:
+    """Serialize a netlist to the ``.net`` text format."""
+    lines = [f"circuit {netlist.name}"]
+    for cell in netlist.cells:
+        lines.append(f"cell {cell.name} {cell.kind} {cell.num_inputs}")
+    for net in netlist.nets:
+        terminals = " ".join(
+            f"{cell}.{port}" for cell, port in net.terminals()
+        )
+        lines.append(f"net {net.name} {terminals}")
+    return "\n".join(lines) + "\n"
+
+
+def dump(netlist: Netlist, destination: Union[TextIO, str, Path]) -> None:
+    """Write a netlist to an open file, a path, or a path string."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(dumps(netlist))
+        return
+    destination.write(dumps(netlist))

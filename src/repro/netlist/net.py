@@ -1,0 +1,69 @@
+"""Multi-terminal nets.
+
+A net connects one driving cell output port to one or more sinking cell
+input ports.  Terminals are ``(cell_name, port_name)`` pairs; the
+:class:`~repro.netlist.Netlist` resolves them to :class:`Cell` objects
+and keeps the reverse maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+Terminal = tuple[str, str]
+
+
+@dataclass
+class Net:
+    """One net: a driver terminal and one or more sink terminals.
+
+    Attributes
+    ----------
+    name: unique net name.
+    driver: ``(cell_name, port_name)`` of the driving output.
+    sinks: tuple of ``(cell_name, port_name)`` sinks, order-stable.
+    index: dense id assigned by the owning netlist.
+    """
+
+    name: str
+    driver: Terminal
+    sinks: tuple[Terminal, ...]
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise ValueError(f"net {self.name!r} has no sinks")
+        seen: set[Terminal] = set()
+        for terminal in self.sinks:
+            if terminal in seen:
+                raise ValueError(
+                    f"net {self.name!r} lists sink {terminal} twice"
+                )
+            if terminal == self.driver:
+                raise ValueError(
+                    f"net {self.name!r} uses its driver {terminal} as a sink"
+                )
+            seen.add(terminal)
+
+    @property
+    def num_terminals(self) -> int:
+        """Driver plus sink count."""
+        return 1 + len(self.sinks)
+
+    @property
+    def fanout(self) -> int:
+        """Number of sinks."""
+        return len(self.sinks)
+
+    def terminals(self) -> Iterator[Terminal]:
+        """Iterate driver first, then sinks."""
+        yield self.driver
+        yield from self.sinks
+
+    def cells(self) -> set[str]:
+        """Names of all distinct cells touched by this net."""
+        return {cell for cell, _ in self.terminals()}
+
+    def __repr__(self) -> str:
+        return f"Net({self.name!r}, fanout={self.fanout})"

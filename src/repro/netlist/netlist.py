@@ -1,0 +1,238 @@
+"""The netlist container: cells, nets, and connectivity queries.
+
+A :class:`Netlist` owns :class:`~repro.netlist.cell.Cell` and
+:class:`~repro.netlist.net.Net` objects, assigns them dense indices
+(the ids used throughout placement/routing/timing), and precomputes the
+connectivity maps every downstream algorithm needs:
+
+* net index -> terminals (already on the net);
+* cell index -> nets touching it (for rip-up after a move);
+* cell input port -> driving net; cell output port -> driven net;
+* fanin/fanout cell adjacency (for levelization and delay propagation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .cell import Cell, count_kinds
+from .net import Net, Terminal
+
+
+class Netlist:
+    """An immutable-after-freeze mapped netlist."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self.cells: list[Cell] = []
+        self.nets: list[Net] = []
+        self._cell_by_name: dict[str, Cell] = {}
+        self._net_by_name: dict[str, Net] = {}
+        self._frozen = False
+        # Built at freeze():
+        self._nets_of_cell: list[tuple[int, ...]] = []
+        self._driver_net_of: list[dict[str, int]] = []
+        self._sink_net_of: list[dict[str, int]] = []
+        self._fanout_cells: list[tuple[int, ...]] = []
+        self._fanin_cells: list[tuple[int, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: Cell) -> Cell:
+        """Register a cell; assigns its dense index."""
+        self._check_mutable()
+        if cell.name in self._cell_by_name:
+            raise ValueError(f"duplicate cell name {cell.name!r}")
+        cell.index = len(self.cells)
+        self.cells.append(cell)
+        self._cell_by_name[cell.name] = cell
+        return cell
+
+    def add_net(self, net: Net) -> Net:
+        """Register a net; validates its terminals."""
+        self._check_mutable()
+        if net.name in self._net_by_name:
+            raise ValueError(f"duplicate net name {net.name!r}")
+        self._check_terminal(net.name, net.driver, expect_direction="out")
+        for sink in net.sinks:
+            self._check_terminal(net.name, sink, expect_direction="in")
+        net.index = len(self.nets)
+        self.nets.append(net)
+        self._net_by_name[net.name] = net
+        return net
+
+    def _check_terminal(
+        self, net_name: str, terminal: Terminal, expect_direction: str
+    ) -> None:
+        cell_name, port = terminal
+        cell = self._cell_by_name.get(cell_name)
+        if cell is None:
+            raise ValueError(f"net {net_name!r} references unknown cell {cell_name!r}")
+        directions = dict(cell.ports)
+        if port not in directions:
+            raise ValueError(
+                f"net {net_name!r}: cell {cell_name!r} has no port {port!r}"
+            )
+        if directions[port] != expect_direction:
+            raise ValueError(
+                f"net {net_name!r}: port {cell_name}.{port} is an "
+                f"{directions[port]}put, expected {expect_direction}put"
+            )
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError("netlist is frozen; no further edits allowed")
+
+    def freeze(self) -> "Netlist":
+        """Finalize and build the connectivity maps.  Idempotent."""
+        if self._frozen:
+            return self
+        n_cells = len(self.cells)
+        nets_of_cell: list[set[int]] = [set() for _ in range(n_cells)]
+        self._driver_net_of = [dict() for _ in range(n_cells)]
+        self._sink_net_of = [dict() for _ in range(n_cells)]
+        fanout: list[set[int]] = [set() for _ in range(n_cells)]
+        fanin: list[set[int]] = [set() for _ in range(n_cells)]
+        driven_inputs: set[Terminal] = set()
+        for net in self.nets:
+            driver_cell = self._cell_by_name[net.driver[0]]
+            if net.driver[1] in self._driver_net_of[driver_cell.index]:
+                raise ValueError(
+                    f"output {net.driver} drives both net "
+                    f"{self.nets[self._driver_net_of[driver_cell.index][net.driver[1]]].name!r} "
+                    f"and net {net.name!r}"
+                )
+            self._driver_net_of[driver_cell.index][net.driver[1]] = net.index
+            nets_of_cell[driver_cell.index].add(net.index)
+            for sink in net.sinks:
+                if sink in driven_inputs:
+                    raise ValueError(f"input {sink} is driven by two nets")
+                driven_inputs.add(sink)
+                sink_cell = self._cell_by_name[sink[0]]
+                self._sink_net_of[sink_cell.index][sink[1]] = net.index
+                nets_of_cell[sink_cell.index].add(net.index)
+                fanout[driver_cell.index].add(sink_cell.index)
+                fanin[sink_cell.index].add(driver_cell.index)
+        for cell in self.cells:
+            for port in cell.input_ports:
+                if (cell.name, port) not in driven_inputs:
+                    raise ValueError(f"input {cell.name}.{port} is undriven")
+        self._nets_of_cell = [tuple(sorted(s)) for s in nets_of_cell]
+        self._fanout_cells = [tuple(sorted(s)) for s in fanout]
+        self._fanin_cells = [tuple(sorted(s)) for s in fanin]
+        self._frozen = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether the termination criterion has been met."""
+        return self._frozen
+
+    def _check_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("netlist must be frozen before connectivity queries")
+
+    def cell(self, name: str) -> Cell:
+        """Look up a cell by name."""
+        return self._cell_by_name[name]
+
+    def net(self, name: str) -> Net:
+        """Look up a net by name."""
+        return self._net_by_name[name]
+
+    def has_cell(self, name: str) -> bool:
+        """Whether a cell of that name exists."""
+        return name in self._cell_by_name
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        """Number of nets."""
+        return len(self.nets)
+
+    def nets_of_cell(self, cell_index: int) -> tuple[int, ...]:
+        """Indices of all nets with a terminal on the cell (rip-up set)."""
+        self._check_frozen()
+        return self._nets_of_cell[cell_index]
+
+    def driver_net(self, cell_index: int, port: str) -> Optional[int]:
+        """Net driven by the cell's output port, or None."""
+        self._check_frozen()
+        return self._driver_net_of[cell_index].get(port)
+
+    def sink_net(self, cell_index: int, port: str) -> Optional[int]:
+        """Net feeding the cell's input port, or None."""
+        self._check_frozen()
+        return self._sink_net_of[cell_index].get(port)
+
+    def output_nets(self, cell_index: int) -> tuple[int, ...]:
+        """Nets driven by the cell."""
+        self._check_frozen()
+        return tuple(self._driver_net_of[cell_index].values())
+
+    def input_nets(self, cell_index: int) -> tuple[int, ...]:
+        """Nets feeding the cell."""
+        self._check_frozen()
+        return tuple(self._sink_net_of[cell_index].values())
+
+    def fanout_cells(self, cell_index: int) -> tuple[int, ...]:
+        """Cells fed by this cell's outputs."""
+        self._check_frozen()
+        return self._fanout_cells[cell_index]
+
+    def fanin_cells(self, cell_index: int) -> tuple[int, ...]:
+        """Cells driving this cell's inputs."""
+        self._check_frozen()
+        return self._fanin_cells[cell_index]
+
+    def cells_of_kind(self, *kinds: str) -> list[Cell]:
+        """Cells whose kind is among those given."""
+        return [cell for cell in self.cells if cell.kind in kinds]
+
+    def boundary_cells(self) -> list[Cell]:
+        """Timing-boundary cells (pads and flip-flops)."""
+        return [cell for cell in self.cells if cell.is_boundary]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Summary statistics used in reports and generator tests."""
+        kinds = count_kinds(self.cells)
+        fanouts = [net.fanout for net in self.nets]
+        return {
+            "cells": self.num_cells,
+            "nets": self.num_nets,
+            "inputs": kinds["input"],
+            "outputs": kinds["output"],
+            "seq": kinds["seq"],
+            "comb": kinds["comb"],
+            "max_fanout": max(fanouts) if fanouts else 0,
+            "mean_fanout": sum(fanouts) / len(fanouts) if fanouts else 0.0,
+            "pins": sum(net.num_terminals for net in self.nets),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, cells={self.num_cells}, nets={self.num_nets})"
+        )
+
+
+def build_netlist(
+    name: str, cells: Iterable[Cell], nets: Iterable[Net]
+) -> Netlist:
+    """Convenience constructor: add everything and freeze."""
+    netlist = Netlist(name)
+    for cell in cells:
+        netlist.add_cell(cell)
+    for net in nets:
+        netlist.add_net(net)
+    return netlist.freeze()

@@ -1,0 +1,127 @@
+"""Structural legality checks for mapped netlists.
+
+:func:`validate` returns a list of human-readable problems (empty means
+legal).  Beyond what :class:`~repro.netlist.Netlist.freeze` already
+enforces (unique names, resolvable terminals, single driver per input),
+this checks the properties the layout and timing engines rely on:
+
+* the combinational graph between boundaries is acyclic;
+* every primary input can reach a boundary and every primary output is
+  reachable from one (no dead logic);
+* fanout and fanin are within the architecture's electrical limits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .cell import COMB
+from .netlist import Netlist
+
+
+def combinational_cycles(netlist: Netlist) -> list[list[str]]:
+    """Cycles through comb cells only (boundaries legally break cycles).
+
+    Returns a list of cycles, each a list of cell names.  Detection is
+    iterative DFS with colouring; one representative cycle is reported
+    per strongly-connected tangle encountered.
+    """
+    netlist.freeze()
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = [WHITE] * netlist.num_cells
+    parent: dict[int, int] = {}
+    cycles: list[list[str]] = []
+
+    def comb_fanout(index: int) -> list[int]:
+        return [
+            f for f in netlist.fanout_cells(index) if netlist.cells[f].kind == COMB
+        ]
+
+    for root in range(netlist.num_cells):
+        if netlist.cells[root].kind != COMB or colour[root] != WHITE:
+            continue
+        stack = [(root, iter(comb_fanout(root)))]
+        colour[root] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(comb_fanout(child))))
+                    advanced = True
+                    break
+                if colour[child] == GREY:
+                    cycle = [child]
+                    walk = node
+                    while walk != child:
+                        cycle.append(walk)
+                        walk = parent.get(walk, child)
+                    cycles.append(
+                        [netlist.cells[i].name for i in reversed(cycle)]
+                    )
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return cycles
+
+
+def validate(
+    netlist: Netlist, max_fanout: int = 64, max_fanin: int = 8
+) -> list[str]:
+    """All structural problems found in ``netlist`` (empty list = legal)."""
+    netlist.freeze()
+    problems: list[str] = []
+
+    for cycle in combinational_cycles(netlist):
+        problems.append(
+            "combinational cycle through: " + " -> ".join(cycle)
+        )
+
+    for net in netlist.nets:
+        if net.fanout > max_fanout:
+            problems.append(
+                f"net {net.name!r} fanout {net.fanout} exceeds limit {max_fanout}"
+            )
+    for cell in netlist.cells:
+        if cell.num_inputs > max_fanin:
+            problems.append(
+                f"cell {cell.name!r} fanin {cell.num_inputs} exceeds limit {max_fanin}"
+            )
+
+    problems.extend(_dead_logic(netlist))
+    return problems
+
+
+def _dead_logic(netlist: Netlist) -> list[str]:
+    """Comb cells unreachable from any boundary driver, or that reach none."""
+    problems: list[str] = []
+    boundary = [cell.index for cell in netlist.boundary_cells()]
+
+    forward: set[int] = set(boundary)
+    queue = deque(boundary)
+    while queue:
+        node = queue.popleft()
+        for nxt in netlist.fanout_cells(node):
+            if nxt not in forward:
+                forward.add(nxt)
+                queue.append(nxt)
+
+    backward: set[int] = set(boundary)
+    queue = deque(boundary)
+    while queue:
+        node = queue.popleft()
+        for prev in netlist.fanin_cells(node):
+            if prev not in backward:
+                backward.add(prev)
+                queue.append(prev)
+
+    for cell in netlist.cells:
+        if cell.kind != COMB:
+            continue
+        if cell.index not in forward:
+            problems.append(f"cell {cell.name!r} is not driven from any boundary")
+        if cell.index not in backward:
+            problems.append(f"cell {cell.name!r} does not reach any boundary")
+    return problems

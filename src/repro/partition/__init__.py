@@ -1,0 +1,13 @@
+"""Multi-FPGA partitioning substrate (Fiduccia-Mattheyses)."""
+
+from .extract import extract_all_blocks, extract_block_netlist
+from .fm import Partition, bipartition, cut_size, kway_partition
+
+__all__ = [
+    "Partition",
+    "bipartition",
+    "cut_size",
+    "extract_all_blocks",
+    "extract_block_netlist",
+    "kway_partition",
+]

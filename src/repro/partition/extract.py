@@ -1,0 +1,71 @@
+"""Extract per-chip netlists from a partition.
+
+After partitioning, each block becomes its own FPGA: nets that cross
+the cut are severed at the chip boundary, with an ``output`` pad added
+on the driving chip and an ``input`` pad on every reading chip (the
+physical inter-chip wire is outside our scope).  The extracted netlists
+are ordinary :class:`~repro.netlist.Netlist` objects, ready for either
+layout flow — which is exactly how a multi-FPGA flow feeds the paper's
+single-chip engine.
+"""
+
+from __future__ import annotations
+
+from ..netlist.cell import Cell
+from ..netlist.net import Net, Terminal
+from ..netlist.netlist import Netlist
+from .fm import Partition
+
+
+def extract_block_netlist(partition: Partition, block_id: int) -> Netlist:
+    """The standalone netlist of one partition block.
+
+    Boundary pads are named ``xport_<net>`` (exported, output pad on
+    the driving chip) and ``iport_<net>`` (imported, input pad on a
+    reading chip).
+    """
+    source = partition.netlist
+    members = {
+        cell.name
+        for cell in source.cells
+        if partition.side_of[cell.index] == block_id
+    }
+    if not members:
+        raise ValueError(f"block {block_id} is empty")
+    chip = Netlist(f"{source.name}_chip{block_id}")
+    for cell in source.cells:
+        if cell.name in members:
+            chip.add_cell(Cell(cell.name, cell.kind, num_inputs=cell.num_inputs))
+
+    pending_nets: list[Net] = []
+    for net in source.nets:
+        driver_inside = net.driver[0] in members
+        local_sinks: tuple[Terminal, ...] = tuple(
+            sink for sink in net.sinks if sink[0] in members
+        )
+        foreign_sinks = len(net.sinks) - len(local_sinks)
+        if driver_inside:
+            sinks = list(local_sinks)
+            if foreign_sinks:
+                pad = f"xport_{net.name}"
+                chip.add_cell(Cell(pad, "output", num_inputs=1))
+                sinks.append((pad, "pad_in"))
+            if sinks:
+                pending_nets.append(Net(net.name, net.driver, tuple(sinks)))
+        elif local_sinks:
+            pad = f"iport_{net.name}"
+            chip.add_cell(Cell(pad, "input"))
+            pending_nets.append(
+                Net(net.name, (pad, "pad_out"), local_sinks)
+            )
+    for net in pending_nets:
+        chip.add_net(net)
+    return chip.freeze()
+
+
+def extract_all_blocks(partition: Partition) -> dict[int, Netlist]:
+    """One netlist per block id."""
+    return {
+        block_id: extract_block_netlist(partition, block_id)
+        for block_id in sorted(partition.block_sizes())
+    }

@@ -1,0 +1,27 @@
+"""Placement substrate: slot assignment state and wiring estimators."""
+
+from .initial import clustered_placement, random_placement
+from .netweights import criticality_weights, unit_delay_slacks
+from .placement import PinPosition, Placement, PlacementError
+from .wirelength import (
+    channel_congestion,
+    congestion_penalty,
+    net_hpwl,
+    net_span_key,
+    total_hpwl,
+)
+
+__all__ = [
+    "PinPosition",
+    "Placement",
+    "PlacementError",
+    "channel_congestion",
+    "clustered_placement",
+    "criticality_weights",
+    "congestion_penalty",
+    "net_hpwl",
+    "net_span_key",
+    "random_placement",
+    "total_hpwl",
+    "unit_delay_slacks",
+]

@@ -1,0 +1,103 @@
+"""Placement-level net criticality weights.
+
+Sequential flows that care about timing do it the only way they can
+before routing exists: "placers often use initial critical path / net
+estimates to prioritize the nets" (paper, Section 2.1).  This module
+computes those classic static weights — a unit-delay STA over the cell
+graph (every cell costs 1, every net costs 1) giving per-net slack, and
+a weight that grows toward ``1 + alpha`` as slack approaches zero.
+
+The paper's argument is that these estimates are *structurally wrong*
+for antifuse FPGAs (interconnect delay depends on segment counts the
+placer cannot see); the weighted placer exists here so that claim can
+be tested against the strongest sequential baseline, not a strawman.
+"""
+
+from __future__ import annotations
+
+from ..netlist.netlist import Netlist
+from ..timing.levelize import cells_in_level_order, levelize
+
+
+def unit_delay_slacks(netlist: Netlist) -> dict[int, float]:
+    """Per-net slack under the unit-delay model (cell=1, net=1).
+
+    Path delay between boundaries = #cells + #nets on the path.  A
+    net's slack is the slack of the tightest path through it.
+    """
+    netlist.freeze()
+    levels = levelize(netlist)
+    order = cells_in_level_order(netlist, levels)
+
+    arrival = [0.0] * netlist.num_cells
+    for cell in netlist.cells:
+        if cell.is_boundary:
+            arrival[cell.index] = 1.0
+    for cell_index in order:
+        best = 0.0
+        for net_index in netlist.input_nets(cell_index):
+            driver = netlist.cell(netlist.nets[net_index].driver[0]).index
+            best = max(best, arrival[driver] + 1.0)
+        arrival[cell_index] = best + 1.0
+
+    worst = 1.0
+    boundary_arrival: dict[int, float] = {}
+    for cell in netlist.boundary_cells():
+        if not cell.input_ports:
+            continue
+        best = 0.0
+        for net_index in netlist.input_nets(cell.index):
+            driver = netlist.cell(netlist.nets[net_index].driver[0]).index
+            best = max(best, arrival[driver] + 1.0)
+        boundary_arrival[cell.index] = best
+        worst = max(worst, best)
+
+    # Backward pass: required time at each cell output.
+    required = [float("inf")] * netlist.num_cells
+    for cell_index in reversed(order):
+        need = float("inf")
+        for net_index in netlist.output_nets(cell_index):
+            for sink_name, _ in netlist.nets[net_index].sinks:
+                sink = netlist.cell(sink_name)
+                if sink.is_boundary:
+                    need = min(need, worst - 1.0)
+                else:
+                    need = min(need, required[sink.index] - 2.0)
+        required[cell_index] = need
+    for cell in netlist.cells:
+        if not cell.is_boundary:
+            continue
+        need = float("inf")
+        for net_index in netlist.output_nets(cell.index):
+            for sink_name, _ in netlist.nets[net_index].sinks:
+                sink = netlist.cell(sink_name)
+                if sink.is_boundary:
+                    need = min(need, worst - 1.0)
+                else:
+                    need = min(need, required[sink.index] - 2.0)
+        required[cell.index] = need
+
+    slacks: dict[int, float] = {}
+    for net in netlist.nets:
+        driver = netlist.cell(net.driver[0]).index
+        if required[driver] == float("inf"):
+            slacks[net.index] = worst  # drives nothing timing-relevant
+        else:
+            slacks[net.index] = max(0.0, required[driver] - arrival[driver])
+    return slacks
+
+
+def criticality_weights(netlist: Netlist, alpha: float = 2.0) -> list[float]:
+    """Per-net placement weights in ``[1, 1 + alpha]``.
+
+    Zero-slack nets get the full ``1 + alpha``; relaxed nets tend to 1.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    slacks = unit_delay_slacks(netlist)
+    worst = max(slacks.values()) if slacks else 1.0
+    worst = max(worst, 1e-9)
+    weights = [1.0] * netlist.num_nets
+    for net_index, slack in slacks.items():
+        weights[net_index] = 1.0 + alpha * (1.0 - min(1.0, slack / worst))
+    return weights

@@ -1,0 +1,199 @@
+"""Placement state: slot assignments plus per-cell pinmap choices.
+
+A :class:`Placement` binds a netlist to a fabric.  It tracks, for every
+cell, (a) which slot it occupies and (b) which pinmap from its palette
+is active.  Together these determine the physical position of every net
+terminal — a ``(channel, column)`` pair — which is all the routers and
+the timing model ever need.
+
+The paper's state representation (Section 3.2) requires every
+intermediate state to keep all cells legally placed; this class enforces
+slot-type compatibility (I/O cells in I/O slots, logic cells in logic
+slots) and no overlaps at all times.  The primitive mutations — swap,
+translate, pinmap change — are exactly the annealer's move set and are
+all self-inverse or trivially invertible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..arch.fabric import Fabric, Slot
+from ..arch.pinmap import Pinmap, PinmapPalette, generate_palette
+from ..netlist.netlist import Netlist
+
+PinPosition = tuple[int, int]  # (channel, column)
+
+
+class PlacementError(RuntimeError):
+    """An illegal placement operation was attempted."""
+
+
+class Placement:
+    """Mutable cell->slot and cell->pinmap assignment."""
+
+    def __init__(self, netlist: Netlist, fabric: Fabric) -> None:
+        netlist.freeze()
+        self.netlist = netlist
+        self.fabric = fabric
+        self._slot_of: list[Optional[Slot]] = [None] * netlist.num_cells
+        self._cell_at: dict[Slot, int] = {}
+        self._palettes: list[PinmapPalette] = []
+        palette_cache: dict[tuple[str, int], PinmapPalette] = {}
+        for cell in netlist.cells:
+            key = (cell.kind, cell.num_inputs)
+            if key not in palette_cache:
+                palette_cache[key] = generate_palette(
+                    cell.port_names, sites_per_side=fabric.spec.sites_per_side
+                )
+            self._palettes.append(palette_cache[key])
+        self._pinmap_index: list[int] = [0] * netlist.num_cells
+
+    # ------------------------------------------------------------------
+    # Slot assignment
+    # ------------------------------------------------------------------
+    def slot_of(self, cell_index: int) -> Optional[Slot]:
+        """Slot a cell occupies, or None if unplaced."""
+        return self._slot_of[cell_index]
+
+    def cell_at(self, slot: Slot) -> Optional[int]:
+        """Cell occupying a slot, or None if empty."""
+        return self._cell_at.get(slot)
+
+    def is_complete(self) -> bool:
+        """Whether every cell is placed / every net routed."""
+        return all(slot is not None for slot in self._slot_of)
+
+    def compatible(self, cell_index: int, slot: Slot) -> bool:
+        """Whether the slot's class accepts this cell's kind."""
+        cell = self.netlist.cells[cell_index]
+        return self.fabric.slot_kind(*slot) == cell.slot_class
+
+    def place(self, cell_index: int, slot: Slot) -> None:
+        """Assign a cell to a free, type-compatible slot."""
+        if self._slot_of[cell_index] is not None:
+            raise PlacementError(
+                f"cell {self.netlist.cells[cell_index].name!r} is already placed"
+            )
+        if slot in self._cell_at:
+            raise PlacementError(f"slot {slot} is already occupied")
+        if not self.compatible(cell_index, slot):
+            raise PlacementError(
+                f"cell {self.netlist.cells[cell_index].name!r} "
+                f"({self.netlist.cells[cell_index].slot_class}) cannot occupy "
+                f"{self.fabric.slot_kind(*slot)} slot {slot}"
+            )
+        self._slot_of[cell_index] = slot
+        self._cell_at[slot] = cell_index
+
+    def unplace(self, cell_index: int) -> Slot:
+        """Remove a cell from its slot; returns the freed slot."""
+        slot = self._slot_of[cell_index]
+        if slot is None:
+            raise PlacementError(
+                f"cell {self.netlist.cells[cell_index].name!r} is not placed"
+            )
+        del self._cell_at[slot]
+        self._slot_of[cell_index] = None
+        return slot
+
+    def swap_slots(self, a: Slot, b: Slot) -> None:
+        """Exchange the contents of two slots (either may be empty).
+
+        This is the annealer's primitive: a swap when both slots are
+        occupied, a translation when one is empty.  Slot-type legality
+        is enforced for both moved cells.
+        """
+        if a == b:
+            return
+        cell_a = self._cell_at.get(a)
+        cell_b = self._cell_at.get(b)
+        if cell_a is None and cell_b is None:
+            raise PlacementError(f"both slots {a} and {b} are empty")
+        if cell_a is not None and not self.compatible(cell_a, b):
+            raise PlacementError(f"cell at {a} cannot move to {b}")
+        if cell_b is not None and not self.compatible(cell_b, a):
+            raise PlacementError(f"cell at {b} cannot move to {a}")
+        if cell_a is not None:
+            del self._cell_at[a]
+        if cell_b is not None:
+            del self._cell_at[b]
+        if cell_a is not None:
+            self._cell_at[b] = cell_a
+            self._slot_of[cell_a] = b
+        if cell_b is not None:
+            self._cell_at[a] = cell_b
+            self._slot_of[cell_b] = a
+
+    # ------------------------------------------------------------------
+    # Pinmaps
+    # ------------------------------------------------------------------
+    def palette(self, cell_index: int) -> PinmapPalette:
+        """The cell's pinmap palette."""
+        return self._palettes[cell_index]
+
+    def pinmap_index(self, cell_index: int) -> int:
+        """Active pinmap index within the palette."""
+        return self._pinmap_index[cell_index]
+
+    def pinmap(self, cell_index: int) -> Pinmap:
+        """The cell's active pinmap."""
+        return self._palettes[cell_index][self._pinmap_index[cell_index]]
+
+    def set_pinmap(self, cell_index: int, palette_index: int) -> None:
+        """Select a pinmap from the palette."""
+        palette = self._palettes[cell_index]
+        if not 0 <= palette_index < len(palette):
+            raise PlacementError(
+                f"pinmap index {palette_index} out of range for palette of "
+                f"{len(palette)}"
+            )
+        self._pinmap_index[cell_index] = palette_index
+
+    # ------------------------------------------------------------------
+    # Physical terminal positions
+    # ------------------------------------------------------------------
+    def pin_position(self, cell_index: int, port: str) -> PinPosition:
+        """(channel, column) of a port under the current slot + pinmap."""
+        slot = self._slot_of[cell_index]
+        if slot is None:
+            raise PlacementError(
+                f"cell {self.netlist.cells[cell_index].name!r} is not placed"
+            )
+        row, col = slot
+        side = self.pinmap(cell_index).side_of(port)
+        return (self.fabric.channel_for(row, side), col)
+
+    def net_pin_positions(self, net_index: int) -> list[PinPosition]:
+        """Positions of all terminals of a net (driver first)."""
+        net = self.netlist.nets[net_index]
+        positions = []
+        for cell_name, port in net.terminals():
+            cell = self.netlist.cell(cell_name)
+            positions.append(self.pin_position(cell.index, port))
+        return positions
+
+    def net_bounding_box(self, net_index: int) -> tuple[int, int, int, int]:
+        """(cmin, cmax, xmin, xmax) over the net's terminals."""
+        positions = self.net_pin_positions(net_index)
+        channels = [c for c, _ in positions]
+        columns = [x for _, x in positions]
+        return (min(channels), max(channels), min(columns), max(columns))
+
+    def copy_assignments_from(self, other: "Placement") -> None:
+        """Adopt another placement's slots and pinmaps (same netlist/fabric)."""
+        if other.netlist is not self.netlist:
+            raise PlacementError("placements are for different netlists")
+        self._slot_of = list(other._slot_of)
+        self._cell_at = dict(other._cell_at)
+        self._pinmap_index = list(other._pinmap_index)
+
+    def iter_placed(self) -> Iterator[tuple[int, Slot]]:
+        """Iterate (cell index, slot) for placed cells."""
+        for cell_index, slot in enumerate(self._slot_of):
+            if slot is not None:
+                yield cell_index, slot
+
+    def __repr__(self) -> str:
+        placed = sum(1 for s in self._slot_of if s is not None)
+        return f"Placement({self.netlist.name!r}, {placed}/{len(self._slot_of)} placed)"

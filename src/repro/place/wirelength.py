@@ -1,0 +1,73 @@
+"""Placement-level wiring estimators.
+
+These are exactly the quantities a *sequential* flow's placer optimizes
+(paper, Section 1: "typical placers optimize based on estimated
+net-length and congestion criteria"), and exactly the quantities the
+paper argues are *unreliable* for row-based FPGAs.  They power the
+baseline TimberWolfSC-style placer of :mod:`repro.flows.sequential`,
+and double as the cheap net-length keys used to sort the rip-up queues
+(longest first) in the incremental routers.
+"""
+
+from __future__ import annotations
+
+from .placement import Placement
+
+
+def net_hpwl(placement: Placement, net_index: int) -> float:
+    """Half-perimeter wirelength of one net.
+
+    Channels count as vertical distance; the 0.5 channel weight reflects
+    that hopping a channel is one row pitch while a column is one module
+    pitch (row-based modules are wider than tall).
+    """
+    cmin, cmax, xmin, xmax = placement.net_bounding_box(net_index)
+    return (xmax - xmin) + 0.5 * (cmax - cmin)
+
+
+def total_hpwl(placement: Placement) -> float:
+    """Sum of HPWL over all nets — the classic placement objective."""
+    return sum(
+        net_hpwl(placement, net.index) for net in placement.netlist.nets
+    )
+
+
+def net_span_key(placement: Placement, net_index: int) -> float:
+    """Sort key for the rip-up queues: estimated length, largest first.
+
+    Both U_G and U_DR are 'sorted based on the estimated length of
+    [their] contents' (paper, Sections 3.3-3.4); callers negate or
+    reverse-sort on this.
+    """
+    return net_hpwl(placement, net_index)
+
+
+def channel_congestion(placement: Placement) -> list[float]:
+    """Expected horizontal-track demand per channel.
+
+    Each net contributes its column span to every channel its bounding
+    box touches, normalized by channel width — a crude probabilistic
+    congestion map of the kind placement-level estimators use.
+    """
+    fabric = placement.fabric
+    demand = [0.0] * fabric.num_channels
+    for net in placement.netlist.nets:
+        cmin, cmax, xmin, xmax = placement.net_bounding_box(net.index)
+        span = max(1, xmax - xmin)
+        for channel in range(cmin, cmax + 1):
+            demand[channel] += span / fabric.cols
+    return demand
+
+
+def congestion_penalty(placement: Placement, tracks_per_channel: int) -> float:
+    """Sum of squared over-capacity demand across channels.
+
+    Quadratic so that one badly oversubscribed channel costs more than
+    several mildly busy ones — the usual standard-cell formulation.
+    """
+    penalty = 0.0
+    for demand in channel_congestion(placement):
+        overflow = demand - tracks_per_channel
+        if overflow > 0:
+            penalty += overflow * overflow
+    return penalty

@@ -1,0 +1,43 @@
+"""Routing substrate: net route state, global/detailed routers, rip-up engine."""
+
+from .channel_router import (
+    DEFAULT_SEGMENT_WEIGHT,
+    STRATEGIES,
+    best_candidate,
+    candidate_cost,
+    detail_route_all,
+    route_channel,
+    route_net_in_channel,
+)
+from .global_router import (
+    column_scan_order,
+    global_route_all,
+    ripup_order,
+    route_net_global,
+)
+from .incremental import IncrementalRouter, NetJournal, NetSnapshot
+from .reroute import ReroutePass, timing_reroute
+from .state import NetRoute, RoutingState
+from .verify import verify_layout, verify_net
+
+__all__ = [
+    "DEFAULT_SEGMENT_WEIGHT",
+    "IncrementalRouter",
+    "NetJournal",
+    "NetRoute",
+    "NetSnapshot",
+    "ReroutePass",
+    "RoutingState",
+    "STRATEGIES",
+    "best_candidate",
+    "candidate_cost",
+    "column_scan_order",
+    "detail_route_all",
+    "global_route_all",
+    "ripup_order",
+    "route_channel",
+    "route_net_in_channel",
+    "timing_reroute",
+    "verify_layout",
+    "verify_net",
+]

@@ -1,0 +1,90 @@
+"""Global routing: vertical-segment (feedthrough) assignment.
+
+"Global routing for row-based FPGAs consists primarily of assigning
+feedthroughs to nets that need them" (paper, Section 3.3).  A net whose
+pins span channels ``[cmin, cmax]`` needs, at some column, a run of free
+vertical segments covering that span; the heuristic of the paper is to
+use "the available set of vertical segments that are closest to the
+center of a net's bounding box".
+
+:func:`route_net_global` implements exactly that: scan columns outward
+from the bounding-box center and take the first column with a feasible
+(least-wasteful) vertical candidate.  :func:`global_route_all` is the
+batch version used by the sequential baseline flow; the simultaneous
+annealer instead calls :func:`route_net_global` from the incremental
+repair loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from .state import RoutingState
+
+
+def column_scan_order(center: int, num_columns: int) -> Iterator[int]:
+    """Columns ordered by distance from ``center`` (ties: left first)."""
+    if not 0 <= center < num_columns:
+        center = min(max(center, 0), num_columns - 1)
+    yield center
+    for distance in range(1, num_columns):
+        left = center - distance
+        right = center + distance
+        if left >= 0:
+            yield left
+        if right < num_columns:
+            yield right
+        if left < 0 and right >= num_columns:
+            return
+
+
+def route_net_global(state: RoutingState, net_index: int) -> bool:
+    """Try to give ``net_index`` a global route.  True on success.
+
+    Single-channel nets succeed trivially ("a trivially null global
+    routing now suffices", Section 3.3).  Multi-channel nets claim
+    vertical segments at the feasible column nearest their bounding-box
+    center; within a column, the least-wasteful track run is used.
+    """
+    route = state.routes[net_index]
+    if route.globally_routed:
+        state.unrouted_global.discard(net_index)
+        return True
+    center = (route.xmin + route.xmax) // 2
+    fabric = state.fabric
+    for column in column_scan_order(center, fabric.cols):
+        candidate = fabric.vcolumns[column].best_candidate(route.cmin, route.cmax)
+        if candidate is None:
+            continue
+        claim = fabric.vcolumns[column].claim(
+            net_index, candidate, route.cmin, route.cmax
+        )
+        state.commit_vertical(net_index, claim)
+        return True
+    return False
+
+
+def ripup_order(state: RoutingState, net_indices: Sequence[int]) -> list[int]:
+    """Nets sorted longest-estimated-first (the U_G / U_DR queue order)."""
+    def estimated_length(net_index: int) -> float:
+        route = state.routes[net_index]
+        return (route.xmax - route.xmin) + 0.5 * (route.cmax - route.cmin)
+
+    return sorted(net_indices, key=estimated_length, reverse=True)
+
+
+def global_route_all(
+    state: RoutingState, net_indices: Optional[Sequence[int]] = None
+) -> list[int]:
+    """Globally route the given nets (default: all pending).
+
+    Nets are processed longest first, "giving priority to the longer
+    unroutable nets".  Returns the nets that remain globally unroutable.
+    """
+    if net_indices is None:
+        net_indices = list(state.unrouted_global)
+    failed: list[int] = []
+    for net_index in ripup_order(state, net_indices):
+        if not route_net_global(state, net_index):
+            failed.append(net_index)
+    return failed

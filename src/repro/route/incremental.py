@@ -1,0 +1,159 @@
+"""Incremental rip-up-and-repair routing with an undo journal.
+
+This is the machinery that lets routing live *inside* the placement
+annealer (paper, Sections 3.3-3.4).  After every placement perturbation:
+
+1. every net with a terminal on a perturbed cell is ripped up (its
+   vertical and horizontal segments are freed) and deposited in the
+   unrouted sets ``U_G`` / ``U_DR``;
+2. the placement mutation is applied and the affected nets' geometry is
+   recomputed;
+3. repair: ``U_G`` is drained longest-net-first through the global
+   router, then every channel's ``U_DR`` is drained longest-net-first
+   through the detailed router.  Repair is *allowed to fail* — leftover
+   nets simply stay unrouted and are charged by the cost function.
+
+Because the annealer may reject the move, every net whose claims can
+change is snapshotted first; :meth:`NetJournal.restore_all` puts the
+routing state back bit-exactly (release all touched claims, then
+re-commit the snapshots — two phases so segments exchanged between nets
+during repair cannot collide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..arch.channel import ChannelClaim
+from ..arch.vertical import VerticalClaim
+from .channel_router import DEFAULT_SEGMENT_WEIGHT, route_net_in_channel
+from .global_router import ripup_order, route_net_global
+from .state import RoutingState
+
+
+@dataclass(frozen=True)
+class NetSnapshot:
+    """A net's committed claims at journal time."""
+
+    net_index: int
+    vertical: Optional[VerticalClaim]
+    claims: tuple[ChannelClaim, ...]
+
+
+class NetJournal:
+    """Undo journal across one move transaction."""
+
+    def __init__(self, state: RoutingState) -> None:
+        self._state = state
+        self._snapshots: dict[int, NetSnapshot] = {}
+
+    def snapshot(self, net_index: int) -> None:
+        """Record the net's current claims (first snapshot wins)."""
+        if net_index in self._snapshots:
+            return
+        route = self._state.routes[net_index]
+        self._snapshots[net_index] = NetSnapshot(
+            net_index, route.vertical, tuple(route.claims.values())
+        )
+
+    def touched(self) -> set[int]:
+        """Net indices captured in this journal."""
+        return set(self._snapshots)
+
+    def restore_all(self) -> None:
+        """Put every journaled net back to its snapshot.
+
+        Phase 1 rips up all touched nets (freeing whatever repair
+        claimed); phase 2 refreshes geometry (the caller must already
+        have undone the placement mutation) and re-commits the
+        snapshots.  The two-phase order is what makes segment exchange
+        between nets safe to undo.
+        """
+        state = self._state
+        for net_index in self._snapshots:
+            state.rip_up(net_index)
+        for net_index, snap in self._snapshots.items():
+            state.refresh_geometry(net_index)
+            if snap.vertical is not None:
+                state.fabric.vcolumns[snap.vertical.column].reclaim(
+                    net_index, snap.vertical
+                )
+                state.commit_vertical(net_index, snap.vertical)
+            for claim in snap.claims:
+                state.fabric.channels[claim.channel].reclaim(net_index, claim)
+                state.commit_detail(net_index, claim)
+
+
+class IncrementalRouter:
+    """Rip-up and repair driver bound to one :class:`RoutingState`."""
+
+    def __init__(
+        self,
+        state: RoutingState,
+        segment_weight: float = DEFAULT_SEGMENT_WEIGHT,
+    ) -> None:
+        self.state = state
+        self.segment_weight = segment_weight
+
+    # ------------------------------------------------------------------
+    # Rip-up
+    # ------------------------------------------------------------------
+    def rip_up_nets(
+        self, net_indices: Iterable[int], journal: Optional[NetJournal] = None
+    ) -> None:
+        """Free the segments of the given nets (journaling first)."""
+        for net_index in net_indices:
+            if journal is not None:
+                journal.snapshot(net_index)
+            self.state.rip_up(net_index)
+
+    def refresh_nets(self, net_indices: Iterable[int]) -> None:
+        """Recompute geometry after the placement mutation is applied."""
+        for net_index in net_indices:
+            self.state.refresh_geometry(net_index)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(self, journal: Optional[NetJournal] = None) -> set[int]:
+        """Attempt to route everything pending.  Returns nets touched.
+
+        Order follows the paper: first the global queue (longest nets
+        first), then each channel's detailed queue (longest first).
+        Nets that gain claims are journaled before routing so a
+        rejected move can undo them even if they were not connected to
+        the perturbed cell (e.g. a previously-unroutable net that
+        succeeds in the more compliant intermediate placement).
+        """
+        state = self.state
+        touched: set[int] = set()
+
+        pending_global = ripup_order(state, list(state.unrouted_global))
+        for net_index in pending_global:
+            if journal is not None:
+                journal.snapshot(net_index)
+            touched.add(net_index)
+            route_net_global(state, net_index)
+
+        for channel in range(state.fabric.num_channels):
+            pending = ripup_order(state, list(state.unrouted_detail[channel]))
+            for net_index in pending:
+                if journal is not None:
+                    journal.snapshot(net_index)
+                touched.add(net_index)
+                route_net_in_channel(
+                    state, net_index, channel, self.segment_weight
+                )
+        return touched
+
+    def route_all_from_scratch(self) -> None:
+        """Rip up everything and run one full global + detailed pass.
+
+        Used to initialize the simultaneous annealer's starting state
+        and by the sequential baseline's routing stage.
+        """
+        for route in self.state.routes:
+            self.state.rip_up(route.net_index)
+            self.state.refresh_geometry(route.net_index)
+        self.repair()

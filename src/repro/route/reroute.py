@@ -1,0 +1,136 @@
+"""Timing-driven rip-up-and-reroute refinement (Frankle-style).
+
+Frankle (DAC'92, the paper's reference [13]) improves FPGA timing by
+iteratively rerouting under updated per-connection delay budgets.  This
+module implements that idea on our substrate as a *post-pass* usable
+after any flow: each round,
+
+1. run an STA and compute per-net driver slack;
+2. pick the routed nets with the least slack (the timing bottleneck);
+3. rip them up and reroute them *first* (priority over nothing — the
+   channels are otherwise full, so freeing them first is what creates
+   choice), with a raised segment-count weight so the rerouted paths
+   prefer fewer antifuses even at extra wastage;
+4. keep the round only if the worst-case delay did not get worse.
+
+Because placement is frozen, gains are modest compared to what the
+simultaneous annealer achieves — which is precisely the paper's
+"leverage" argument — but the pass is cheap and never hurts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.technology import Technology
+from .channel_router import route_net_in_channel
+from .global_router import route_net_global
+from .incremental import NetJournal
+from .state import RoutingState
+
+
+@dataclass
+class ReroutePass:
+    """Outcome of one :func:`timing_reroute` call."""
+
+    rounds_run: int
+    rounds_kept: int
+    delay_before: float
+    delay_after: float
+    rerouted_nets: list[int] = field(default_factory=list)
+
+    @property
+    def improvement_percent(self) -> float:
+        """Percent delay reduction achieved by the pass."""
+        if self.delay_before <= 0:
+            return 0.0
+        return 100.0 * (self.delay_before - self.delay_after) / self.delay_before
+
+
+def _net_slacks(state: RoutingState, tech: Technology) -> dict[int, float]:
+    """Driver slack per net, from a fresh STA."""
+    from ..timing.analyzer import analyze
+    from ..timing.slack import compute_slacks
+
+    report = analyze(state, tech)
+    slacks = compute_slacks(state, tech, report)
+    result: dict[int, float] = {}
+    for net in state.netlist.nets:
+        driver = state.netlist.cell(net.driver[0]).index
+        result[net.index] = slacks[driver]
+    return result
+
+
+def _reroute_nets(
+    state: RoutingState,
+    nets: list[int],
+    segment_weight: float,
+) -> bool:
+    """Rip up and reroute the given nets; True if all routed again."""
+    for net_index in nets:
+        state.rip_up(net_index)
+        state.refresh_geometry(net_index)
+    complete = True
+    for net_index in nets:
+        if not route_net_global(state, net_index):
+            complete = False
+            continue
+        for channel in state.routes[net_index].missing_channels():
+            if not route_net_in_channel(
+                state, net_index, channel, segment_weight
+            ):
+                complete = False
+    return complete
+
+
+def timing_reroute(
+    state: RoutingState,
+    tech: Technology,
+    rounds: int = 3,
+    nets_per_round: int = 4,
+    segment_weight: float = 10.0,
+) -> ReroutePass:
+    """Iteratively reroute the most critical nets (see module docstring).
+
+    Only fully routed nets are candidates; each round is transactional —
+    if the reroute fails to complete or worsens the worst-case delay,
+    the round is rolled back exactly.
+    """
+    from ..timing.analyzer import analyze
+
+    if rounds < 1 or nets_per_round < 1:
+        raise ValueError("rounds and nets_per_round must be positive")
+    delay_before = analyze(state, tech).worst_delay
+    current = delay_before
+    kept = 0
+    rerouted: list[int] = []
+    for _ in range(rounds):
+        slacks = _net_slacks(state, tech)
+        candidates = sorted(
+            (
+                net_index
+                for net_index, slack in slacks.items()
+                if state.routes[net_index].fully_routed
+            ),
+            key=lambda net_index: slacks[net_index],
+        )[:nets_per_round]
+        if not candidates:
+            break
+        journal = NetJournal(state)
+        for net_index in candidates:
+            journal.snapshot(net_index)
+        complete = _reroute_nets(state, candidates, segment_weight)
+        new_delay = analyze(state, tech).worst_delay if complete else None
+        if complete and new_delay <= current:
+            current = new_delay
+            kept += 1
+            rerouted.extend(candidates)
+        else:
+            journal.restore_all()
+    return ReroutePass(
+        rounds_run=rounds,
+        rounds_kept=kept,
+        delay_before=delay_before,
+        delay_after=current,
+        rerouted_nets=rerouted,
+    )

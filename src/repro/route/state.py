@@ -1,0 +1,350 @@
+"""Routing state: per-net vertical and horizontal segment assignments.
+
+The paper's state representation (Section 3.2) tracks every net as a
+pair of segment sets ``(Vn, Hn)``:
+
+* *unrouted*: ``Vn = {} and Hn = {}``;
+* *globally routed*: vertical segments assigned, horizontal pending;
+* *completely routed*: both assigned.
+
+:class:`NetRoute` is that record for one net, plus the geometry that
+defines the routing problem under the current placement:
+
+* the net's pin positions group into channels; ``cmin..cmax`` is the
+  channel span;
+* a net whose pins sit in one channel needs no vertical wire (a
+  "trivially null global routing", Section 3.3);
+* a multi-channel net must claim vertical segments at one *trunk
+  column* covering ``[cmin, cmax]`` — that claim IS its global route;
+* once the trunk is known, the net needs one horizontal claim in every
+  channel that contains pins, spanning from its pins to the trunk.
+
+:class:`RoutingState` owns all :class:`NetRoute` records against one
+fabric, maintains the unrouted sets (``U_G`` and per-channel ``U_DR``),
+and exposes the counters ``G`` and ``D`` of the cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.channel import ChannelClaim
+from ..arch.fabric import Fabric
+from ..arch.vertical import VerticalClaim
+from ..place.placement import Placement
+
+Interval = tuple[int, int]
+
+
+@dataclass
+class NetRoute:
+    """Route record for one net under the current placement.
+
+    ``pin_channels`` maps channel -> sorted pin columns in that channel.
+    ``vertical`` is the global-routing claim (None if absent or not
+    needed); ``claims`` maps channel -> committed detailed claim.
+    ``requirements`` maps channel -> the column interval the net needs
+    there; it is only defined when the net's trunk is decided (or no
+    trunk is needed).
+    """
+
+    net_index: int
+    pin_channels: dict[int, list[int]] = field(default_factory=dict)
+    cmin: int = 0
+    cmax: int = 0
+    xmin: int = 0
+    xmax: int = 0
+    vertical: Optional[VerticalClaim] = None
+    claims: dict[int, ChannelClaim] = field(default_factory=dict)
+
+    @property
+    def needs_vertical(self) -> bool:
+        """Whether the net spans more than one channel."""
+        return self.cmax > self.cmin
+
+    @property
+    def globally_routed(self) -> bool:
+        """True when the net's vertical requirement is satisfied."""
+        return not self.needs_vertical or self.vertical is not None
+
+    def requirements(self) -> dict[int, Interval]:
+        """Channel -> needed column interval; requires a global route."""
+        if not self.globally_routed:
+            raise RuntimeError(
+                f"net {self.net_index} has no global route; "
+                "detailed requirements are undefined"
+            )
+        trunk = self.vertical.column if self.vertical is not None else None
+        needs: dict[int, Interval] = {}
+        for channel, columns in self.pin_channels.items():
+            lo, hi = columns[0], columns[-1]
+            if trunk is not None:
+                lo, hi = min(lo, trunk), max(hi, trunk)
+            needs[channel] = (lo, hi)
+        return needs
+
+    def missing_channels(self) -> list[int]:
+        """Pin channels that still lack a committed detailed claim."""
+        if not self.globally_routed:
+            return sorted(self.pin_channels)
+        return sorted(c for c in self.pin_channels if c not in self.claims)
+
+    @property
+    def fully_routed(self) -> bool:
+        """Whether every net is completely routed."""
+        return self.globally_routed and not self.missing_channels()
+
+    def horizontal_antifuses(self) -> int:
+        """Programmed horizontal antifuses across all claims."""
+        return sum(claim.num_antifuses for claim in self.claims.values())
+
+    def vertical_antifuses(self) -> int:
+        """Programmed vertical antifuses on the trunk."""
+        return self.vertical.num_antifuses if self.vertical is not None else 0
+
+    def cross_antifuses(self) -> int:
+        """Programmed cross antifuses: one per pin, two per trunk/channel tap."""
+        pins = sum(len(columns) for columns in self.pin_channels.values())
+        taps = 2 * len(self.claims) if self.vertical is not None else 0
+        return pins + taps
+
+
+class RoutingState:
+    """All net routes plus the unrouted bookkeeping (U_G, U_DR)."""
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        self.fabric: Fabric = placement.fabric
+        self.netlist = placement.netlist
+        self.routes: list[NetRoute] = [
+            NetRoute(net.index) for net in self.netlist.nets
+        ]
+        #: Nets lacking a (needed) global route.
+        self.unrouted_global: set[int] = set()
+        #: Per channel: nets lacking a detailed claim they need there.
+        self.unrouted_detail: list[set[int]] = [
+            set() for _ in range(self.fabric.num_channels)
+        ]
+        # O(1) D-counter support: per-net count of missing channel claims,
+        # per-net "counts toward D" flag, and the running total.
+        self._missing: list[int] = [0] * len(self.routes)
+        self._counts_d: list[bool] = [False] * len(self.routes)
+        self._d_count = 0
+        for net in self.netlist.nets:
+            self.refresh_geometry(net.index)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def refresh_geometry(self, net_index: int) -> NetRoute:
+        """Recompute pin channels/columns from the current placement.
+
+        Must only be called while the net holds no claims (it redefines
+        what the claims would have to cover).  Marks the net unrouted.
+        """
+        route = self.routes[net_index]
+        if route.vertical is not None or route.claims:
+            raise RuntimeError(
+                f"net {net_index} still holds claims; rip it up before "
+                "refreshing geometry"
+            )
+        positions = self.placement.net_pin_positions(net_index)
+        pin_channels: dict[int, list[int]] = {}
+        for channel, column in positions:
+            pin_channels.setdefault(channel, []).append(column)
+        for columns in pin_channels.values():
+            columns.sort()
+        route.pin_channels = pin_channels
+        route.cmin = min(pin_channels)
+        route.cmax = max(pin_channels)
+        route.xmin = min(columns[0] for columns in pin_channels.values())
+        route.xmax = max(columns[-1] for columns in pin_channels.values())
+        self._mark_unrouted(route)
+        return route
+
+    def _mark_unrouted(self, route: NetRoute) -> None:
+        if route.needs_vertical:
+            self.unrouted_global.add(route.net_index)
+        else:
+            self.unrouted_global.discard(route.net_index)
+        for channel_sets in self.unrouted_detail:
+            channel_sets.discard(route.net_index)
+        for channel in route.pin_channels:
+            self.unrouted_detail[channel].add(route.net_index)
+        self._missing[route.net_index] = len(route.pin_channels)
+        self._refresh_d(route.net_index)
+
+    def _refresh_d(self, net_index: int) -> None:
+        """Keep the O(1) D counter in sync for one net."""
+        route = self.routes[net_index]
+        counting = (
+            self._missing[net_index] > 0
+            or (route.needs_vertical and route.vertical is None)
+        )
+        if counting and not self._counts_d[net_index]:
+            self._d_count += 1
+        elif not counting and self._counts_d[net_index]:
+            self._d_count -= 1
+        self._counts_d[net_index] = counting
+
+    # ------------------------------------------------------------------
+    # Claims
+    # ------------------------------------------------------------------
+    def commit_vertical(self, net_index: int, claim: VerticalClaim) -> None:
+        """Record a vertical claim for a net."""
+        route = self.routes[net_index]
+        if route.vertical is not None:
+            raise RuntimeError(f"net {net_index} already has a vertical claim")
+        route.vertical = claim
+        self.unrouted_global.discard(net_index)
+        self._refresh_d(net_index)
+
+    def commit_detail(self, net_index: int, claim: ChannelClaim) -> None:
+        """Record a detailed channel claim for a net."""
+        route = self.routes[net_index]
+        if claim.channel in route.claims:
+            raise RuntimeError(
+                f"net {net_index} already routed in channel {claim.channel}"
+            )
+        route.claims[claim.channel] = claim
+        if net_index in self.unrouted_detail[claim.channel]:
+            self.unrouted_detail[claim.channel].discard(net_index)
+            self._missing[net_index] -= 1
+            self._refresh_d(net_index)
+
+    def rip_up(self, net_index: int) -> None:
+        """Release all of the net's segments and mark it unrouted.
+
+        This is the paper's move side effect: "each move that alters
+        cells removes any routing associated with the pins on the moved
+        cells" (Section 3.2).
+        """
+        route = self.routes[net_index]
+        if route.vertical is not None:
+            self.fabric.vcolumns[route.vertical.column].release(
+                net_index, route.vertical
+            )
+            route.vertical = None
+        for claim in route.claims.values():
+            self.fabric.channels[claim.channel].release(net_index, claim)
+        route.claims = {}
+        self._mark_unrouted(route)
+
+    # ------------------------------------------------------------------
+    # Cost-function counters and diagnostics
+    # ------------------------------------------------------------------
+    def discard_detail_pending(self, net_index: int, channel: int) -> None:
+        """Drop a stale pending entry while keeping the D counter exact."""
+        if net_index in self.unrouted_detail[channel]:
+            self.unrouted_detail[channel].discard(net_index)
+            self._missing[net_index] -= 1
+            self._refresh_d(net_index)
+
+    def count_global_unrouted(self) -> int:
+        """G: nets that need but lack a global route."""
+        return len(self.unrouted_global)
+
+    def count_detail_unrouted(self) -> int:
+        """D: nets lacking a complete detailed routing (O(1)).
+
+        Includes globally-unrouted nets, which "automatically cannot be
+        detail routed" (Section 3.4).
+        """
+        return self._d_count
+
+    def fully_routed_fraction(self) -> float:
+        """Fraction of nets completely routed."""
+        total = len(self.routes)
+        if not total:
+            return 1.0
+        return sum(1 for route in self.routes if route.fully_routed) / total
+
+    def is_complete(self) -> bool:
+        """Whether every cell is placed / every net routed."""
+        return (
+            not self.unrouted_global
+            and all(not pending for pending in self.unrouted_detail)
+        )
+
+    def total_antifuses(self) -> int:
+        """All programmed antifuses in the layout."""
+        return sum(
+            route.horizontal_antifuses()
+            + route.vertical_antifuses()
+            + route.cross_antifuses()
+            for route in self.routes
+        )
+
+    def check_consistency(self) -> list[str]:
+        """Invariant audit used by tests: claims and occupancy must agree."""
+        problems: list[str] = []
+        pending: set[int] = set(self.unrouted_global)
+        for channel_sets in self.unrouted_detail:
+            pending.update(channel_sets)
+        if len(pending) != self._d_count:
+            problems.append(
+                f"D counter drift: counter {self._d_count}, actual {len(pending)}"
+            )
+        for net_index, route in enumerate(self.routes):
+            actual_missing = sum(
+                1
+                for channel_sets in self.unrouted_detail
+                if net_index in channel_sets
+            )
+            if actual_missing != self._missing[net_index]:
+                problems.append(
+                    f"net {net_index} missing-count drift: counter "
+                    f"{self._missing[net_index]}, actual {actual_missing}"
+                )
+        for route in self.routes:
+            for channel, claim in route.claims.items():
+                ch = self.fabric.channels[channel]
+                for seg in range(claim.first_seg, claim.last_seg + 1):
+                    owner = ch.owner_of(claim.track, seg)
+                    if owner != route.net_index:
+                        problems.append(
+                            f"net {route.net_index} claims ch{channel} "
+                            f"t{claim.track} s{seg} but owner is {owner}"
+                        )
+            if route.vertical is not None:
+                vc = self.fabric.vcolumns[route.vertical.column]
+                chan = vc._channel  # test-only access to occupancy
+                for seg in range(
+                    route.vertical.first_seg, route.vertical.last_seg + 1
+                ):
+                    owner = chan.owner_of(route.vertical.track, seg)
+                    if owner != route.net_index:
+                        problems.append(
+                            f"net {route.net_index} vertical claim at column "
+                            f"{route.vertical.column} s{seg} owner is {owner}"
+                        )
+            if route.globally_routed:
+                needs = route.requirements()
+                for channel, (lo, hi) in needs.items():
+                    claim = route.claims.get(channel)
+                    if claim is not None and not (
+                        claim.lo == lo and claim.hi == hi
+                    ):
+                        problems.append(
+                            f"net {route.net_index} claim in ch{channel} covers "
+                            f"[{claim.lo},{claim.hi}], needs [{lo},{hi}]"
+                        )
+        # Every owned segment must belong to a recorded claim.
+        claimed: set[tuple[int, int, int]] = set()
+        for route in self.routes:
+            for channel, claim in route.claims.items():
+                for seg in range(claim.first_seg, claim.last_seg + 1):
+                    claimed.add((channel, claim.track, seg))
+        for channel_index, channel in enumerate(self.fabric.channels):
+            for track in range(channel.num_tracks):
+                for seg in range(len(channel.segmentation.tracks[track])):
+                    owner = channel.owner_of(track, seg)
+                    if owner is not None and (
+                        channel_index, track, seg
+                    ) not in claimed:
+                        problems.append(
+                            f"orphan segment ch{channel_index} t{track} s{seg} "
+                            f"owned by net {owner}"
+                        )
+        return problems

@@ -1,0 +1,140 @@
+"""Independent electrical verification of a routed layout.
+
+:func:`verify_layout` re-derives, for every net, whether its committed
+segment claims actually form one electrically connected structure that
+reaches every pin — independently of the bookkeeping the routers
+maintain.  It is the reproduction's LVS-style safety net: the routers'
+own invariants (``RoutingState.check_consistency``) catch bookkeeping
+drift, while this check catches *semantic* routing bugs (a claim in the
+wrong channel, a trunk that misses a pin channel, intervals that do not
+cover a pin).
+
+Checks per net:
+
+1. every pin's channel has a committed horizontal claim;
+2. each claim's interval covers every pin column in that channel;
+3. multi-channel nets have a vertical claim whose channel range covers
+   all pin channels, at a column covered by every channel claim
+   (the cross antifuses must land on claimed wire);
+4. the claimed segment runs are consecutive on one track (antifuse
+   adjacency — guaranteed by construction, but re-derived here);
+5. the net's claimed segments are actually owned by the net in the
+   fabric occupancy.
+
+Returns a list of human-readable violations; empty means the layout is
+electrically sound.  Nets that are (partially) unrouted are reported
+only if ``require_complete`` is set.
+"""
+
+from __future__ import annotations
+
+from .state import RoutingState
+
+
+def verify_net(state: RoutingState, net_index: int) -> list[str]:
+    """All electrical violations for one net (assumed fully routed)."""
+    problems: list[str] = []
+    route = state.routes[net_index]
+    net = state.netlist.nets[net_index]
+    name = net.name
+
+    # 1+2: per-channel coverage of pins.
+    for channel, columns in route.pin_channels.items():
+        claim = route.claims.get(channel)
+        if claim is None:
+            problems.append(f"net {name}: no claim in pin channel {channel}")
+            continue
+        if claim.channel != channel:
+            problems.append(
+                f"net {name}: claim says channel {claim.channel}, "
+                f"stored under {channel}"
+            )
+        for column in columns:
+            if not claim.lo <= column <= claim.hi:
+                problems.append(
+                    f"net {name}: pin at column {column} outside claim "
+                    f"[{claim.lo}, {claim.hi}] in channel {channel}"
+                )
+        # 4: segment run must physically cover the interval.
+        segments = state.fabric.channels[channel].segmentation.tracks[
+            claim.track
+        ]
+        if not (
+            0 <= claim.first_seg <= claim.last_seg < len(segments)
+        ):
+            problems.append(
+                f"net {name}: segment run [{claim.first_seg}, "
+                f"{claim.last_seg}] out of range in channel {channel}"
+            )
+            continue
+        if segments[claim.first_seg][0] > claim.lo or (
+            segments[claim.last_seg][1] <= claim.hi
+        ):
+            problems.append(
+                f"net {name}: claimed run does not cover [{claim.lo}, "
+                f"{claim.hi}] in channel {channel}"
+            )
+        # 5: occupancy ownership.
+        for seg in range(claim.first_seg, claim.last_seg + 1):
+            owner = state.fabric.channels[channel].owner_of(claim.track, seg)
+            if owner != net_index:
+                problems.append(
+                    f"net {name}: segment ch{channel}/t{claim.track}/s{seg} "
+                    f"owned by {owner}"
+                )
+
+    # 3: vertical trunk.
+    if route.needs_vertical:
+        vclaim = route.vertical
+        if vclaim is None:
+            problems.append(f"net {name}: multi-channel but no vertical claim")
+        else:
+            if vclaim.cmin > route.cmin or vclaim.cmax < route.cmax:
+                problems.append(
+                    f"net {name}: vertical claim spans channels "
+                    f"[{vclaim.cmin}, {vclaim.cmax}], pins span "
+                    f"[{route.cmin}, {route.cmax}]"
+                )
+            for channel in route.pin_channels:
+                claim = route.claims.get(channel)
+                if claim is not None and not (
+                    claim.lo <= vclaim.column <= claim.hi
+                ):
+                    problems.append(
+                        f"net {name}: trunk column {vclaim.column} outside "
+                        f"channel-{channel} claim [{claim.lo}, {claim.hi}] "
+                        "- the cross antifuse lands on unclaimed wire"
+                    )
+            vsegments = state.fabric.vcolumns[
+                vclaim.column
+            ].segmentation.tracks[vclaim.track]
+            if vsegments[vclaim.first_seg][0] > vclaim.cmin or (
+                vsegments[vclaim.last_seg][1] <= vclaim.cmax
+            ):
+                problems.append(
+                    f"net {name}: vertical run does not cover channels "
+                    f"[{vclaim.cmin}, {vclaim.cmax}]"
+                )
+    elif route.vertical is not None:
+        problems.append(
+            f"net {name}: single-channel net holds a vertical claim"
+        )
+    return problems
+
+
+def verify_layout(
+    state: RoutingState, require_complete: bool = True
+) -> list[str]:
+    """All electrical violations across the layout."""
+    problems: list[str] = []
+    for route in state.routes:
+        if not route.fully_routed:
+            if require_complete:
+                missing = route.missing_channels()
+                problems.append(
+                    f"net {state.netlist.nets[route.net_index].name}: "
+                    f"unrouted (missing channels {missing})"
+                )
+            continue
+        problems.extend(verify_net(state, route.net_index))
+    return problems

@@ -1,0 +1,43 @@
+"""Technology-mapping substrate: gate-level netlists -> FPGA cells.
+
+The upstream stage of the paper's Figure-1 flow.  ``random_logic``
+generates a gate-level circuit, ``technology_map`` covers it with
+k-input logic cells, and the result's ``netlist`` feeds straight into
+the layout flows.
+"""
+
+from .gates import (
+    DFF,
+    GATE_ARITY,
+    GATE_FUNCTIONS,
+    GateNetlist,
+    GateNode,
+    INPUT,
+    OUTPUT,
+    random_logic,
+)
+from .mapping import (
+    Cluster,
+    DEFAULT_K,
+    MappingResult,
+    TechmapError,
+    cover,
+    technology_map,
+)
+
+__all__ = [
+    "Cluster",
+    "DEFAULT_K",
+    "DFF",
+    "GATE_ARITY",
+    "GATE_FUNCTIONS",
+    "GateNetlist",
+    "GateNode",
+    "INPUT",
+    "MappingResult",
+    "OUTPUT",
+    "TechmapError",
+    "cover",
+    "random_logic",
+    "technology_map",
+]

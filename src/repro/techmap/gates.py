@@ -1,0 +1,248 @@
+"""Generic gate-level netlists — the input to technology mapping.
+
+The paper's flow (Figure 1) starts upstream of layout: "Logic synthesis
+and technology mapping tools convert a high level circuit description
+into a net-list of FPGA logic block sized cells".  This module models
+the *pre-mapping* representation: a DAG of simple logic gates between
+primary inputs, primary outputs and D flip-flops.
+
+Gate functions are limited to the standard synthesis basis (NOT/BUF and
+the 2-input AND/OR/XOR/NAND/NOR) — exactly what a generic-library
+optimizer would hand a mapper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+GATE_FUNCTIONS: dict[str, Callable[..., int]] = {
+    "NOT": lambda a: 1 - a,
+    "BUF": lambda a: a,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "NAND": lambda a, b: 1 - (a & b),
+    "NOR": lambda a, b: 1 - (a | b),
+}
+
+#: Fanin count per gate type.
+GATE_ARITY = {name: fn.__code__.co_argcount for name, fn in GATE_FUNCTIONS.items()}
+
+INPUT = "INPUT"
+OUTPUT = "OUTPUT"
+DFF = "DFF"
+
+
+@dataclass
+class GateNode:
+    """One node of the gate-level DAG.
+
+    ``kind`` is a gate type from :data:`GATE_FUNCTIONS`, or one of the
+    structural kinds ``INPUT`` (no fanins), ``OUTPUT`` (one fanin) and
+    ``DFF`` (one fanin; its output is a sequential source).
+    """
+
+    name: str
+    kind: str
+    fanins: tuple[str, ...] = ()
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind in GATE_FUNCTIONS:
+            need = GATE_ARITY[self.kind]
+        elif self.kind == INPUT:
+            need = 0
+        elif self.kind in (OUTPUT, DFF):
+            need = 1
+        else:
+            raise ValueError(f"unknown gate kind {self.kind!r}")
+        if len(self.fanins) != need:
+            raise ValueError(
+                f"{self.kind} gate {self.name!r} needs {need} fanins, "
+                f"got {len(self.fanins)}"
+            )
+
+    @property
+    def is_gate(self) -> bool:
+        """Whether the node is a logic gate (not structural)."""
+        return self.kind in GATE_FUNCTIONS
+
+    @property
+    def is_source(self) -> bool:
+        """Produces a combinationally-fresh value (PI or DFF output)."""
+        return self.kind in (INPUT, DFF)
+
+
+class GateNetlist:
+    """A validated gate-level circuit."""
+
+    def __init__(self, name: str, nodes: Iterable[GateNode]) -> None:
+        self.name = name
+        self.nodes: list[GateNode] = list(nodes)
+        self._by_name: dict[str, GateNode] = {}
+        for node in self.nodes:
+            if node.name in self._by_name:
+                raise ValueError(f"duplicate gate name {node.name!r}")
+            node.index = len(self._by_name)
+            self._by_name[node.name] = node
+        for node in self.nodes:
+            for fanin in node.fanins:
+                if fanin not in self._by_name:
+                    raise ValueError(
+                        f"gate {node.name!r} references unknown {fanin!r}"
+                    )
+                if self._by_name[fanin].kind == OUTPUT:
+                    raise ValueError(
+                        f"gate {node.name!r} reads from output {fanin!r}"
+                    )
+        self._fanouts: dict[str, list[str]] = {n.name: [] for n in self.nodes}
+        for node in self.nodes:
+            for fanin in node.fanins:
+                self._fanouts[fanin].append(node.name)
+        self._topo = self._topo_order()
+
+    def node(self, name: str) -> GateNode:
+        """Look up a node by name."""
+        return self._by_name[name]
+
+    def fanouts(self, name: str) -> list[str]:
+        """Names of nodes reading this node's output."""
+        return self._fanouts[name]
+
+    def _topo_order(self) -> list[str]:
+        """Topological order of the combinational part (sources first)."""
+        order: list[str] = []
+        remaining: dict[str, int] = {}
+        ready: list[str] = []
+        for node in self.nodes:
+            comb_fanins = 0 if node.is_source else len(node.fanins)
+            remaining[node.name] = comb_fanins
+            if comb_fanins == 0:
+                ready.append(node.name)
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            node = self._by_name[name]
+            if node.kind == OUTPUT:
+                continue
+            for fanout in self._fanouts[name]:
+                fanout_node = self._by_name[fanout]
+                if fanout_node.is_source:
+                    continue  # DFF inputs do not gate readiness
+                remaining[fanout] -= 1
+                if remaining[fanout] == 0:
+                    ready.append(fanout)
+        # DFF/OUTPUT nodes with pending fanins appear once their fanin
+        # resolves; a shortfall means a combinational cycle.
+        if len(order) != len(self.nodes):
+            stuck = [n for n, count in remaining.items() if count > 0]
+            raise ValueError(
+                f"combinational cycle involving: {', '.join(sorted(stuck)[:6])}"
+            )
+        return order
+
+    @property
+    def topo_order(self) -> list[str]:
+        """Topological order (sources first)."""
+        return list(self._topo)
+
+    def gates(self) -> list[GateNode]:
+        """All logic-gate nodes."""
+        return [n for n in self.nodes if n.is_gate]
+
+    def inputs(self) -> list[GateNode]:
+        """All primary-input nodes."""
+        return [n for n in self.nodes if n.kind == INPUT]
+
+    def outputs(self) -> list[GateNode]:
+        """All primary-output nodes."""
+        return [n for n in self.nodes if n.kind == OUTPUT]
+
+    def dffs(self) -> list[GateNode]:
+        """All flip-flop nodes."""
+        return [n for n in self.nodes if n.kind == DFF]
+
+    # ------------------------------------------------------------------
+    # Simulation (the mapper's equivalence oracle)
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        input_values: dict[str, int],
+        state_values: Optional[dict[str, int]] = None,
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """One combinational evaluation plus the next DFF state.
+
+        Returns ``(output_values, next_state)``; ``state_values`` maps
+        DFF names to their current outputs (default all 0).
+        """
+        state_values = state_values or {}
+        values: dict[str, int] = {}
+        for node_name in self._topo:
+            node = self._by_name[node_name]
+            if node.kind == INPUT:
+                values[node.name] = input_values[node.name] & 1
+            elif node.kind == DFF:
+                values[node.name] = state_values.get(node.name, 0) & 1
+            elif node.kind == OUTPUT:
+                values[node.name] = values[node.fanins[0]]
+            else:
+                args = [values[f] for f in node.fanins]
+                values[node.name] = GATE_FUNCTIONS[node.kind](*args)
+        outputs = {n.name: values[n.name] for n in self.outputs()}
+        next_state = {
+            n.name: values[n.fanins[0]] for n in self.dffs()
+        }
+        return outputs, next_state
+
+    def __repr__(self) -> str:
+        return (
+            f"GateNetlist({self.name!r}, gates={len(self.gates())}, "
+            f"inputs={len(self.inputs())}, outputs={len(self.outputs())}, "
+            f"dffs={len(self.dffs())})"
+        )
+
+
+def random_logic(
+    seed: int,
+    num_gates: int = 80,
+    num_inputs: int = 8,
+    num_outputs: int = 6,
+    num_dffs: int = 4,
+) -> GateNetlist:
+    """A random, valid gate-level circuit (the synthesis stand-in)."""
+    if num_gates < 1 or num_inputs < 1 or num_outputs < 1:
+        raise ValueError("need at least 1 gate, input and output")
+    rng = random.Random(seed)
+    nodes: list[GateNode] = []
+    available: list[str] = []
+    for k in range(num_inputs):
+        nodes.append(GateNode(f"x{k}", INPUT))
+        available.append(f"x{k}")
+    dff_names = [f"r{k}" for k in range(num_dffs)]
+    available.extend(dff_names)
+
+    two_input = ["AND", "OR", "XOR", "NAND", "NOR"]
+    gate_names: list[str] = []
+    for k in range(num_gates):
+        name = f"g{k}"
+        if rng.random() < 0.15:
+            kind = rng.choice(["NOT", "BUF"])
+            fanins = (rng.choice(available),)
+        else:
+            kind = rng.choice(two_input)
+            a = rng.choice(available)
+            b = rng.choice(available)
+            fanins = (a, b)
+        nodes.append(GateNode(name, kind, fanins))
+        available.append(name)
+        gate_names.append(name)
+
+    # DFF inputs and primary outputs read late values for depth.
+    pool = gate_names[-max(1, num_gates // 2):] or available
+    for name in dff_names:
+        nodes.append(GateNode(name, DFF, (rng.choice(pool),)))
+    for k in range(num_outputs):
+        nodes.append(GateNode(f"y{k}", OUTPUT, (rng.choice(pool),)))
+    return GateNetlist(f"logic{seed}", nodes)

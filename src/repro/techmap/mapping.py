@@ -1,0 +1,244 @@
+"""Technology mapping: cover a gate DAG with k-input FPGA logic cells.
+
+A row-based FPGA logic module realizes any function of up to ``k``
+inputs (k=4 here, matching the 4-input palette of
+:mod:`repro.netlist.cell`), so mapping is *covering*: partition the
+gate DAG into single-output clusters with at most k distinct external
+inputs each, one logic cell per cluster.
+
+The algorithm is the classic greedy tree-covering in topological order
+(in the spirit of Chortle [17]): each gate starts as its own cluster
+and absorbs a fanin gate's cluster whenever (a) that gate's only fanout
+is this gate — absorbing a shared gate would duplicate logic — and
+(b) the merged cluster still has at most k distinct leaf signals.
+Gates never absorbed by their fanout become cluster roots, i.e. mapped
+cells.
+
+:class:`MappingResult` carries the mapped
+:class:`~repro.netlist.Netlist` (directly consumable by the layout
+flows), the cluster cover, and a cluster-wise simulator so tests can
+check functional equivalence against the original gate network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netlist.cell import Cell
+from ..netlist.net import Net
+from ..netlist.netlist import Netlist
+from .gates import DFF, GATE_FUNCTIONS, INPUT, OUTPUT, GateNetlist
+
+DEFAULT_K = 4
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One mapped logic cell: a root gate, its covered gates, its leaves.
+
+    ``leaves`` are the external signals feeding the cluster, in the
+    order they bind to the cell's input ports ``i0..``; ``gates`` are
+    the covered gate names in evaluation (topological) order, ending
+    with ``root``.
+    """
+
+    root: str
+    leaves: tuple[str, ...]
+    gates: tuple[str, ...]
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of cluster input leaves."""
+        return len(self.leaves)
+
+
+class TechmapError(ValueError):
+    """The gate network cannot be covered with the given k."""
+
+
+def cover(circuit: GateNetlist, k: int = DEFAULT_K) -> list[Cluster]:
+    """Greedy k-feasible cover of the gate DAG (see module docstring)."""
+    if k < 2:
+        raise TechmapError(f"k must be >= 2, got {k}")
+    cluster_leaves: dict[str, list[str]] = {}
+    cluster_gates: dict[str, list[str]] = {}
+    absorbed: set[str] = set()
+
+    for name in circuit.topo_order:
+        node = circuit.node(name)
+        if not node.is_gate:
+            continue
+        leaves: list[str] = []
+        gates: list[str] = []
+
+        def add_leaf(signal: str) -> None:
+            if signal not in leaves:
+                leaves.append(signal)
+
+        for position, fanin in enumerate(node.fanins):
+            # Budget that must stay free for the not-yet-visited fanins
+            # (each costs at most one leaf if taken as a leaf).
+            reserve = len(node.fanins) - position - 1
+            fanin_node = circuit.node(fanin)
+            can_absorb = (
+                fanin_node.is_gate
+                and circuit.fanouts(fanin) == [name]
+            )
+            if can_absorb:
+                merged = list(leaves)
+                for leaf in cluster_leaves[fanin]:
+                    if leaf not in merged:
+                        merged.append(leaf)
+                if len(merged) + reserve <= k:
+                    leaves = merged
+                    gates.extend(cluster_gates[fanin])
+                    absorbed.add(fanin)
+                    continue
+            add_leaf(fanin)
+        if len(leaves) > k:
+            raise TechmapError(
+                f"gate {name!r} alone needs {len(leaves)} inputs > k={k}"
+            )
+        gates.append(name)
+        cluster_leaves[name] = leaves
+        cluster_gates[name] = gates
+
+    return [
+        Cluster(root, tuple(cluster_leaves[root]), tuple(cluster_gates[root]))
+        for root in cluster_leaves
+        if root not in absorbed
+    ]
+
+
+@dataclass
+class MappingResult:
+    """Outcome of technology mapping."""
+
+    circuit: GateNetlist
+    netlist: Netlist
+    clusters: dict[str, Cluster]  # root gate name -> cluster
+    k: int
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return self.netlist.num_cells
+
+    def evaluate_cluster(self, root: str, leaf_values: dict[str, int]) -> int:
+        """Evaluate one mapped cell's function from its leaf values."""
+        cluster = self.clusters[root]
+        values = dict(leaf_values)
+        for gate_name in cluster.gates:
+            node = self.circuit.node(gate_name)
+            args = [values[f] for f in node.fanins]
+            values[gate_name] = GATE_FUNCTIONS[node.kind](*args)
+        return values[root]
+
+    def simulate(
+        self,
+        input_values: dict[str, int],
+        state_values: Optional[dict[str, int]] = None,
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Cluster-wise simulation of the mapped design.
+
+        Mirrors :meth:`GateNetlist.simulate`, so equality over random
+        vectors demonstrates the cover preserved the circuit's function.
+        """
+        state_values = state_values or {}
+        values: dict[str, int] = {}
+        for node in self.circuit.inputs():
+            values[node.name] = input_values[node.name] & 1
+        for node in self.circuit.dffs():
+            values[node.name] = state_values.get(node.name, 0) & 1
+        # Cluster roots in topological order of their root gates.
+        order = [
+            name for name in self.circuit.topo_order if name in self.clusters
+        ]
+        for root in order:
+            cluster = self.clusters[root]
+            leaf_values = {leaf: values[leaf] for leaf in cluster.leaves}
+            values[root] = self.evaluate_cluster(root, leaf_values)
+        outputs = {
+            node.name: values[node.fanins[0]]
+            for node in self.circuit.outputs()
+        }
+        next_state = {
+            node.name: values[node.fanins[0]]
+            for node in self.circuit.dffs()
+        }
+        return outputs, next_state
+
+
+def _live_clusters(
+    circuit: GateNetlist, clusters: dict[str, Cluster]
+) -> dict[str, Cluster]:
+    """Dead-code elimination: keep only clusters that reach a boundary.
+
+    Synthesis stand-ins can leave gates whose outputs nothing reads;
+    mapping sweeps them (a real mapper would too) so the layout netlist
+    has no dead cells.
+    """
+    needed: set[str] = set()
+    worklist: list[str] = []
+    for node in circuit.outputs():
+        worklist.append(node.fanins[0])
+    for node in circuit.dffs():
+        worklist.append(node.fanins[0])
+    while worklist:
+        signal = worklist.pop()
+        if signal in needed or signal not in clusters:
+            continue
+        needed.add(signal)
+        worklist.extend(clusters[signal].leaves)
+    return {root: clusters[root] for root in clusters if root in needed}
+
+
+def technology_map(circuit: GateNetlist, k: int = DEFAULT_K) -> MappingResult:
+    """Map a gate network into an FPGA cell netlist ready for layout."""
+    clusters = {cluster.root: cluster for cluster in cover(circuit, k)}
+    clusters = _live_clusters(circuit, clusters)
+    netlist = Netlist(circuit.name)
+
+    for node in circuit.inputs():
+        netlist.add_cell(Cell(node.name, "input"))
+    for node in circuit.outputs():
+        netlist.add_cell(Cell(node.name, "output", num_inputs=1))
+    for node in circuit.dffs():
+        netlist.add_cell(Cell(node.name, "seq", num_inputs=1))
+    for root in (
+        name for name in circuit.topo_order if name in clusters
+    ):
+        netlist.add_cell(
+            Cell(root, "comb", num_inputs=clusters[root].num_inputs)
+        )
+
+    def driver_terminal(signal: str) -> tuple[str, str]:
+        node = circuit.node(signal)
+        if node.kind == INPUT:
+            return (signal, "pad_out")
+        if node.kind == DFF:
+            return (signal, "q")
+        if signal in clusters:
+            return (signal, "y")
+        raise TechmapError(
+            f"signal {signal!r} is not a mapped driver (absorbed gate "
+            "referenced externally?)"
+        )
+
+    # Sinks per driving signal.
+    sinks: dict[str, list[tuple[str, str]]] = {}
+    for root, cluster in clusters.items():
+        for position, leaf in enumerate(cluster.leaves):
+            sinks.setdefault(leaf, []).append((root, f"i{position}"))
+    for node in circuit.outputs():
+        sinks.setdefault(node.fanins[0], []).append((node.name, "pad_in"))
+    for node in circuit.dffs():
+        sinks.setdefault(node.fanins[0], []).append((node.name, "d"))
+
+    for signal, terminal_list in sinks.items():
+        netlist.add_net(
+            Net(f"n_{signal}", driver_terminal(signal), tuple(terminal_list))
+        )
+    netlist.freeze()
+    return MappingResult(circuit, netlist, clusters, k)

@@ -1,0 +1,31 @@
+"""Timing substrate: levelization, Elmore RC trees, estimation, STA."""
+
+from .analyzer import TimingReport, analyze, net_sink_delays, path_depth, sink_positions
+from .elmore import RCTree, build_rc_tree, routed_sink_delays
+from .estimator import estimate_by_position, estimate_net_delay
+from .incremental import EPSILON, IncrementalTiming, TimingDelta
+from .levelize import LevelizationError, cells_in_level_order, levelize, max_level
+from .slack import compute_slacks, critical_cells, slack_histogram
+
+__all__ = [
+    "EPSILON",
+    "IncrementalTiming",
+    "LevelizationError",
+    "RCTree",
+    "TimingDelta",
+    "TimingReport",
+    "analyze",
+    "build_rc_tree",
+    "cells_in_level_order",
+    "compute_slacks",
+    "critical_cells",
+    "estimate_by_position",
+    "estimate_net_delay",
+    "levelize",
+    "max_level",
+    "net_sink_delays",
+    "path_depth",
+    "routed_sink_delays",
+    "slack_histogram",
+    "sink_positions",
+]

@@ -1,0 +1,160 @@
+"""Full static long-path timing analysis.
+
+"Critical paths are defined between the boundaries formed by primary
+inputs, outputs and sequential blocks (or flip-flops).  We consider the
+long-path delay problem and assume that all paths are sensitizable."
+(paper, Section 3.5)
+
+Arrival times propagate in level order: boundary outputs launch at
+their intrinsic delay, each combinational cell's output arrival is the
+max over its inputs of (driver arrival + interconnect delay to that
+sink) plus the cell delay, and the worst-case delay ``T`` is "the
+maximum delay at an input of a boundary cell".
+
+Interconnect delay dispatches on routing completeness: exact Elmore for
+fully embedded nets, the crude spatial estimator otherwise — exactly the
+two-tier model the simultaneous annealer's cost function uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.technology import Technology
+from ..route.state import RoutingState
+from .elmore import routed_sink_delays
+from .estimator import estimate_net_delay
+from .levelize import cells_in_level_order, levelize
+
+
+def net_sink_delays(
+    state: RoutingState, tech: Technology, net_index: int
+) -> list[float]:
+    """Interconnect delay driver -> each sink (sink order) for any net.
+
+    Fully routed nets use the exact Elmore tree; anything else uses the
+    spatial estimate (one conservative value for every sink).
+    """
+    route = state.routes[net_index]
+    if route.fully_routed:
+        return routed_sink_delays(state, tech, net_index)
+    estimate = estimate_net_delay(route, state.fabric, tech)
+    return [estimate] * len(state.netlist.nets[net_index].sinks)
+
+
+def sink_positions(state: RoutingState) -> list[dict[tuple[int, str], int]]:
+    """Per net: (sink cell index, port) -> position in the net's sink order."""
+    positions: list[dict[tuple[int, str], int]] = []
+    for net in state.netlist.nets:
+        table: dict[tuple[int, str], int] = {}
+        for position, (cell_name, port) in enumerate(net.sinks):
+            table[(state.netlist.cell(cell_name).index, port)] = position
+        positions.append(table)
+    return positions
+
+
+@dataclass
+class TimingReport:
+    """Result of a full timing analysis."""
+
+    worst_delay: float
+    arrival: list[float]
+    boundary_in: dict[int, float]
+    critical_path: list[str]
+    critical_endpoint: Optional[str]
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingReport(worst={self.worst_delay:.2f} ns, "
+            f"endpoint={self.critical_endpoint!r}, "
+            f"path_len={len(self.critical_path)})"
+        )
+
+
+def analyze(state: RoutingState, tech: Technology) -> TimingReport:
+    """Run a full STA over the current placement + routing."""
+    netlist = state.netlist
+    levels = levelize(netlist)
+    positions = sink_positions(state)
+    delays: list[list[float]] = [
+        net_sink_delays(state, tech, net.index) for net in netlist.nets
+    ]
+
+    arrival = [0.0] * netlist.num_cells
+    for cell in netlist.cells:
+        if cell.is_boundary:
+            arrival[cell.index] = tech.cell_delay(cell.delay_class)
+
+    def input_arrival(cell_index: int) -> float:
+        best = 0.0
+        for net_index in netlist.input_nets(cell_index):
+            net = netlist.nets[net_index]
+            driver = netlist.cell(net.driver[0]).index
+            for port_position in (
+                positions[net_index].get((cell_index, port))
+                for port in netlist.cells[cell_index].input_ports
+            ):
+                if port_position is not None:
+                    best = max(
+                        best, arrival[driver] + delays[net_index][port_position]
+                    )
+        return best
+
+    for cell_index in cells_in_level_order(netlist, levels):
+        arrival[cell_index] = input_arrival(cell_index) + tech.t_comb
+
+    boundary_in: dict[int, float] = {}
+    for cell in netlist.boundary_cells():
+        if cell.input_ports:
+            boundary_in[cell.index] = input_arrival(cell.index)
+
+    if boundary_in:
+        endpoint = max(boundary_in, key=boundary_in.get)
+        worst = boundary_in[endpoint]
+        path = _trace_critical_path(state, arrival, delays, positions, endpoint)
+        endpoint_name: Optional[str] = netlist.cells[endpoint].name
+    else:
+        worst, path, endpoint_name = 0.0, [], None
+    return TimingReport(worst, arrival, boundary_in, path, endpoint_name)
+
+
+def _trace_critical_path(
+    state: RoutingState,
+    arrival: list[float],
+    delays: list[list[float]],
+    positions: list[dict[tuple[int, str], int]],
+    endpoint: int,
+) -> list[str]:
+    """Walk back from the worst endpoint through max-arrival inputs."""
+    netlist = state.netlist
+    path = [netlist.cells[endpoint].name]
+    current = endpoint
+    guard = 0
+    while guard <= netlist.num_cells:
+        guard += 1
+        best_driver: Optional[int] = None
+        best_value = float("-inf")
+        for net_index in netlist.input_nets(current):
+            net = netlist.nets[net_index]
+            driver = netlist.cell(net.driver[0]).index
+            for port in netlist.cells[current].input_ports:
+                position = positions[net_index].get((current, port))
+                if position is None:
+                    continue
+                value = arrival[driver] + delays[net_index][position]
+                if value > best_value:
+                    best_value, best_driver = value, driver
+        if best_driver is None:
+            break
+        path.append(netlist.cells[best_driver].name)
+        if netlist.cells[best_driver].is_boundary:
+            break
+        current = best_driver
+    path.reverse()
+    return path
+
+
+def path_depth(report: TimingReport) -> int:
+    """Number of combinational stages on the reported critical path."""
+    return max(0, len(report.critical_path) - 2)

@@ -1,0 +1,271 @@
+"""Exact Elmore delay over the embedded RC tree of a routed net.
+
+"To sharpen the worst-case delay estimate, we use a detailed RC tree
+model for the interconnect — when the nets contributing to this worst
+path are physically embedded.  Since the exact antifuse usage is known
+for such nets, we calculate the Elmore delay." (paper, Section 3.5)
+
+The embedded topology of a routed net is a tree by construction:
+
+* one horizontal run per pin channel (the committed channel claim);
+* if the net spans channels, one vertical run at the trunk column,
+  tapping each horizontal run through cross antifuses;
+* the driver and every sink tap their channel's horizontal run through
+  a cross antifuse.
+
+Each run is modelled as an RC chain with nodes at every "interesting"
+position (pin taps, the trunk tap, programmed-antifuse break points are
+folded into the inter-node edges); wire RC is distributed along the
+chain (pi-model halves at the nodes), programmed antifuses contribute
+series R and node C, and the *overhang* of claimed segments beyond the
+needed interval — plus the unprogrammed antifuses hanging off every
+claimed column — contribute extra node capacitance (wastage is not
+electrically free).
+
+Every chain is built **rooted at its attachment point** (the driver tap
+for the driver's channel, the trunk column for the others; the driver's
+channel for the vertical run), so parent links always point toward the
+tree root and node ids increase root-to-leaf — which makes the Elmore
+computation two linear passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.technology import Technology
+from ..route.state import NetRoute, RoutingState
+
+
+@dataclass
+class RCTree:
+    """A grounded-capacitance RC tree rooted at node 0 (the driver).
+
+    Invariant: ``parent[node] < node`` for every non-root node, so
+    subtree capacitances accumulate in one reverse pass and Elmore
+    delays in one forward pass.
+    """
+
+    cap: list[float] = field(default_factory=list)
+    parent: list[int] = field(default_factory=list)
+    resistance: list[float] = field(default_factory=list)  # edge to parent
+
+    def add_node(self, cap: float, parent: int = -1, resistance: float = 0.0) -> int:
+        """Append a node; returns its id."""
+        node = len(self.cap)
+        if node > 0:
+            if not 0 <= parent < node:
+                raise ValueError(
+                    f"node {node} must attach to an existing parent, got {parent}"
+                )
+        self.cap.append(cap)
+        self.parent.append(parent)
+        self.resistance.append(resistance)
+        return node
+
+    def add_cap(self, node: int, cap: float) -> None:
+        """Add grounded capacitance at a node."""
+        self.cap[node] += cap
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes."""
+        return len(self.cap)
+
+    def total_cap(self) -> float:
+        """Sum of all node capacitances."""
+        return sum(self.cap)
+
+    def subtree_caps(self) -> list[float]:
+        """Total capacitance at-or-below each node."""
+        totals = list(self.cap)
+        for node in range(len(self.cap) - 1, 0, -1):
+            totals[self.parent[node]] += totals[node]
+        return totals
+
+    def elmore_delays(self) -> list[float]:
+        """Elmore delay from the root to every node."""
+        totals = self.subtree_caps()
+        delays = [0.0] * len(self.cap)
+        for node in range(1, len(self.cap)):
+            delays[node] = (
+                delays[self.parent[node]] + self.resistance[node] * totals[node]
+            )
+        return delays
+
+
+def _chain_points(route: NetRoute, channel: int) -> list[int]:
+    """Sorted distinct tap columns of the net's run in ``channel``."""
+    columns = set(route.pin_channels.get(channel, ()))
+    if route.vertical is not None:
+        columns.add(route.vertical.column)
+    return sorted(columns)
+
+
+def _edge_between(
+    tech: Technology, breaks: list[int], a: int, b: int
+) -> tuple[float, float, float]:
+    """(series R, wire C, fuse node C) of the chain edge from ``a`` to ``b``.
+
+    ``a`` and ``b`` are positions with ``a < b``; ``breaks`` are the
+    programmed-antifuse positions inside the claimed run (an antifuse at
+    break position p joins the wire below p to the wire at-or-above p).
+    """
+    n_fuses = sum(1 for p in breaks if a < p <= b)
+    return (
+        tech.r_segment_per_col * (b - a) + n_fuses * tech.r_antifuse,
+        (tech.c_segment_per_col + tech.c_unprogrammed) * (b - a),
+        n_fuses * tech.c_antifuse,
+    )
+
+
+def _vertical_edge_between(
+    tech: Technology, breaks: list[int], a: int, b: int
+) -> tuple[float, float, float]:
+    n_fuses = sum(1 for p in breaks if a < p <= b)
+    wire_r, wire_c = tech.vertical_rc(b - a)
+    return (
+        wire_r + n_fuses * tech.r_vantifuse,
+        wire_c,
+        n_fuses * tech.c_vantifuse,
+    )
+
+
+def _build_chain(
+    tree: RCTree,
+    points: list[int],
+    root_point: int,
+    root_parent: int,
+    root_resistance: float,
+    root_cap: float,
+    edge_fn,
+) -> dict[int, int]:
+    """Build a two-arm RC chain rooted at ``root_point``.
+
+    ``points`` must contain ``root_point``.  ``edge_fn(a, b)`` returns
+    ``(series_r, wire_c, fuse_c)`` for a < b.  Returns point -> node.
+    """
+    nodes: dict[int, int] = {}
+    nodes[root_point] = tree.add_node(
+        root_cap, parent=root_parent, resistance=root_resistance
+    )
+    for arm in (
+        sorted(p for p in points if p > root_point),
+        sorted((p for p in points if p < root_point), reverse=True),
+    ):
+        previous = root_point
+        for point in arm:
+            low, high = min(previous, point), max(previous, point)
+            series_r, wire_c, fuse_c = edge_fn(low, high)
+            tree.add_cap(nodes[previous], wire_c / 2)
+            nodes[point] = tree.add_node(
+                wire_c / 2 + fuse_c,
+                parent=nodes[previous],
+                resistance=series_r,
+            )
+            previous = point
+    return nodes
+
+
+def build_rc_tree(
+    state: RoutingState, tech: Technology, net_index: int
+) -> tuple[RCTree, list[int]]:
+    """The RC tree of a fully routed net, plus one tree node per sink.
+
+    Node 0 is the driver output; the driver's output resistance is the
+    first edge.  Returned sink nodes follow the net's sink order.
+    """
+    route = state.routes[net_index]
+    if not route.fully_routed:
+        raise ValueError(f"net {net_index} is not fully routed")
+    placement = state.placement
+    net = state.netlist.nets[net_index]
+
+    tree = RCTree()
+    root = tree.add_node(0.0)
+
+    driver_cell = state.netlist.cell(net.driver[0])
+    drv_chan, drv_col = placement.pin_position(driver_cell.index, net.driver[1])
+
+    def chain_for(channel: int, root_point: int, parent: int,
+                  resistance: float, extra_cap: float) -> dict[int, int]:
+        claim = route.claims[channel]
+        segments = state.fabric.channels[channel].segmentation.tracks[claim.track]
+        breaks = [segments[s][1] for s in range(claim.first_seg, claim.last_seg)]
+        points = _chain_points(route, channel)
+        nodes = _build_chain(
+            tree,
+            points,
+            root_point,
+            parent,
+            resistance,
+            extra_cap,
+            lambda a, b: _edge_between(tech, breaks, a, b),
+        )
+        c_per_col = tech.c_segment_per_col + tech.c_unprogrammed
+        left_over = max(0, claim.lo - segments[claim.first_seg][0])
+        right_over = max(0, segments[claim.last_seg][1] - (claim.hi + 1))
+        tree.add_cap(nodes[points[0]], c_per_col * left_over)
+        tree.add_cap(nodes[points[-1]], c_per_col * right_over)
+        return nodes
+
+    # Driver channel chain, rooted at the driver's tap column.
+    chain_nodes: dict[int, dict[int, int]] = {}
+    chain_nodes[drv_chan] = chain_for(
+        drv_chan, drv_col, root, tech.r_driver + tech.r_cross, tech.c_cross
+    )
+
+    # Vertical trunk (if any), rooted at the driver's channel, then the
+    # remaining channels' chains rooted at the trunk column.
+    if route.vertical is not None:
+        vclaim = route.vertical
+        vsegments = state.fabric.vcolumns[vclaim.column].segmentation.tracks[
+            vclaim.track
+        ]
+        vbreaks = [vsegments[s][1] for s in range(vclaim.first_seg, vclaim.last_seg)]
+        vpoints = sorted(route.pin_channels)
+        vnodes = _build_chain(
+            tree,
+            vpoints,
+            drv_chan,
+            chain_nodes[drv_chan][vclaim.column],
+            2 * tech.r_cross,
+            2 * tech.c_cross,
+            lambda a, b: _vertical_edge_between(tech, vbreaks, a, b),
+        )
+        v_low_over = max(0, vclaim.cmin - vsegments[vclaim.first_seg][0])
+        v_high_over = max(0, vsegments[vclaim.last_seg][1] - (vclaim.cmax + 1))
+        tree.add_cap(vnodes[vpoints[0]], tech.c_vertical_per_chan * v_low_over)
+        tree.add_cap(vnodes[vpoints[-1]], tech.c_vertical_per_chan * v_high_over)
+        for channel in vpoints:
+            if channel == drv_chan:
+                continue
+            chain_nodes[channel] = chain_for(
+                channel,
+                vclaim.column,
+                vnodes[channel],
+                2 * tech.r_cross,
+                2 * tech.c_cross,
+            )
+
+    # Sinks: cross antifuse off the chain plus the input pin load.
+    sink_nodes: list[int] = []
+    for cell_name, port in net.sinks:
+        cell = state.netlist.cell(cell_name)
+        chan, col = placement.pin_position(cell.index, port)
+        tap = chain_nodes[chan][col]
+        sink_nodes.append(
+            tree.add_node(
+                tech.c_cross + tech.c_pin, parent=tap, resistance=tech.r_cross
+            )
+        )
+    return tree, sink_nodes
+
+
+def routed_sink_delays(
+    state: RoutingState, tech: Technology, net_index: int
+) -> list[float]:
+    """Elmore delay driver -> each sink of a fully routed net (sink order)."""
+    tree, sink_nodes = build_rc_tree(state, tech, net_index)
+    delays = tree.elmore_delays()
+    return [delays[node] for node in sink_nodes]

@@ -1,0 +1,112 @@
+"""Crude delay estimation for nets that are not (fully) embedded.
+
+"For such nets we resort to crude estimators that relate the known
+spatial extent of the net (based on its current port locations) to the
+probable number of antifuses it will encounter, to create a rough delay
+estimate." (paper, Section 3.5)
+
+The estimate mirrors the structure the Elmore model would see once the
+net is embedded — driver resistance, horizontal wire, horizontal
+antifuses (one per expected segment boundary given the channel's mean
+segment length), cross antifuses per pin, a vertical run if the net
+spans channels — but lumps it into a single-pole approximation::
+
+    delay ~= r_driver * C_total + 0.5 * R_path * C_total
+
+When the net *is* globally routed, the trunk column is known and the
+per-channel spans are exact; otherwise the bounding-box center stands
+in for the trunk.  The estimate is deliberately a little pessimistic
+(segment counts are rounded up): the cost function's G and D terms are
+simultaneously pressuring these nets to become embedded, at which point
+the exact model takes over.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..arch.fabric import Fabric
+from ..arch.technology import Technology
+from ..route.state import NetRoute
+
+
+def _mean_horizontal_segment(fabric: Fabric) -> float:
+    seg = fabric.channels[0].segmentation
+    return max(1.0, seg.mean_segment_length())
+
+
+def _mean_vertical_segment(fabric: Fabric) -> float:
+    seg = fabric.vcolumns[0].segmentation
+    return max(1.0, seg.mean_segment_length())
+
+
+def estimate_net_delay(
+    route: NetRoute, fabric: Fabric, tech: Technology
+) -> float:
+    """Estimated driver->sink delay (worst sink) of an unembedded net."""
+    mean_h = _mean_horizontal_segment(fabric)
+    mean_v = _mean_vertical_segment(fabric)
+
+    if route.vertical is not None:
+        trunk = route.vertical.column
+    else:
+        trunk = (route.xmin + route.xmax) // 2
+
+    total_r = tech.r_driver + tech.r_cross
+    total_c = tech.c_cross
+    path_r = 0.0
+
+    pins = 0
+    for channel, columns in route.pin_channels.items():
+        lo = min(columns[0], trunk) if route.needs_vertical else columns[0]
+        hi = max(columns[-1], trunk) if route.needs_vertical else columns[-1]
+        span = hi - lo + 1
+        n_segments = max(1, math.ceil(span / mean_h))
+        n_fuses = n_segments - 1
+        wire_r = tech.r_segment_per_col * span
+        wire_c = (tech.c_segment_per_col + tech.c_unprogrammed) * (
+            n_segments * mean_h
+        )
+        path_r += wire_r + n_fuses * tech.r_antifuse
+        total_c += wire_c + n_fuses * tech.c_antifuse
+        pins += len(columns)
+
+    if route.needs_vertical:
+        vspan = route.cmax - route.cmin
+        n_vsegments = max(1, math.ceil(vspan / mean_v))
+        n_vfuses = n_vsegments - 1
+        wire_r, wire_c = tech.vertical_rc(vspan)
+        path_r += wire_r + n_vfuses * tech.r_vantifuse
+        total_c += wire_c + n_vfuses * tech.c_vantifuse
+        taps = len(route.pin_channels)
+        path_r += 2 * tech.r_cross
+        total_c += 2 * taps * tech.c_cross
+
+    # Every pin hangs a cross antifuse and an input load on the net.
+    total_c += pins * (tech.c_cross + tech.c_pin)
+    # One-pole approximation: full C behind the driver, half behind the
+    # distributed path resistance.
+    return total_r * total_c + 0.5 * path_r * total_c
+
+
+def estimate_by_position(
+    cmin: int, cmax: int, xmin: int, xmax: int, fanout: int,
+    fabric: Fabric, tech: Technology,
+) -> float:
+    """Bounding-box-only estimate (used by placement-level analyses).
+
+    Builds a synthetic single-channel-per-row view of the box and runs
+    the same lumped formula; useful where no :class:`NetRoute` exists,
+    e.g. the sequential baseline's placer-side delay estimates.
+    """
+    route = NetRoute(net_index=-1)
+    route.cmin, route.cmax = cmin, cmax
+    route.xmin, route.xmax = xmin, xmax
+    # The driver channel sees the whole horizontal extent; extra sinks
+    # beyond the first add pin loads at the box center.
+    columns = [xmin, xmax]
+    columns += [(xmin + xmax) // 2] * max(0, fanout - 1)
+    route.pin_channels = {cmin: sorted(columns)}
+    if cmax > cmin:
+        route.pin_channels[cmax] = [xmax]
+    return estimate_net_delay(route, fabric, tech)

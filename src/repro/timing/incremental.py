@@ -1,0 +1,202 @@
+"""Frontier-based incremental worst-case delay maintenance.
+
+"Rather than relying on the user to supply a set of critical paths to
+evaluate, the worst-case critical path is incrementally updated after
+each perturbation. ... a frontier of affected cells is maintained ...
+At any stage, the cell in the frontier with the minimum level is
+processed.  Processing a cell involves two parts: updating the output
+delay of the cell based on the new input delays, and if output delay
+changes, putting new cells in the frontier by examining the fanout
+cells." (paper, Section 3.5)
+
+:class:`IncrementalTiming` keeps, between moves:
+
+* per-cell output arrival times,
+* per-boundary-cell input arrival times (whose max is ``T``),
+* a per-net cache of sink interconnect delays (exact Elmore when the
+  net is embedded, the crude estimate otherwise).
+
+:meth:`update_nets` re-evaluates the nets a move touched and propagates
+arrival changes forward with a min-level heap; it returns a
+:class:`TimingDelta` that :meth:`restore` applies to undo everything if
+the annealer rejects the move.  Processing min-level-first over the
+(once-computed) levelization guarantees each affected cell is visited
+exactly once with settled inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..arch.technology import Technology
+from ..route.state import RoutingState
+from .analyzer import net_sink_delays, sink_positions
+from .levelize import cells_in_level_order, levelize
+
+#: Arrival changes below this are not propagated (pure float noise).
+EPSILON = 1e-12
+
+
+@dataclass
+class TimingDelta:
+    """Undo record for one :meth:`IncrementalTiming.update_nets` call."""
+
+    arrival: dict[int, float] = field(default_factory=dict)
+    boundary_in: dict[int, float] = field(default_factory=dict)
+    delay_cache: dict[int, Optional[list[float]]] = field(default_factory=dict)
+
+    def save_arrival(self, cell_index: int, value: float) -> None:
+        """Record a cell's prior arrival (first write wins)."""
+        self.arrival.setdefault(cell_index, value)
+
+    def save_boundary(self, cell_index: int, value: float) -> None:
+        """Record a boundary input's prior arrival."""
+        self.boundary_in.setdefault(cell_index, value)
+
+    def save_cache(self, net_index: int, value: Optional[list[float]]) -> None:
+        """Record a net's prior delay-cache entry."""
+        self.delay_cache.setdefault(net_index, value)
+
+
+class IncrementalTiming:
+    """Maintains arrival times and worst-case delay across moves."""
+
+    def __init__(self, state: RoutingState, tech: Technology) -> None:
+        self.state = state
+        self.tech = tech
+        self.netlist = state.netlist
+        self.levels = levelize(self.netlist)
+        self._positions = sink_positions(state)
+        self._delay_cache: list[Optional[list[float]]] = [None] * self.netlist.num_nets
+        self.arrival: list[float] = [0.0] * self.netlist.num_cells
+        self.boundary_in: dict[int, float] = {}
+        self.full_update()
+
+    # ------------------------------------------------------------------
+    # Net interconnect delays (cached)
+    # ------------------------------------------------------------------
+    def sink_delays(self, net_index: int) -> list[float]:
+        """Cached interconnect delays to each sink."""
+        cached = self._delay_cache[net_index]
+        if cached is None:
+            cached = net_sink_delays(self.state, self.tech, net_index)
+            self._delay_cache[net_index] = cached
+        return cached
+
+    def sink_delay(self, net_index: int, cell_index: int, port: str) -> float:
+        """Interconnect delay to one specific sink pin."""
+        position = self._positions[net_index][(cell_index, port)]
+        return self.sink_delays(net_index)[position]
+
+    # ------------------------------------------------------------------
+    # Arrival computation
+    # ------------------------------------------------------------------
+    def _input_arrival(self, cell_index: int) -> float:
+        best = 0.0
+        cell = self.netlist.cells[cell_index]
+        for port in cell.input_ports:
+            net_index = self.netlist.sink_net(cell_index, port)
+            if net_index is None:
+                continue
+            driver = self.netlist.cell(
+                self.netlist.nets[net_index].driver[0]
+            ).index
+            value = self.arrival[driver] + self.sink_delay(
+                net_index, cell_index, port
+            )
+            if value > best:
+                best = value
+        return best
+
+    def full_update(self) -> None:
+        """Recompute everything from scratch (initialization / audits)."""
+        self._delay_cache = [None] * self.netlist.num_nets
+        for cell in self.netlist.cells:
+            if cell.is_boundary:
+                self.arrival[cell.index] = self.tech.cell_delay(cell.delay_class)
+        for cell_index in cells_in_level_order(self.netlist, self.levels):
+            self.arrival[cell_index] = (
+                self._input_arrival(cell_index) + self.tech.t_comb
+            )
+        self.boundary_in = {}
+        for cell in self.netlist.boundary_cells():
+            if cell.input_ports:
+                self.boundary_in[cell.index] = self._input_arrival(cell.index)
+
+    def worst_delay(self) -> float:
+        """T: the maximum arrival at any boundary input."""
+        return max(self.boundary_in.values()) if self.boundary_in else 0.0
+
+    # ------------------------------------------------------------------
+    # Incremental propagation
+    # ------------------------------------------------------------------
+    def update_nets(self, net_indices: Iterable[int]) -> TimingDelta:
+        """Re-evaluate the given nets and propagate; returns the undo record."""
+        delta = TimingDelta()
+        frontier: list[tuple[int, int]] = []
+        queued: set[int] = set()
+
+        def consider(cell_index: int) -> None:
+            cell = self.netlist.cells[cell_index]
+            if cell.is_boundary:
+                if cell.input_ports:
+                    delta.save_boundary(
+                        cell_index, self.boundary_in[cell_index]
+                    )
+                    self.boundary_in[cell_index] = self._input_arrival(cell_index)
+                return
+            if cell_index not in queued:
+                queued.add(cell_index)
+                heapq.heappush(frontier, (self.levels[cell_index], cell_index))
+
+        for net_index in net_indices:
+            delta.save_cache(net_index, self._delay_cache[net_index])
+            self._delay_cache[net_index] = None
+            net = self.netlist.nets[net_index]
+            for cell_name, _ in net.sinks:
+                consider(self.netlist.cell(cell_name).index)
+
+        while frontier:
+            _, cell_index = heapq.heappop(frontier)
+            queued.discard(cell_index)
+            new_arrival = self._input_arrival(cell_index) + self.tech.t_comb
+            if abs(new_arrival - self.arrival[cell_index]) <= EPSILON:
+                continue
+            delta.save_arrival(cell_index, self.arrival[cell_index])
+            self.arrival[cell_index] = new_arrival
+            for fanout in self.netlist.fanout_cells(cell_index):
+                consider(fanout)
+        return delta
+
+    def restore(self, delta: TimingDelta) -> None:
+        """Undo one :meth:`update_nets` call (for rejected moves)."""
+        for cell_index, value in delta.arrival.items():
+            self.arrival[cell_index] = value
+        for cell_index, value in delta.boundary_in.items():
+            self.boundary_in[cell_index] = value
+        for net_index, value in delta.delay_cache.items():
+            self._delay_cache[net_index] = value
+
+    # ------------------------------------------------------------------
+    # Audits
+    # ------------------------------------------------------------------
+    def audit(self) -> list[str]:
+        """Compare incremental state against a from-scratch recompute."""
+        problems: list[str] = []
+        snapshot_arrival = list(self.arrival)
+        snapshot_boundary = dict(self.boundary_in)
+        self.full_update()
+        for cell_index, value in enumerate(snapshot_arrival):
+            if abs(value - self.arrival[cell_index]) > 1e-6:
+                problems.append(
+                    f"arrival[{self.netlist.cells[cell_index].name}] drifted: "
+                    f"incremental {value:.6f} vs full {self.arrival[cell_index]:.6f}"
+                )
+        for cell_index, value in snapshot_boundary.items():
+            if abs(value - self.boundary_in[cell_index]) > 1e-6:
+                problems.append(
+                    f"boundary_in[{self.netlist.cells[cell_index].name}] drifted"
+                )
+        return problems

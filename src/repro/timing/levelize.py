@@ -1,0 +1,82 @@
+"""Levelization of the cell graph between timing boundaries.
+
+"Initially the cells are levelized.  Boundary elements have a level of
+0.  The level of any other cell is one more than the maximum of the
+levels of all its inputs.  ...  Since levels are determined only by
+connectivity and not the location of cells, levelization needs to be
+done only once." (paper, Section 3.5)
+
+Levels give the processing order for delay propagation: when affected
+cells are handled minimum-level-first, every combinational cell is
+visited after all of its fanins have settled, so one pass suffices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..netlist.cell import COMB
+from ..netlist.netlist import Netlist
+
+
+class LevelizationError(ValueError):
+    """The combinational graph contains a cycle."""
+
+
+def levelize(netlist: Netlist) -> list[int]:
+    """Level per cell index.  Boundaries are 0; comb cells are 1 + max fanin.
+
+    Raises :class:`LevelizationError` if the combinational subgraph is
+    cyclic (no valid processing order exists).
+    """
+    netlist.freeze()
+    levels = [0] * netlist.num_cells
+    remaining = [0] * netlist.num_cells
+    queue: deque[int] = deque()
+    comb_count = 0
+    for cell in netlist.cells:
+        if cell.kind != COMB:
+            continue
+        comb_count += 1
+        comb_fanins = [
+            f for f in netlist.fanin_cells(cell.index)
+            if netlist.cells[f].kind == COMB
+        ]
+        remaining[cell.index] = len(comb_fanins)
+        if not comb_fanins:
+            levels[cell.index] = 1
+            queue.append(cell.index)
+
+    processed = 0
+    while queue:
+        index = queue.popleft()
+        processed += 1
+        for fanout in netlist.fanout_cells(index):
+            if netlist.cells[fanout].kind != COMB:
+                continue
+            levels[fanout] = max(levels[fanout], levels[index] + 1)
+            remaining[fanout] -= 1
+            if remaining[fanout] == 0:
+                queue.append(fanout)
+
+    if processed != comb_count:
+        stuck = [
+            netlist.cells[i].name
+            for i in range(netlist.num_cells)
+            if netlist.cells[i].kind == COMB and remaining[i] > 0
+        ]
+        raise LevelizationError(
+            f"combinational cycle involving: {', '.join(stuck[:8])}"
+        )
+    return levels
+
+
+def cells_in_level_order(netlist: Netlist, levels: list[int]) -> list[int]:
+    """Combinational cell indices sorted by level (stable within a level)."""
+    comb = [c.index for c in netlist.cells if c.kind == COMB]
+    return sorted(comb, key=lambda index: levels[index])
+
+
+def max_level(levels: list[int]) -> int:
+    """Largest level value (0 for empty input)."""
+    return max(levels) if levels else 0

@@ -1,0 +1,124 @@
+"""Slack analysis: the backward companion of the arrival-time pass.
+
+The paper's engine only needs the worst-case delay ``T`` (its cost term
+pressures the single most-critical path, bounding all others).  For
+diagnosis, though, a *slack* per cell tells you how close every part of
+the circuit is to critical — this is what the paper's "current work"
+speed improvements (criticality-aware move selection, net
+prioritization) key off, and what the library exposes for downstream
+users.
+
+Definitions (long-path, all paths sensitizable, as in the paper):
+
+* required time at a boundary input = ``T`` (the layout's worst delay);
+* required time at a comb cell's output = min over its fanout sinks of
+  (required at that sink's owner) − (interconnect delay to the sink)
+  − (the sink cell's own delay, if combinational);
+* slack(cell) = required(cell) − arrival(cell).
+
+The most critical cells have slack 0 (up to float noise); every slack
+is non-negative by construction.
+"""
+
+from __future__ import annotations
+
+from ..arch.technology import Technology
+from ..route.state import RoutingState
+from .analyzer import TimingReport, net_sink_delays, sink_positions
+from .levelize import cells_in_level_order, levelize
+
+
+def compute_slacks(
+    state: RoutingState, tech: Technology, report: TimingReport
+) -> list[float]:
+    """Slack per cell index, under the arrival times in ``report``.
+
+    Boundary *sources* (primary inputs, flip-flop outputs) get the slack
+    of their tightest fanout path; boundary sinks anchor the required
+    times at ``report.worst_delay``.
+    """
+    netlist = state.netlist
+    levels = levelize(netlist)
+    positions = sink_positions(state)
+    delays = [
+        net_sink_delays(state, tech, net.index) for net in netlist.nets
+    ]
+    worst = report.worst_delay
+    required = [float("inf")] * netlist.num_cells
+
+    def relax_driver(net_index: int) -> None:
+        """Tighten the driver's required time from its sinks' needs."""
+        net = netlist.nets[net_index]
+        driver = netlist.cell(net.driver[0]).index
+        for position, (cell_name, port) in enumerate(net.sinks):
+            sink_cell = netlist.cell(cell_name)
+            if sink_cell.is_boundary:
+                need_at_sink = worst
+            else:
+                need_at_sink = required[sink_cell.index] - tech.t_comb
+            need = need_at_sink - delays[net_index][position]
+            if need < required[driver]:
+                required[driver] = need
+
+    # Process comb cells deepest-first so every fanout's required time
+    # is final before its fanin drivers are relaxed.
+    order = cells_in_level_order(netlist, levels)
+    for cell_index in reversed(order):
+        for net_index in netlist.output_nets(cell_index):
+            relax_driver(net_index)
+    for cell in netlist.cells:
+        if cell.is_boundary:
+            for net_index in netlist.output_nets(cell.index):
+                relax_driver(net_index)
+
+    slacks = []
+    for cell in netlist.cells:
+        if required[cell.index] == float("inf"):
+            # Drives nothing (e.g. an output pad): anchored at the worst
+            # path by definition.
+            slacks.append(worst - report.arrival[cell.index])
+        else:
+            slacks.append(required[cell.index] - report.arrival[cell.index])
+    return slacks
+
+
+def critical_cells(
+    state: RoutingState,
+    tech: Technology,
+    report: TimingReport,
+    tolerance: float = 1e-6,
+) -> list[str]:
+    """Names of cells with (near-)zero slack — the critical subcircuit."""
+    slacks = compute_slacks(state, tech, report)
+    return [
+        cell.name
+        for cell, slack in zip(state.netlist.cells, slacks)
+        if slack <= tolerance
+    ]
+
+
+def slack_histogram(
+    state: RoutingState,
+    tech: Technology,
+    report: TimingReport,
+    bins: int = 8,
+) -> list[tuple[float, float, int]]:
+    """(lo, hi, count) slack bins — a quick criticality profile."""
+    slacks = compute_slacks(state, tech, report)
+    if not slacks:
+        return []
+    lo, hi = min(slacks), max(slacks)
+    if hi <= lo:
+        return [(lo, hi, len(slacks))]
+    width = (hi - lo) / bins
+    histogram = []
+    for b in range(bins):
+        left = lo + b * width
+        right = hi if b == bins - 1 else left + width
+        count = sum(
+            1
+            for s in slacks
+            if left <= s < right or (b == bins - 1 and s == hi)
+        )
+        histogram.append((left, right, count))
+    return histogram

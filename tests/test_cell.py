@@ -1,0 +1,94 @@
+"""Unit tests for repro.netlist.cell."""
+
+import pytest
+
+from repro.netlist import Cell, count_kinds, ports_for
+
+
+class TestPortsFor:
+    def test_input_pad(self):
+        assert ports_for("input", 0) == (("pad_out", "out"),)
+
+    def test_input_pad_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            ports_for("input", 1)
+
+    def test_output_pad(self):
+        assert ports_for("output", 1) == (("pad_in", "in"),)
+
+    def test_output_pad_requires_one_input(self):
+        with pytest.raises(ValueError):
+            ports_for("output", 0)
+
+    def test_comb_ports(self):
+        ports = ports_for("comb", 3)
+        assert ports == (
+            ("i0", "in"),
+            ("i1", "in"),
+            ("i2", "in"),
+            ("y", "out"),
+        )
+
+    def test_comb_fanin_bounds(self):
+        with pytest.raises(ValueError):
+            ports_for("comb", 0)
+        with pytest.raises(ValueError):
+            ports_for("comb", 9)
+
+    def test_seq_ports(self):
+        assert ports_for("seq", 1) == (("d", "in"), ("q", "out"))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            ports_for("alien", 2)
+
+
+class TestCell:
+    def test_basic_comb(self):
+        cell = Cell("c1", "comb", num_inputs=2)
+        assert cell.input_ports == ("i0", "i1")
+        assert cell.output_ports == ("y",)
+        assert not cell.is_boundary
+        assert cell.slot_class == "logic"
+        assert cell.delay_class == "comb"
+
+    def test_boundary_kinds(self):
+        assert Cell("a", "input").is_boundary
+        assert Cell("b", "output", num_inputs=1).is_boundary
+        assert Cell("c", "seq", num_inputs=1).is_boundary
+
+    def test_io_slot_class(self):
+        assert Cell("a", "input").slot_class == "io"
+        assert Cell("b", "output", num_inputs=1).slot_class == "io"
+        assert Cell("c", "seq", num_inputs=1).slot_class == "logic"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Cell("x", "widget")
+
+    def test_port_names(self):
+        cell = Cell("c", "seq", num_inputs=1)
+        assert cell.port_names == ("d", "q")
+
+    def test_default_index(self):
+        assert Cell("c", "input").index == -1
+
+
+class TestCountKinds:
+    def test_histogram(self):
+        cells = [
+            Cell("a", "input"),
+            Cell("b", "input"),
+            Cell("c", "comb", num_inputs=2),
+            Cell("d", "seq", num_inputs=1),
+        ]
+        counts = count_kinds(cells)
+        assert counts == {"input": 2, "output": 0, "comb": 1, "seq": 1}
+
+    def test_empty(self):
+        assert count_kinds([]) == {
+            "input": 0,
+            "output": 0,
+            "comb": 0,
+            "seq": 0,
+        }

@@ -1,0 +1,130 @@
+"""Unit tests for the segmented-channel detailed router."""
+
+import pytest
+
+from repro.arch import TrackCandidate
+from repro.place import clustered_placement
+from repro.route import (
+    RoutingState,
+    best_candidate,
+    candidate_cost,
+    detail_route_all,
+    global_route_all,
+    route_channel,
+    route_net_in_channel,
+)
+
+
+@pytest.fixture
+def state(tiny_netlist, tiny_arch, rng):
+    placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+    s = RoutingState(placement)
+    global_route_all(s)
+    return s
+
+
+class TestCandidateCost:
+    def test_cost_formula(self):
+        candidate = TrackCandidate(
+            track=0, first_seg=0, last_seg=2, used_length=12, wastage=5
+        )
+        assert candidate_cost(candidate, 4.0) == 5 + 4.0 * 3
+
+    def test_prefers_tight_fit(self, state):
+        # best_candidate must never return a costlier option than any
+        # other feasible candidate.
+        route = next(r for r in state.routes if r.globally_routed)
+        channel = next(iter(route.pin_channels))
+        lo, hi = route.requirements()[channel]
+        best = best_candidate(state, channel, lo, hi, 4.0)
+        assert best is not None
+        for candidate in state.fabric.channels[channel].candidates(lo, hi):
+            assert candidate_cost(best, 4.0) <= candidate_cost(candidate, 4.0)
+
+
+class TestRouteNetInChannel:
+    def test_requires_global_route(self, tiny_netlist, tiny_arch, rng):
+        placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+        s = RoutingState(placement)  # no global routing done
+        multi = next(r for r in s.routes if r.needs_vertical)
+        channel = next(iter(multi.pin_channels))
+        assert not route_net_in_channel(s, multi.net_index, channel)
+
+    def test_claims_match_requirements(self, state):
+        route = next(r for r in state.routes if r.globally_routed)
+        for channel, (lo, hi) in route.requirements().items():
+            assert route_net_in_channel(state, route.net_index, channel)
+            claim = route.claims[channel]
+            assert (claim.lo, claim.hi) == (lo, hi)
+            segments = state.fabric.channels[channel].segmentation.tracks[
+                claim.track
+            ]
+            assert segments[claim.first_seg][0] <= lo
+            assert segments[claim.last_seg][1] > hi
+
+    def test_idempotent(self, state):
+        route = next(r for r in state.routes if r.globally_routed)
+        channel = next(iter(route.pin_channels))
+        assert route_net_in_channel(state, route.net_index, channel)
+        claim = route.claims[channel]
+        assert route_net_in_channel(state, route.net_index, channel)
+        assert route.claims[channel] is claim
+
+    def test_irrelevant_channel_is_success(self, state):
+        route = next(r for r in state.routes if r.globally_routed)
+        missing = next(
+            c
+            for c in range(state.fabric.num_channels)
+            if c not in route.pin_channels
+        )
+        assert route_net_in_channel(state, route.net_index, missing)
+        assert missing not in route.claims
+
+
+class TestRouteChannel:
+    def test_drains_pending(self, state):
+        for channel in range(state.fabric.num_channels):
+            route_channel(state, channel)
+        # With a generous tiny-arch track budget everything fits.
+        assert state.count_detail_unrouted() == 0
+
+    def test_failed_nets_reported(self, tiny_netlist, rng):
+        from conftest import architecture_for
+        from repro.place import random_placement
+
+        arch = architecture_for(tiny_netlist, tracks=1, vtracks=6)
+        placement = random_placement(tiny_netlist, arch.build(), rng)
+        s = RoutingState(placement)
+        global_route_all(s)
+        failures = detail_route_all(s)
+        assert failures, "1 track/channel must leave failures"
+        for channel, nets in failures.items():
+            for net_index in nets:
+                assert net_index in s.unrouted_detail[channel]
+
+
+class TestDetailRouteAll:
+    def test_complete_on_generous_fabric(self, state):
+        failures = detail_route_all(state)
+        assert failures == {}
+        assert state.is_complete()
+        assert state.check_consistency() == []
+
+    def test_claims_never_overlap(self, state):
+        detail_route_all(state)
+        for channel in state.fabric.channels:
+            for track in range(channel.num_tracks):
+                owners = [
+                    channel.owner_of(track, seg)
+                    for seg in range(len(channel.segmentation.tracks[track]))
+                ]
+                # consistency: contiguous runs per owner (single interval)
+                seen = set()
+                previous = None
+                for owner in owners:
+                    if owner is not None and owner != previous:
+                        assert owner not in seen, (
+                            f"net {owner} occupies two disjoint runs"
+                        )
+                        seen.add(owner)
+                    previous = owner

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.netlist import load
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info", "s1"])
+        assert args.design == "s1"
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "nonexistent"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "cse"])
+        assert args.flow == "simultaneous"
+        assert args.effort == "fast"
+        assert args.tracks == 24
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestInfo:
+    def test_prints_stats(self, capsys):
+        assert main(["info", "bw"]) == 0
+        out = capsys.readouterr().out
+        assert "cells: 158" in out.replace(" ", " ")
+
+
+class TestGenerate:
+    def test_writes_loadable_file(self, tmp_path, capsys):
+        path = tmp_path / "s1a.net"
+        assert main(["generate", "s1a", str(path)]) == 0
+        netlist = load(path)
+        assert netlist.num_cells == 163
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestRunAndCompare:
+    """End-to-end CLI runs, on a tiny stand-in circuit for speed."""
+
+    @pytest.fixture(autouse=True)
+    def small_benchmark(self, monkeypatch):
+        from repro import cli
+        from repro.netlist import tiny
+
+        monkeypatch.setattr(
+            cli, "paper_benchmark", lambda name: tiny(seed=3, num_cells=30)
+        )
+
+    def test_run_simultaneous(self, capsys):
+        code = main(
+            ["run", "s1", "--flow", "simultaneous", "--tracks", "12",
+             "--effort", "fast"]
+        )
+        out = capsys.readouterr().out
+        assert "worst_delay_ns" in out
+        assert code == 0  # tiny circuit routes fully at 12 tracks
+
+    def test_run_sequential(self, capsys):
+        main(["run", "s1", "--flow", "sequential", "--tracks", "12"])
+        assert "FlowResult(sequential" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "s1", "--tracks", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "% improvement" in out
+        assert "Timing comparison" in out

@@ -1,0 +1,43 @@
+"""Tests for the effort-level configuration factories."""
+
+from repro.cli import _configs
+from repro.core import AnnealerConfig, fast_config, thorough_config
+from repro.flows import SequentialConfig
+
+
+class TestAnnealerPresets:
+    def test_fast_is_cheaper_than_default(self):
+        fast = fast_config()
+        default = AnnealerConfig()
+        assert fast.attempts_per_cell < default.attempts_per_cell
+        assert (
+            fast.schedule.max_temperatures < default.schedule.max_temperatures
+        )
+
+    def test_thorough_is_heavier_than_default(self):
+        thorough = thorough_config()
+        default = AnnealerConfig()
+        assert thorough.attempts_per_cell > default.attempts_per_cell
+        assert thorough.schedule.lambda_ <= default.schedule.lambda_
+
+    def test_seed_threading(self):
+        assert fast_config(seed=42).seed == 42
+        assert thorough_config(seed=43).seed == 43
+
+
+class TestCliConfigs:
+    def test_fast(self):
+        sim, seq = _configs("fast", seed=5)
+        assert isinstance(sim, AnnealerConfig)
+        assert isinstance(seq, SequentialConfig)
+        assert sim.seed == seq.seed == 5
+
+    def test_normal(self):
+        sim, seq = _configs("normal", seed=6)
+        assert sim.attempts_per_cell == AnnealerConfig().attempts_per_cell
+        assert seq.seed == 6
+
+    def test_thorough(self):
+        sim, seq = _configs("thorough", seed=7)
+        assert sim.attempts_per_cell > AnnealerConfig().attempts_per_cell
+        assert seq.attempts_per_cell > SequentialConfig().attempts_per_cell

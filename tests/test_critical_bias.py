@@ -1,0 +1,83 @@
+"""Tests for criticality-directed move selection (the extension that
+implements the paper's 'current work' speed direction)."""
+
+import random
+
+import pytest
+
+from repro.core import AnnealerConfig, MoveGenerator, ScheduleConfig, SimultaneousAnnealer
+from repro.netlist import tiny
+from repro.place import clustered_placement
+
+from conftest import architecture_for
+
+
+class TestSetFocus:
+    @pytest.fixture
+    def generator(self, tiny_netlist, tiny_arch, rng):
+        placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+        return MoveGenerator(placement, rng, pinmap_probability=0.0)
+
+    def test_invalid_probability(self, generator):
+        with pytest.raises(ValueError):
+            generator.set_focus([1, 2], 1.5)
+
+    def test_empty_focus_disables(self, generator):
+        generator.set_focus([], 0.9)
+        assert generator._focus_probability == 0.0
+
+    def test_focused_cells_preferred(self, generator, tiny_netlist):
+        focus_cell = next(
+            c.index for c in tiny_netlist.cells if c.slot_class == "logic"
+        )
+        generator.set_focus([focus_cell], 1.0)
+        focus_slot_hits = 0
+        proposals = 0
+        placement = generator.placement
+        for _ in range(100):
+            move = generator.propose()
+            if move is None:
+                continue
+            proposals += 1
+            if placement.cell_at(move.slot_a) == focus_cell:
+                focus_slot_hits += 1
+        assert proposals > 0
+        assert focus_slot_hits / proposals > 0.8
+
+    def test_zero_probability_ignores_focus(self, generator, tiny_netlist):
+        focus_cell = next(
+            c.index for c in tiny_netlist.cells if c.slot_class == "logic"
+        )
+        generator.set_focus([focus_cell], 0.0)
+        placement = generator.placement
+        hits = sum(
+            1
+            for _ in range(100)
+            if (move := generator.propose()) is not None
+            and placement.cell_at(move.slot_a) == focus_cell
+        )
+        assert hits < 50
+
+
+class TestAnnealWithBias:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AnnealerConfig(critical_bias=1.5)
+
+    def test_biased_run_converges_and_audits_clean(self):
+        netlist = tiny(seed=9, num_cells=32, depth=4)
+        arch = architecture_for(netlist, tracks=10, vtracks=5)
+        config = AnnealerConfig(
+            seed=2,
+            attempts_per_cell=3,
+            initial="clustered",
+            greedy_rounds=1,
+            critical_bias=0.5,
+            schedule=ScheduleConfig(lambda_=2.0, max_temperatures=12,
+                                    freeze_patience=2),
+        )
+        annealer = SimultaneousAnnealer(netlist, arch, config)
+        result = annealer.run()
+        assert result.fully_routed
+        assert annealer.audit() == []
+        assert result.worst_delay > 0

@@ -1,0 +1,110 @@
+"""Unit tests for the Figure-6 dynamics trace."""
+
+import pytest
+
+from repro.core import DynamicsTrace, TemperatureSample
+
+
+def sample(temperature, cells=0.5, global_frac=0.2, unrouted=0.4,
+           attempts=100, accepted=40):
+    return TemperatureSample(
+        temperature=temperature,
+        attempts=attempts,
+        accepted=accepted,
+        cells_perturbed_frac=cells,
+        global_unrouted_frac=global_frac,
+        unrouted_frac=unrouted,
+        worst_delay=10.0,
+        mean_cost=1.0,
+    )
+
+
+class TestTemperatureSample:
+    def test_acceptance(self):
+        assert sample(1.0, attempts=200, accepted=50).acceptance == 0.25
+
+    def test_acceptance_zero_attempts(self):
+        assert sample(1.0, attempts=0, accepted=0).acceptance == 0.0
+
+    def test_detail_only_gap(self):
+        s = sample(1.0, global_frac=0.1, unrouted=0.35)
+        assert s.detail_only_unrouted_frac == pytest.approx(0.25)
+
+    def test_gap_never_negative(self):
+        s = sample(1.0, global_frac=0.5, unrouted=0.3)
+        assert s.detail_only_unrouted_frac == 0.0
+
+
+class TestTrace:
+    def test_record_and_series(self):
+        trace = DynamicsTrace()
+        trace.record(sample(10.0, cells=0.9))
+        trace.record(sample(5.0, cells=0.4))
+        assert len(trace) == 2
+        assert trace.series("cells_perturbed_frac") == [0.9, 0.4]
+
+    def test_as_rows(self):
+        trace = DynamicsTrace()
+        trace.record(sample(10.0))
+        rows = trace.as_rows()
+        assert rows[0]["temperature"] == 10.0
+        assert rows[0]["unrouted_%"] == pytest.approx(40.0)
+
+    def test_to_csv(self):
+        trace = DynamicsTrace()
+        trace.record(sample(10.0))
+        trace.record(sample(5.0))
+        csv_text = trace.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("temperature,acceptance")
+        assert len(lines) == 3
+        assert lines[1].split(",")[0] == "10"
+
+
+class TestShapeChecks:
+    def make_paper_shaped_trace(self):
+        """Synthesize the Figure-6 shape: activity decays, global
+        unrouted collapses early, detail gap humps then converges."""
+        trace = DynamicsTrace()
+        schedule = [
+            # (cells, global, unrouted)
+            (0.95, 0.40, 0.45),
+            (0.90, 0.25, 0.35),
+            (0.70, 0.10, 0.30),
+            (0.50, 0.00, 0.25),
+            (0.30, 0.00, 0.15),
+            (0.15, 0.00, 0.05),
+            (0.05, 0.00, 0.00),
+        ]
+        for i, (cells, global_frac, unrouted) in enumerate(schedule):
+            trace.record(
+                sample(10.0 / (i + 1), cells=cells, global_frac=global_frac,
+                       unrouted=unrouted)
+            )
+        return trace
+
+    def test_placement_activity_decays(self):
+        assert self.make_paper_shaped_trace().placement_activity_decays()
+
+    def test_global_converges(self):
+        assert self.make_paper_shaped_trace().global_routing_converges_by(0.75)
+
+    def test_detail_hump(self):
+        assert self.make_paper_shaped_trace().detail_hump_exists()
+
+    def test_converged_to_full_routing(self):
+        assert self.make_paper_shaped_trace().converged_to_full_routing()
+
+    def test_flat_trace_fails_checks(self):
+        trace = DynamicsTrace()
+        for _ in range(6):
+            trace.record(sample(1.0, cells=0.5, global_frac=0.3, unrouted=0.5))
+        assert not trace.placement_activity_decays()
+        assert not trace.global_routing_converges_by()
+        assert not trace.detail_hump_exists()
+        assert not trace.converged_to_full_routing()
+
+    def test_empty_trace(self):
+        trace = DynamicsTrace()
+        assert not trace.converged_to_full_routing()
+        assert not trace.detail_hump_exists()

@@ -1,0 +1,144 @@
+"""Unit tests for the RC-tree / Elmore delay model."""
+
+import pytest
+
+from repro.arch import Technology
+from repro.route import IncrementalRouter
+from repro.timing import RCTree, build_rc_tree, routed_sink_delays
+
+
+class TestRCTree:
+    def test_single_rc_stage(self):
+        """Root -- R -- node(C): Elmore = R*C."""
+        tree = RCTree()
+        root = tree.add_node(0.0)
+        node = tree.add_node(2.0, parent=root, resistance=3.0)
+        delays = tree.elmore_delays()
+        assert delays[root] == 0.0
+        assert delays[node] == pytest.approx(6.0)
+
+    def test_two_stage_chain(self):
+        """R1 then R2; C1 at mid, C2 at end.
+
+        Elmore(end) = R1*(C1+C2) + R2*C2.
+        """
+        tree = RCTree()
+        root = tree.add_node(0.0)
+        mid = tree.add_node(1.0, parent=root, resistance=2.0)
+        end = tree.add_node(3.0, parent=mid, resistance=5.0)
+        delays = tree.elmore_delays()
+        assert delays[mid] == pytest.approx(2.0 * 4.0)
+        assert delays[end] == pytest.approx(2.0 * 4.0 + 5.0 * 3.0)
+
+    def test_branching(self):
+        """Side branches load the shared path but not each other."""
+        tree = RCTree()
+        root = tree.add_node(0.0)
+        trunk = tree.add_node(1.0, parent=root, resistance=1.0)
+        left = tree.add_node(2.0, parent=trunk, resistance=1.0)
+        right = tree.add_node(4.0, parent=trunk, resistance=1.0)
+        delays = tree.elmore_delays()
+        assert delays[trunk] == pytest.approx(7.0)  # 1 * (1+2+4)
+        assert delays[left] == pytest.approx(7.0 + 2.0)
+        assert delays[right] == pytest.approx(7.0 + 4.0)
+
+    def test_subtree_caps(self):
+        tree = RCTree()
+        root = tree.add_node(1.0)
+        a = tree.add_node(2.0, parent=root, resistance=1.0)
+        b = tree.add_node(4.0, parent=a, resistance=1.0)
+        totals = tree.subtree_caps()
+        assert totals[b] == 4.0
+        assert totals[a] == 6.0
+        assert totals[root] == 7.0
+
+    def test_parent_ordering_enforced(self):
+        tree = RCTree()
+        tree.add_node(0.0)
+        with pytest.raises(ValueError, match="existing parent"):
+            tree.add_node(1.0, parent=5, resistance=1.0)
+
+    def test_total_cap(self):
+        tree = RCTree()
+        tree.add_node(1.5)
+        tree.add_node(2.5, parent=0, resistance=1.0)
+        assert tree.total_cap() == pytest.approx(4.0)
+
+
+class TestBuildRCTree:
+    def test_rejects_unrouted_net(self, routed_tiny, tech):
+        placement, state = routed_tiny
+        net = state.routes[0].net_index
+        state.rip_up(net)
+        with pytest.raises(ValueError, match="not fully routed"):
+            build_rc_tree(state, tech, net)
+
+    def test_one_sink_node_per_sink(self, routed_tiny, tech):
+        _, state = routed_tiny
+        for route in state.routes:
+            if not route.fully_routed:
+                continue
+            net = state.netlist.nets[route.net_index]
+            tree, sinks = build_rc_tree(state, tech, route.net_index)
+            assert len(sinks) == len(net.sinks)
+            assert len(set(sinks)) == len(sinks)
+
+    def test_delays_positive(self, routed_tiny, tech):
+        _, state = routed_tiny
+        for route in state.routes:
+            if route.fully_routed:
+                delays = routed_sink_delays(state, tech, route.net_index)
+                assert all(d > 0 for d in delays)
+
+    def test_tree_cap_includes_pins(self, routed_tiny, tech):
+        _, state = routed_tiny
+        route = next(r for r in state.routes if r.fully_routed)
+        net = state.netlist.nets[route.net_index]
+        tree, _ = build_rc_tree(state, tech, route.net_index)
+        assert tree.total_cap() >= len(net.sinks) * tech.c_pin
+
+    def test_antifuses_increase_delay(self, routed_tiny):
+        """Raising antifuse R must not decrease any routed sink delay."""
+        _, state = routed_tiny
+        cheap = Technology(r_antifuse=0.01, r_cross=0.01, r_vantifuse=0.01)
+        costly = Technology(r_antifuse=5.0, r_cross=5.0, r_vantifuse=5.0)
+        for route in state.routes:
+            if not route.fully_routed:
+                continue
+            d_cheap = routed_sink_delays(state, cheap, route.net_index)
+            d_costly = routed_sink_delays(state, costly, route.net_index)
+            for a, b in zip(d_cheap, d_costly):
+                assert b > a
+
+    def test_multi_channel_net_slower_than_rewired_estimate(
+        self, routed_tiny, tech
+    ):
+        """Vertical crossings add delay: sinks in far channels are slower
+        than sinks in the driver's own channel (same net)."""
+        _, state = routed_tiny
+        placement = state.placement
+        checked = False
+        for route in state.routes:
+            if not (route.fully_routed and route.needs_vertical):
+                continue
+            net = state.netlist.nets[route.net_index]
+            driver_cell = state.netlist.cell(net.driver[0])
+            drv_chan, _ = placement.pin_position(driver_cell.index, net.driver[1])
+            delays = routed_sink_delays(state, tech, route.net_index)
+            same, far = [], []
+            for (cell_name, port), delay in zip(net.sinks, delays):
+                cell = state.netlist.cell(cell_name)
+                chan, _ = placement.pin_position(cell.index, port)
+                (same if chan == drv_chan else far).append(delay)
+            if same and far:
+                assert max(far) > min(same)
+                checked = True
+        if not checked:
+            pytest.skip("no net with both near and far sinks in this draw")
+
+    def test_deterministic(self, routed_tiny, tech):
+        _, state = routed_tiny
+        route = next(r for r in state.routes if r.fully_routed)
+        a = routed_sink_delays(state, tech, route.net_index)
+        b = routed_sink_delays(state, tech, route.net_index)
+        assert a == b

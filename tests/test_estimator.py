@@ -1,0 +1,82 @@
+"""Unit tests for the crude (pre-embedding) delay estimator."""
+
+import pytest
+
+from repro.route import RoutingState
+from repro.place import clustered_placement
+from repro.timing import estimate_by_position, estimate_net_delay
+
+
+@pytest.fixture
+def state(tiny_netlist, tiny_arch, rng):
+    placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+    return RoutingState(placement)
+
+
+class TestEstimateNetDelay:
+    def test_positive_for_all_nets(self, state, tech):
+        for route in state.routes:
+            assert estimate_net_delay(route, state.fabric, tech) > 0
+
+    def test_monotone_in_span(self, state, tech):
+        """A geometrically wider copy of a route estimates slower."""
+        route = state.routes[0]
+        base = estimate_net_delay(route, state.fabric, tech)
+        import copy
+
+        wide = copy.deepcopy(route)
+        width = state.fabric.cols
+        wide.pin_channels = {
+            c: [0] + cols + [width - 1] for c, cols in wide.pin_channels.items()
+        }
+        wide.xmin, wide.xmax = 0, width - 1
+        assert estimate_net_delay(wide, state.fabric, tech) > base
+
+    def test_multi_channel_slower_than_single(self, state, tech):
+        import copy
+
+        route = next(r for r in state.routes if not r.needs_vertical)
+        single = estimate_net_delay(route, state.fabric, tech)
+        tall = copy.deepcopy(route)
+        far_channel = (
+            route.cmin + 2
+            if route.cmin + 2 < state.fabric.num_channels
+            else route.cmin - 2
+        )
+        tall.pin_channels = dict(tall.pin_channels)
+        tall.pin_channels[far_channel] = [tall.xmin]
+        tall.cmin = min(tall.cmin, far_channel)
+        tall.cmax = max(tall.cmax, far_channel)
+        assert estimate_net_delay(tall, state.fabric, tech) > single
+
+    def test_uses_trunk_when_globally_routed(self, state, tech):
+        from repro.route import route_net_global
+
+        route = next(r for r in state.routes if r.needs_vertical)
+        before = estimate_net_delay(route, state.fabric, tech)
+        assert route_net_global(state, route.net_index)
+        after = estimate_net_delay(route, state.fabric, tech)
+        # Same formula but the known trunk replaces the bbox-center
+        # guess; values agree when the trunk IS the center.
+        center = (route.xmin + route.xmax) // 2
+        if route.vertical.column == center:
+            assert after == pytest.approx(before)
+
+
+class TestEstimateByPosition:
+    def test_positive(self, state, tech):
+        value = estimate_by_position(0, 2, 1, 8, 3, state.fabric, tech)
+        assert value > 0
+
+    def test_grows_with_span(self, state, tech):
+        near = estimate_by_position(0, 0, 0, 2, 1, state.fabric, tech)
+        far = estimate_by_position(0, 0, 0, state.fabric.cols - 1, 1,
+                                   state.fabric, tech)
+        assert far > near
+
+    def test_grows_with_channel_span(self, state, tech):
+        flat = estimate_by_position(1, 1, 0, 4, 1, state.fabric, tech)
+        tall = estimate_by_position(
+            0, state.fabric.num_channels - 1, 0, 4, 1, state.fabric, tech
+        )
+        assert tall > flat

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least import cleanly (syntax + API surface); the
+cheap ones also execute end to end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "segmentation_leverage",
+    "flow_comparison",
+    "wirability_sweep",
+    "architecture_study",
+    "layout_inspection",
+    "multi_chip",
+]
+
+
+class TestImportable:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+
+class TestRunnable:
+    def test_segmentation_leverage_runs(self, capsys):
+        load_example("segmentation_leverage").main()
+        out = capsys.readouterr().out
+        assert "UNROUTABLE" in out
+        assert "routable" in out

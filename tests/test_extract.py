@@ -1,0 +1,94 @@
+"""Tests for per-chip netlist extraction from a partition."""
+
+import pytest
+
+from repro.netlist import CircuitSpec, generate, validate
+from repro.partition import (
+    bipartition,
+    extract_all_blocks,
+    extract_block_netlist,
+    kway_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def partitioned():
+    netlist = generate(CircuitSpec("mc", num_cells=80, seed=11))
+    partition = bipartition(netlist, seed=1)
+    return netlist, partition
+
+
+class TestExtraction:
+    def test_blocks_are_valid_netlists(self, partitioned):
+        _, partition = partitioned
+        for block in extract_all_blocks(partition).values():
+            assert validate(block) == []
+
+    def test_cells_conserved_plus_pads(self, partitioned):
+        netlist, partition = partitioned
+        blocks = extract_all_blocks(partition)
+        original = sum(partition.block_sizes().values())
+        total = sum(b.num_cells for b in blocks.values())
+        pads = sum(
+            1
+            for b in blocks.values()
+            for cell in b.cells
+            if cell.name.startswith(("xport_", "iport_"))
+        )
+        assert total - pads == original
+        assert netlist.num_cells == original
+
+    def test_pad_count_matches_cut(self, partitioned):
+        """Each cut net adds exactly one xport (driver side) and one
+        iport per reading block (two blocks -> exactly one)."""
+        _, partition = partitioned
+        blocks = extract_all_blocks(partition)
+        xports = sum(
+            1
+            for b in blocks.values()
+            for cell in b.cells
+            if cell.name.startswith("xport_")
+        )
+        iports = sum(
+            1
+            for b in blocks.values()
+            for cell in b.cells
+            if cell.name.startswith("iport_")
+        )
+        assert xports == partition.cut_size
+        assert iports == partition.cut_size
+
+    def test_membership_respected(self, partitioned):
+        netlist, partition = partitioned
+        block0 = extract_block_netlist(partition, 0)
+        for cell in block0.cells:
+            if cell.name.startswith(("xport_", "iport_")):
+                continue
+            assert partition.side_of[netlist.cell(cell.name).index] == 0
+
+    def test_empty_block_rejected(self, partitioned):
+        _, partition = partitioned
+        with pytest.raises(ValueError, match="empty"):
+            extract_block_netlist(partition, 99)
+
+    def test_kway_extraction(self):
+        netlist = generate(CircuitSpec("mc4", num_cells=96, seed=12))
+        partition = kway_partition(netlist, k=4, seed=2)
+        blocks = extract_all_blocks(partition)
+        assert len(blocks) == 4
+        for block in blocks.values():
+            assert validate(block) == []
+
+    def test_blocks_lay_out(self, partitioned):
+        """Each chip netlist must go through the layout substrate."""
+        from conftest import architecture_for
+        from repro.place import clustered_placement
+        from repro.route import IncrementalRouter, RoutingState
+
+        _, partition = partitioned
+        for block in extract_all_blocks(partition).values():
+            arch = architecture_for(block, tracks=18, vtracks=6)
+            placement = clustered_placement(block, arch.build())
+            state = RoutingState(placement)
+            IncrementalRouter(state).route_all_from_scratch()
+            assert state.check_consistency() == []

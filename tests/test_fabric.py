@@ -1,0 +1,132 @@
+"""Unit tests for repro.arch.fabric."""
+
+import pytest
+
+from repro.arch import Fabric, FabricSpec, IO, LOGIC, fabric_spec_for
+
+from conftest import make_spec
+
+
+class TestFabricSpec:
+    def test_build(self):
+        fabric = make_spec().build()
+        assert fabric.rows == 4
+        assert fabric.cols == 12
+        assert fabric.num_channels == 5
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FabricSpec(rows=0, cols=4, tracks_per_channel=4, vtracks_per_column=2)
+
+    def test_invalid_tracks(self):
+        with pytest.raises(ValueError):
+            FabricSpec(rows=2, cols=4, tracks_per_channel=0, vtracks_per_column=2)
+
+    def test_io_cols_must_fit(self):
+        with pytest.raises(ValueError, match="io_cols"):
+            FabricSpec(rows=2, cols=4, tracks_per_channel=4,
+                       vtracks_per_column=2, io_cols=3)
+
+    def test_with_tracks(self):
+        spec = make_spec(tracks=6)
+        grown = spec.with_tracks(10)
+        assert grown.tracks_per_channel == 10
+        assert grown.rows == spec.rows
+        assert grown.build().channels[0].num_tracks == 10
+
+
+class TestSlotGeometry:
+    def test_slot_kinds(self):
+        fabric = make_spec(rows=2, cols=6, io_cols=1).build()
+        assert fabric.slot_kind(0, 0) == IO
+        assert fabric.slot_kind(0, 5) == IO
+        assert fabric.slot_kind(0, 1) == LOGIC
+        assert fabric.slot_kind(1, 4) == LOGIC
+
+    def test_capacity(self):
+        fabric = make_spec(rows=2, cols=6, io_cols=1).build()
+        assert fabric.capacity(IO) == 4
+        assert fabric.capacity(LOGIC) == 8
+        assert len(fabric.slots()) == 12
+        assert len(fabric.slots_of_kind(IO)) == 4
+
+    def test_capacity_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_spec().build().capacity("weird")
+
+    def test_slot_bounds_checked(self):
+        fabric = make_spec(rows=2, cols=6).build()
+        with pytest.raises(ValueError):
+            fabric.slot_kind(2, 0)
+        with pytest.raises(ValueError):
+            fabric.slot_kind(0, 6)
+
+    def test_channel_for(self):
+        fabric = make_spec(rows=3, cols=6).build()
+        assert fabric.channel_for(0, "bottom") == 0
+        assert fabric.channel_for(0, "top") == 1
+        assert fabric.channel_for(2, "top") == 3
+
+    def test_channel_for_invalid_side(self):
+        with pytest.raises(ValueError, match="side"):
+            make_spec().build().channel_for(0, "left")
+
+
+class TestResources:
+    def test_channel_count_and_width(self):
+        fabric = make_spec(rows=4, cols=12).build()
+        assert len(fabric.channels) == 5
+        assert all(ch.width == 12 for ch in fabric.channels)
+
+    def test_vertical_columns(self):
+        fabric = make_spec(rows=4, cols=12, vtracks=4).build()
+        assert len(fabric.vcolumns) == 12
+        assert all(vc.num_channels == 5 for vc in fabric.vcolumns)
+        assert all(vc.num_tracks == 4 for vc in fabric.vcolumns)
+
+    def test_utilization_starts_at_zero(self):
+        fabric = make_spec().build()
+        assert fabric.horizontal_utilization() == 0.0
+        assert fabric.vertical_utilization() == 0.0
+
+    def test_occupancy_report_structure(self):
+        fabric = make_spec(rows=2, cols=6, tracks=2).build()
+        report = fabric.occupancy_report()
+        assert report.count("--- channel") == 3
+        assert "row 0:" in report and "row 1:" in report
+
+    def test_repr(self):
+        assert "4x12" in repr(make_spec().build())
+
+
+class TestFabricSpecFor:
+    def test_fits_requested_cells(self):
+        spec = fabric_spec_for(num_io=20, num_logic=100)
+        fabric = spec.build()
+        assert fabric.capacity(IO) >= 20
+        assert fabric.capacity(LOGIC) >= 100
+
+    def test_utilization_headroom(self):
+        spec = fabric_spec_for(num_io=10, num_logic=50, utilization=0.5)
+        fabric = spec.build()
+        assert fabric.capacity(LOGIC) >= 100
+
+    def test_wide_aspect(self):
+        spec = fabric_spec_for(num_io=16, num_logic=160, aspect=2.5)
+        assert spec.cols > spec.rows
+
+    def test_explicit_io_cols(self):
+        spec = fabric_spec_for(num_io=8, num_logic=40, io_cols=2)
+        assert spec.io_cols == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fabric_spec_for(num_io=-1, num_logic=10)
+        with pytest.raises(ValueError):
+            fabric_spec_for(num_io=0, num_logic=0)
+        with pytest.raises(ValueError):
+            fabric_spec_for(num_io=1, num_logic=10, utilization=0.0)
+
+    def test_io_only_netlist_supported(self):
+        spec = fabric_spec_for(num_io=4, num_logic=0)
+        assert spec.build().capacity(IO) >= 4

@@ -1,0 +1,118 @@
+"""Tests for the synthetic benchmark generator (repro.netlist.generators)."""
+
+import pytest
+
+from repro.netlist import (
+    CircuitSpec,
+    PAPER_SPECS,
+    TABLE_DESIGNS,
+    generate,
+    paper_benchmark,
+    paper_benchmarks,
+    tiny,
+    validate,
+)
+from repro.timing import levelize, max_level
+
+
+class TestSpecValidation:
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=4, seed=1)
+
+    def test_depth_too_small(self):
+        with pytest.raises(ValueError):
+            CircuitSpec("x", num_cells=50, seed=1, depth=1)
+
+    def test_fraction_overflow(self):
+        with pytest.raises(ValueError):
+            CircuitSpec(
+                "x", num_cells=50, seed=1,
+                frac_inputs=0.5, frac_outputs=0.4, frac_seq=0.2,
+            )
+
+
+class TestGenerate:
+    def test_exact_cell_count(self):
+        netlist = generate(CircuitSpec("x", num_cells=100, seed=42))
+        assert netlist.num_cells == 100
+
+    def test_structurally_valid(self):
+        netlist = generate(CircuitSpec("x", num_cells=120, seed=5, depth=6))
+        assert validate(netlist) == []
+
+    def test_deterministic(self):
+        spec = CircuitSpec("x", num_cells=80, seed=11)
+        a, b = generate(spec), generate(spec)
+        assert [c.name for c in a.cells] == [c.name for c in b.cells]
+        for net_a, net_b in zip(a.nets, b.nets):
+            assert net_a.driver == net_b.driver
+            assert net_a.sinks == net_b.sinks
+
+    def test_seed_changes_wiring(self):
+        a = generate(CircuitSpec("x", num_cells=80, seed=1))
+        b = generate(CircuitSpec("x", num_cells=80, seed=2))
+        assert any(
+            net_a.sinks != net_b.sinks for net_a, net_b in zip(a.nets, b.nets)
+        )
+
+    def test_every_output_drives_something(self):
+        netlist = generate(CircuitSpec("x", num_cells=90, seed=3))
+        for cell in netlist.cells:
+            for port in cell.output_ports:
+                net_index = netlist.driver_net(cell.index, port)
+                assert net_index is not None
+                assert netlist.nets[net_index].fanout >= 1
+
+    def test_depth_respected(self):
+        spec = CircuitSpec("x", num_cells=120, seed=9, depth=6)
+        netlist = generate(spec)
+        levels = levelize(netlist)
+        assert max_level(levels) == 6
+
+    def test_fanout_capped(self):
+        spec = CircuitSpec("x", num_cells=150, seed=4, max_fanout=10)
+        netlist = generate(spec)
+        assert max(net.fanout for net in netlist.nets) <= 10
+
+    def test_kind_mix(self):
+        netlist = generate(CircuitSpec("x", num_cells=200, seed=6))
+        stats = netlist.stats()
+        assert stats["inputs"] >= 2
+        assert stats["outputs"] >= 2
+        assert stats["seq"] >= 1
+        assert stats["comb"] > stats["inputs"] + stats["outputs"]
+
+
+class TestPaperBenchmarks:
+    def test_paper_cell_counts(self):
+        expected = {"s1": 181, "cse": 156, "ex1": 227, "bw": 158, "s1a": 163,
+                    "big529": 529}
+        for name, count in expected.items():
+            assert paper_benchmark(name).num_cells == count
+
+    def test_table_designs_order(self):
+        assert TABLE_DESIGNS == ("s1", "cse", "ex1", "bw", "s1a")
+
+    def test_all_paper_benchmarks_valid(self):
+        for name in PAPER_SPECS:
+            assert validate(paper_benchmark(name)) == [], name
+
+    def test_paper_benchmarks_dict(self):
+        benchmarks = paper_benchmarks()
+        assert set(benchmarks) == set(TABLE_DESIGNS)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            paper_benchmark("s2")
+
+
+class TestTiny:
+    def test_default(self):
+        netlist = tiny()
+        assert netlist.num_cells == 24
+        assert validate(netlist) == []
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_many_seeds_valid(self, seed):
+        assert validate(tiny(seed=seed)) == []

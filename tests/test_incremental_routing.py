@@ -1,0 +1,178 @@
+"""Tests for the rip-up/repair engine and its undo journal.
+
+The journal's bit-exact rollback is what makes routing-in-the-loop
+annealing sound; these tests hammer it directly.
+"""
+
+import random
+
+import pytest
+
+from repro.place import clustered_placement, random_placement
+from repro.route import IncrementalRouter, NetJournal, RoutingState
+
+
+def snapshot_occupancy(state):
+    """Full occupancy fingerprint of the fabric (for exactness checks)."""
+    horizontal = tuple(
+        tuple(
+            tuple(
+                channel.owner_of(track, seg)
+                for seg in range(len(channel.segmentation.tracks[track]))
+            )
+            for track in range(channel.num_tracks)
+        )
+        for channel in state.fabric.channels
+    )
+    vertical = tuple(
+        tuple(
+            tuple(
+                vc._channel.owner_of(track, seg)
+                for seg in range(len(vc.segmentation.tracks[track]))
+            )
+            for track in range(vc.num_tracks)
+        )
+        for vc in state.fabric.vcolumns
+    )
+    routes = tuple(
+        (route.vertical, tuple(sorted(route.claims.items())))
+        for route in state.routes
+    )
+    return horizontal, vertical, routes
+
+
+@pytest.fixture
+def routed_state(tiny_netlist, tiny_arch, rng):
+    placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+    state = RoutingState(placement)
+    IncrementalRouter(state).route_all_from_scratch()
+    return state
+
+
+class TestRouteAllFromScratch:
+    def test_complete_on_generous_fabric(self, routed_state):
+        assert routed_state.is_complete()
+        assert routed_state.check_consistency() == []
+
+    def test_idempotent(self, routed_state):
+        router = IncrementalRouter(routed_state)
+        router.route_all_from_scratch()
+        assert routed_state.is_complete()
+        assert routed_state.check_consistency() == []
+
+
+class TestRipUpRepairCycle:
+    def test_rip_and_repair_single_net(self, routed_state):
+        router = IncrementalRouter(routed_state)
+        net = next(r for r in routed_state.routes if r.needs_vertical).net_index
+        router.rip_up_nets([net])
+        assert not routed_state.routes[net].fully_routed
+        router.refresh_nets([net])
+        router.repair()
+        assert routed_state.routes[net].fully_routed
+        assert routed_state.check_consistency() == []
+
+    def test_repair_touches_reported_nets(self, routed_state):
+        router = IncrementalRouter(routed_state)
+        nets = [r.net_index for r in routed_state.routes[:3]]
+        router.rip_up_nets(nets)
+        router.refresh_nets(nets)
+        touched = router.repair()
+        assert set(nets) <= touched
+
+
+class TestJournalRollback:
+    def test_rollback_restores_occupancy_exactly(self, routed_state):
+        router = IncrementalRouter(routed_state)
+        before = snapshot_occupancy(routed_state)
+        journal = NetJournal(routed_state)
+        nets = [r.net_index for r in routed_state.routes[:4]]
+        router.rip_up_nets(nets, journal)
+        router.refresh_nets(nets)
+        router.repair(journal)
+        journal.restore_all()
+        assert snapshot_occupancy(routed_state) == before
+        assert routed_state.check_consistency() == []
+
+    def test_rollback_after_placement_change(self, routed_state, rng):
+        """Rip, move a cell, repair, then undo the move and roll back."""
+        router = IncrementalRouter(routed_state)
+        placement = routed_state.placement
+        netlist = placement.netlist
+        before = snapshot_occupancy(routed_state)
+
+        cell = next(c for c in netlist.cells if c.slot_class == "logic")
+        nets = list(netlist.nets_of_cell(cell.index))
+        slot_a = placement.slot_of(cell.index)
+        empties = [
+            s
+            for s in placement.fabric.slots_of_kind("logic")
+            if placement.cell_at(s) is None
+        ]
+        slot_b = empties[0] if empties else None
+        if slot_b is None:
+            pytest.skip("fabric is full")
+
+        journal = NetJournal(routed_state)
+        router.rip_up_nets(nets, journal)
+        placement.swap_slots(slot_a, slot_b)
+        router.refresh_nets(nets)
+        router.repair(journal)
+
+        placement.swap_slots(slot_a, slot_b)  # undo the move first
+        journal.restore_all()
+        assert snapshot_occupancy(routed_state) == before
+        assert routed_state.check_consistency() == []
+
+    def test_snapshot_first_wins(self, routed_state):
+        journal = NetJournal(routed_state)
+        net = routed_state.routes[0].net_index
+        journal.snapshot(net)
+        original = journal._snapshots[net]
+        routed_state.rip_up(net)
+        journal.snapshot(net)  # must not overwrite
+        assert journal._snapshots[net] is original
+
+    def test_rollback_covers_bystander_nets(self, tiny_netlist, tiny_arch):
+        """A net that only becomes routable mid-transaction must also be
+        rolled back (the paper's Figure-3 'net 6' situation)."""
+        rng = random.Random(99)
+        placement = random_placement(tiny_netlist, tiny_arch.build(), rng)
+        state = RoutingState(placement)
+        router = IncrementalRouter(state)
+        router.route_all_from_scratch()
+        before = snapshot_occupancy(state)
+        # Rip up EVERY net on some cell and repair; repair also retries
+        # any unroutable bystanders.
+        cell = tiny_netlist.cells[0]
+        nets = list(tiny_netlist.nets_of_cell(cell.index))
+        journal = NetJournal(state)
+        router.rip_up_nets(nets, journal)
+        router.refresh_nets(nets)
+        router.repair(journal)
+        journal.restore_all()
+        assert snapshot_occupancy(state) == before
+
+
+class TestRandomizedTransactions:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_many_random_ripup_rollback_cycles(self, tiny_netlist, tiny_arch, seed):
+        """Stress: random rip-up sets, half rolled back, half committed;
+        consistency must hold throughout."""
+        rng = random.Random(seed)
+        placement = random_placement(tiny_netlist, tiny_arch.build(), rng)
+        state = RoutingState(placement)
+        router = IncrementalRouter(state)
+        router.route_all_from_scratch()
+        all_nets = [r.net_index for r in state.routes]
+        for iteration in range(30):
+            nets = rng.sample(all_nets, k=rng.randint(1, 4))
+            journal = NetJournal(state)
+            before = snapshot_occupancy(state)
+            router.rip_up_nets(nets, journal)
+            router.refresh_nets(nets)
+            router.repair(journal)
+            if iteration % 2 == 0:
+                journal.restore_all()
+                assert snapshot_occupancy(state) == before
+            assert state.check_consistency() == [], f"iteration {iteration}"

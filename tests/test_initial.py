@@ -1,0 +1,84 @@
+"""Unit tests for initial placement constructors."""
+
+import random
+
+import pytest
+
+from repro.place import (
+    PlacementError,
+    clustered_placement,
+    random_placement,
+    total_hpwl,
+)
+
+from conftest import architecture_for
+
+
+class TestRandomPlacement:
+    def test_complete_and_legal(self, tiny_netlist, tiny_arch, rng):
+        placement = random_placement(tiny_netlist, tiny_arch.build(), rng)
+        assert placement.is_complete()
+        for cell in tiny_netlist.cells:
+            slot = placement.slot_of(cell.index)
+            assert placement.fabric.slot_kind(*slot) == cell.slot_class
+
+    def test_no_overlaps(self, tiny_netlist, tiny_arch, rng):
+        placement = random_placement(tiny_netlist, tiny_arch.build(), rng)
+        slots = [placement.slot_of(c.index) for c in tiny_netlist.cells]
+        assert len(set(slots)) == len(slots)
+
+    def test_seed_determinism(self, tiny_netlist, tiny_arch):
+        a = random_placement(tiny_netlist, tiny_arch.build(), random.Random(7))
+        b = random_placement(tiny_netlist, tiny_arch.build(), random.Random(7))
+        for cell in tiny_netlist.cells:
+            assert a.slot_of(cell.index) == b.slot_of(cell.index)
+
+    def test_different_seeds_differ(self, tiny_netlist, tiny_arch):
+        a = random_placement(tiny_netlist, tiny_arch.build(), random.Random(1))
+        b = random_placement(tiny_netlist, tiny_arch.build(), random.Random(2))
+        assert any(
+            a.slot_of(c.index) != b.slot_of(c.index) for c in tiny_netlist.cells
+        )
+
+    def test_capacity_checked(self, tiny_netlist):
+        cramped = architecture_for(tiny_netlist, utilization=0.8)
+        # Shrink the fabric below the netlist size.
+        from repro.arch import FabricSpec
+
+        spec = cramped.spec
+        too_small = FabricSpec(
+            rows=1, cols=4, tracks_per_channel=spec.tracks_per_channel,
+            vtracks_per_column=spec.vtracks_per_column, io_cols=1,
+        )
+        with pytest.raises(PlacementError, match="do not fit"):
+            random_placement(tiny_netlist, too_small.build())
+
+
+class TestClusteredPlacement:
+    def test_complete_and_legal(self, tiny_netlist, tiny_arch):
+        placement = clustered_placement(tiny_netlist, tiny_arch.build())
+        assert placement.is_complete()
+        for cell in tiny_netlist.cells:
+            slot = placement.slot_of(cell.index)
+            assert placement.fabric.slot_kind(*slot) == cell.slot_class
+
+    def test_beats_average_random_on_wirelength(self, small_netlist):
+        # Individual random draws can get lucky on a small fabric, so
+        # compare against the mean of several seeds.
+        arch = architecture_for(small_netlist)
+        random_mean = sum(
+            total_hpwl(
+                random_placement(small_netlist, arch.build(), random.Random(s))
+            )
+            for s in range(1, 6)
+        ) / 5
+        clustered_hpwl = total_hpwl(
+            clustered_placement(small_netlist, arch.build())
+        )
+        assert clustered_hpwl < random_mean
+
+    def test_deterministic(self, tiny_netlist, tiny_arch):
+        a = clustered_placement(tiny_netlist, tiny_arch.build())
+        b = clustered_placement(tiny_netlist, tiny_arch.build())
+        for cell in tiny_netlist.cells:
+            assert a.slot_of(cell.index) == b.slot_of(cell.index)

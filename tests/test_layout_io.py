@@ -1,0 +1,135 @@
+"""Tests for layout serialization (save/load of a finished P&R)."""
+
+import io
+import json
+
+import pytest
+
+from repro.flows import (
+    LayoutFormatError,
+    layout_from_dict,
+    layout_to_dict,
+    load_layout,
+    save_layout,
+)
+from repro.timing import analyze
+
+
+@pytest.fixture
+def layout(routed_tiny, tiny_arch):
+    placement, state = routed_tiny
+    return placement, state, tiny_arch
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_layout(self, layout, tiny_netlist, tech):
+        placement, state, arch = layout
+        data = layout_to_dict(placement, state)
+        placement2, state2 = layout_from_dict(tiny_netlist, arch, data)
+
+        for cell in tiny_netlist.cells:
+            assert placement2.slot_of(cell.index) == placement.slot_of(cell.index)
+            assert placement2.pinmap_index(cell.index) == placement.pinmap_index(
+                cell.index
+            )
+        for route_a, route_b in zip(state.routes, state2.routes):
+            assert route_a.vertical == route_b.vertical
+            assert route_a.claims == route_b.claims
+
+    def test_timing_identical_after_reload(self, layout, tiny_netlist, tech):
+        placement, state, arch = layout
+        before = analyze(state, tech).worst_delay
+        _, state2 = layout_from_dict(
+            tiny_netlist, arch, layout_to_dict(placement, state)
+        )
+        assert analyze(state2, tech).worst_delay == pytest.approx(before)
+
+    def test_file_roundtrip(self, layout, tiny_netlist, tmp_path):
+        placement, state, arch = layout
+        path = tmp_path / "layout.json"
+        save_layout(placement, state, path)
+        placement2, state2 = load_layout(tiny_netlist, arch, path)
+        assert state2.check_consistency() == []
+        assert state2.is_complete() == state.is_complete()
+
+    def test_stream_roundtrip(self, layout, tiny_netlist):
+        placement, state, arch = layout
+        buffer = io.StringIO()
+        save_layout(placement, state, buffer)
+        buffer.seek(0)
+        _, state2 = load_layout(tiny_netlist, arch, buffer)
+        assert state2.check_consistency() == []
+
+
+class TestValidation:
+    def _data(self, layout):
+        placement, state, _ = layout
+        return layout_to_dict(placement, state)
+
+    def test_wrong_circuit_rejected(self, layout, tiny_netlist):
+        _, _, arch = layout
+        data = self._data(layout)
+        data["circuit"] = "someone-else"
+        with pytest.raises(LayoutFormatError, match="circuit"):
+            layout_from_dict(tiny_netlist, arch, data)
+
+    def test_wrong_format_version(self, layout, tiny_netlist):
+        _, _, arch = layout
+        data = self._data(layout)
+        data["format"] = 999
+        with pytest.raises(LayoutFormatError, match="format"):
+            layout_from_dict(tiny_netlist, arch, data)
+
+    def test_missing_cell_rejected(self, layout, tiny_netlist):
+        _, _, arch = layout
+        data = self._data(layout)
+        del data["cells"][tiny_netlist.cells[0].name]
+        with pytest.raises(LayoutFormatError, match="missing"):
+            layout_from_dict(tiny_netlist, arch, data)
+
+    def test_unknown_cell_rejected(self, layout, tiny_netlist):
+        _, _, arch = layout
+        data = self._data(layout)
+        data["cells"]["ghost"] = {"slot": [0, 0], "pinmap": 0}
+        with pytest.raises(LayoutFormatError, match="unknown cell"):
+            layout_from_dict(tiny_netlist, arch, data)
+
+    def test_double_booked_segment_rejected(self, layout, tiny_netlist):
+        _, _, arch = layout
+        data = self._data(layout)
+        # Copy one net's claims onto another net -> occupancy collision.
+        names = [n for n, e in data["nets"].items() if e["claims"]]
+        victim, thief = names[0], names[1]
+        data["nets"][thief]["claims"] = data["nets"][victim]["claims"]
+        data["nets"][thief].pop("vertical", None)
+        with pytest.raises(LayoutFormatError):
+            layout_from_dict(tiny_netlist, arch, data)
+
+    def test_overlapping_cells_rejected(self, layout, tiny_netlist):
+        _, _, arch = layout
+        data = self._data(layout)
+        names = list(data["cells"])
+        same_kind = [
+            n for n in names
+            if tiny_netlist.cell(n).slot_class
+            == tiny_netlist.cell(names[0]).slot_class
+        ]
+        a, b = same_kind[0], same_kind[1]
+        data["cells"][b]["slot"] = data["cells"][a]["slot"]
+        with pytest.raises(LayoutFormatError, match="occupied"):
+            layout_from_dict(tiny_netlist, arch, data)
+
+    def test_incomplete_placement_not_serializable(self, layout, tiny_netlist):
+        placement, state, _ = layout
+        cell = tiny_netlist.cells[0]
+        # Rip the nets first so unplacing is legal state-wise.
+        for net_index in tiny_netlist.nets_of_cell(cell.index):
+            state.rip_up(net_index)
+        placement.unplace(cell.index)
+        with pytest.raises(LayoutFormatError, match="unplaced"):
+            layout_to_dict(placement, state)
+
+    def test_json_is_plain(self, layout):
+        placement, state, _ = layout
+        text = json.dumps(layout_to_dict(placement, state))
+        assert "slot" in text and "claims" in text

@@ -1,0 +1,95 @@
+"""Unit tests for repro.timing.levelize."""
+
+import pytest
+
+from repro.netlist import Cell, Net, build_netlist
+from repro.timing import (
+    LevelizationError,
+    cells_in_level_order,
+    levelize,
+    max_level,
+)
+
+
+class TestLevelize:
+    def test_boundaries_level_zero(self, micro_netlist):
+        levels = levelize(micro_netlist)
+        for cell in micro_netlist.boundary_cells():
+            assert levels[cell.index] == 0
+
+    def test_chain_levels(self, micro_netlist):
+        levels = levelize(micro_netlist)
+        assert levels[micro_netlist.cell("c0").index] == 1
+        assert levels[micro_netlist.cell("c1").index] == 2
+
+    def test_level_is_one_plus_max_fanin(self, tiny_netlist):
+        levels = levelize(tiny_netlist)
+        for cell in tiny_netlist.cells:
+            if cell.kind != "comb":
+                continue
+            fanin_levels = [
+                levels[f] for f in tiny_netlist.fanin_cells(cell.index)
+            ]
+            assert levels[cell.index] == 1 + max(fanin_levels)
+
+    def test_reconvergence(self):
+        """Diamond: c2 sees c0 (level 1) and c1 (level 2) -> level 3."""
+        cells = [
+            Cell("pi", "input"),
+            Cell("c0", "comb", num_inputs=1),
+            Cell("c1", "comb", num_inputs=1),
+            Cell("c2", "comb", num_inputs=2),
+            Cell("po", "output", num_inputs=1),
+        ]
+        nets = [
+            Net("n0", ("pi", "pad_out"), (("c0", "i0"),)),
+            Net("n1", ("c0", "y"), (("c1", "i0"), ("c2", "i0"))),
+            Net("n2", ("c1", "y"), (("c2", "i1"),)),
+            Net("n3", ("c2", "y"), (("po", "pad_in"),)),
+        ]
+        netlist = build_netlist("diamond", cells, nets)
+        levels = levelize(netlist)
+        assert levels[netlist.cell("c2").index] == 3
+
+    def test_cycle_raises(self):
+        cells = [
+            Cell("pi", "input"),
+            Cell("c0", "comb", num_inputs=2),
+            Cell("c1", "comb", num_inputs=1),
+            Cell("po", "output", num_inputs=1),
+        ]
+        nets = [
+            Net("n0", ("pi", "pad_out"), (("c0", "i0"),)),
+            Net("n1", ("c0", "y"), (("c1", "i0"),)),
+            Net("n2", ("c1", "y"), (("c0", "i1"), ("po", "pad_in"))),
+        ]
+        netlist = build_netlist("cyc", cells, nets)
+        with pytest.raises(LevelizationError, match="cycle"):
+            levelize(netlist)
+
+
+class TestLevelOrder:
+    def test_only_comb_cells(self, tiny_netlist):
+        levels = levelize(tiny_netlist)
+        order = cells_in_level_order(tiny_netlist, levels)
+        for index in order:
+            assert tiny_netlist.cells[index].kind == "comb"
+
+    def test_monotone_levels(self, tiny_netlist):
+        levels = levelize(tiny_netlist)
+        order = cells_in_level_order(tiny_netlist, levels)
+        ordered_levels = [levels[i] for i in order]
+        assert ordered_levels == sorted(ordered_levels)
+
+    def test_covers_all_comb(self, tiny_netlist):
+        levels = levelize(tiny_netlist)
+        order = cells_in_level_order(tiny_netlist, levels)
+        assert len(order) == len(tiny_netlist.cells_of_kind("comb"))
+
+
+class TestMaxLevel:
+    def test_empty(self):
+        assert max_level([]) == 0
+
+    def test_matches_depth(self, micro_netlist):
+        assert max_level(levelize(micro_netlist)) == 2

@@ -1,0 +1,145 @@
+"""Unit tests for the annealer move set."""
+
+import random
+
+import pytest
+
+from repro.core import MoveGenerator, PinmapMove, SwapMove
+from repro.place import clustered_placement
+
+
+@pytest.fixture
+def placement(tiny_netlist, tiny_arch, rng):
+    return clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+
+
+class TestSwapMove:
+    def test_apply_undo_roundtrip(self, placement):
+        slots = sorted(placement.fabric.slots_of_kind("logic"))
+        move = SwapMove(slots[0], slots[1])
+        a_before = placement.cell_at(slots[0])
+        b_before = placement.cell_at(slots[1])
+        move.apply(placement)
+        assert placement.cell_at(slots[0]) == b_before
+        assert placement.cell_at(slots[1]) == a_before
+        move.undo(placement)
+        assert placement.cell_at(slots[0]) == a_before
+        assert placement.cell_at(slots[1]) == b_before
+
+    def test_cells_involved(self, placement):
+        slots = sorted(placement.fabric.slots_of_kind("logic"))
+        occupied = [s for s in slots if placement.cell_at(s) is not None]
+        empty = [s for s in slots if placement.cell_at(s) is None]
+        if not empty:
+            pytest.skip("fabric full")
+        move = SwapMove(occupied[0], empty[0])
+        assert move.cells_involved(placement) == [
+            placement.cell_at(occupied[0])
+        ]
+
+
+class TestPinmapMove:
+    def test_apply_undo(self, placement, tiny_netlist):
+        cell = next(
+            c
+            for c in tiny_netlist.cells
+            if len(placement.palette(c.index)) > 1
+        )
+        move = PinmapMove(cell.index, new_index=1, old_index=0)
+        move.apply(placement)
+        assert placement.pinmap_index(cell.index) == 1
+        move.undo(placement)
+        assert placement.pinmap_index(cell.index) == 0
+
+    def test_cells_involved(self, placement):
+        move = PinmapMove(3, 1, 0)
+        assert move.cells_involved(placement) == [3]
+
+
+class TestMoveGenerator:
+    def test_proposals_are_legal(self, placement):
+        generator = MoveGenerator(placement, random.Random(2))
+        for _ in range(200):
+            move = generator.propose()
+            if move is None:
+                continue
+            move.apply(placement)  # must not raise
+            move.undo(placement)
+
+    def test_pinmap_probability_zero(self, placement):
+        generator = MoveGenerator(
+            placement, random.Random(2), pinmap_probability=0.0
+        )
+        for _ in range(100):
+            move = generator.propose()
+            assert not isinstance(move, PinmapMove)
+
+    def test_pinmap_moves_proposed(self, placement):
+        generator = MoveGenerator(
+            placement, random.Random(2), pinmap_probability=0.9
+        )
+        kinds = {type(generator.propose()) for _ in range(100)}
+        assert PinmapMove in kinds
+
+    def test_pinmap_move_never_identity(self, placement):
+        generator = MoveGenerator(
+            placement, random.Random(3), pinmap_probability=0.99
+        )
+        pinmap_moves = [
+            move
+            for move in (generator.propose() for _ in range(100))
+            if isinstance(move, PinmapMove)
+        ]
+        assert pinmap_moves
+        for move in pinmap_moves:
+            assert move.new_index != move.old_index
+
+    def test_invalid_probability(self, placement):
+        with pytest.raises(ValueError):
+            MoveGenerator(placement, random.Random(1), pinmap_probability=1.0)
+        with pytest.raises(ValueError):
+            MoveGenerator(placement, random.Random(1), pinmap_probability=-0.1)
+
+    def test_window_clamped(self, placement):
+        generator = MoveGenerator(placement, random.Random(1))
+        generator.set_window(0.0001)
+        assert generator.window == 0.02
+        generator.set_window(5.0)
+        assert generator.window == 1.0
+
+    def test_small_window_means_local_swaps(self, placement):
+        generator = MoveGenerator(
+            placement, random.Random(4), pinmap_probability=0.0
+        )
+        generator.set_window(0.05)
+        fabric = placement.fabric
+        max_rows = max(1, int(0.05 * fabric.rows))
+        max_cols = max(1, int(0.05 * fabric.cols))
+        for _ in range(100):
+            move = generator.propose()
+            if move is None:
+                continue
+            assert abs(move.slot_a[0] - move.slot_b[0]) <= max_rows
+            assert abs(move.slot_a[1] - move.slot_b[1]) <= max_cols
+
+    def test_swap_slots_same_class(self, placement):
+        generator = MoveGenerator(
+            placement, random.Random(5), pinmap_probability=0.0
+        )
+        fabric = placement.fabric
+        for _ in range(100):
+            move = generator.propose()
+            if move is None:
+                continue
+            assert fabric.slot_kind(*move.slot_a) == fabric.slot_kind(
+                *move.slot_b
+            )
+
+    def test_deterministic_with_seed(self, tiny_netlist, tiny_arch):
+        fabric = tiny_arch.build()
+        placement = clustered_placement(tiny_netlist, fabric)
+        a = MoveGenerator(placement, random.Random(9))
+        b = MoveGenerator(placement, random.Random(9))
+        assert [a.propose() for _ in range(50)] == [
+            b.propose() for _ in range(50)
+        ]

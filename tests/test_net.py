@@ -1,0 +1,39 @@
+"""Unit tests for repro.netlist.net."""
+
+import pytest
+
+from repro.netlist import Net
+
+
+class TestNet:
+    def test_basic(self):
+        net = Net("n1", ("a", "y"), (("b", "i0"), ("c", "i1")))
+        assert net.fanout == 2
+        assert net.num_terminals == 3
+        assert net.cells() == {"a", "b", "c"}
+
+    def test_terminals_driver_first(self):
+        net = Net("n1", ("a", "y"), (("b", "i0"),))
+        assert list(net.terminals()) == [("a", "y"), ("b", "i0")]
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(ValueError, match="no sinks"):
+            Net("n1", ("a", "y"), ())
+
+    def test_duplicate_sink_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            Net("n1", ("a", "y"), (("b", "i0"), ("b", "i0")))
+
+    def test_same_cell_two_ports_allowed(self):
+        net = Net("n1", ("a", "y"), (("b", "i0"), ("b", "i1")))
+        assert net.fanout == 2
+
+    def test_driver_as_sink_rejected(self):
+        with pytest.raises(ValueError, match="driver"):
+            Net("n1", ("a", "y"), (("a", "y"),))
+
+    def test_feedback_to_other_port_allowed(self):
+        # A structural self-loop through different ports is legal at the
+        # net level (cycle checks are the validator's job).
+        net = Net("n1", ("a", "q"), (("a", "d"),))
+        assert net.fanout == 1

@@ -1,0 +1,157 @@
+"""Unit tests for repro.netlist.netlist (container + connectivity)."""
+
+import pytest
+
+from repro.netlist import Cell, Net, Netlist, build_netlist
+
+
+def make_cells():
+    return [
+        Cell("pi0", "input"),
+        Cell("c0", "comb", num_inputs=2),
+        Cell("c1", "comb", num_inputs=1),
+        Cell("ff0", "seq", num_inputs=1),
+        Cell("po0", "output", num_inputs=1),
+    ]
+
+
+def make_nets():
+    return [
+        Net("n_pi0", ("pi0", "pad_out"), (("c0", "i0"), ("c1", "i0"))),
+        Net("n_ff0", ("ff0", "q"), (("c0", "i1"),)),
+        Net("n_c0", ("c0", "y"), (("ff0", "d"),)),
+        Net("n_c1", ("c1", "y"), (("po0", "pad_in"),)),
+    ]
+
+
+@pytest.fixture
+def netlist():
+    return build_netlist("t", make_cells(), make_nets())
+
+
+class TestConstruction:
+    def test_indices_dense(self, netlist):
+        assert [c.index for c in netlist.cells] == [0, 1, 2, 3, 4]
+        assert [n.index for n in netlist.nets] == [0, 1, 2, 3]
+
+    def test_duplicate_cell_rejected(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.add_cell(Cell("a", "input"))
+
+    def test_duplicate_net_rejected(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        nl.add_cell(Cell("b", "output", num_inputs=1))
+        nl.add_net(Net("n", ("a", "pad_out"), (("b", "pad_in"),)))
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.add_net(Net("n", ("a", "pad_out"), (("b", "pad_in"),)))
+
+    def test_unknown_cell_in_net(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        with pytest.raises(ValueError, match="unknown cell"):
+            nl.add_net(Net("n", ("a", "pad_out"), (("ghost", "i0"),)))
+
+    def test_unknown_port_in_net(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        nl.add_cell(Cell("b", "comb", num_inputs=1))
+        with pytest.raises(ValueError, match="no port"):
+            nl.add_net(Net("n", ("a", "pad_out"), (("b", "i7"),)))
+
+    def test_direction_checked(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        nl.add_cell(Cell("b", "comb", num_inputs=1))
+        with pytest.raises(ValueError, match="out"):
+            nl.add_net(Net("n", ("b", "i0"), (("a", "pad_out"),)))
+
+    def test_frozen_blocks_edits(self, netlist):
+        with pytest.raises(RuntimeError, match="frozen"):
+            netlist.add_cell(Cell("late", "input"))
+
+    def test_freeze_idempotent(self, netlist):
+        assert netlist.freeze() is netlist
+
+
+class TestFreezeChecks:
+    def test_double_driver_rejected(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        nl.add_cell(Cell("b", "comb", num_inputs=2))
+        nl.add_net(Net("n1", ("a", "pad_out"), (("b", "i0"),)))
+        nl.add_net(Net("n2", ("a", "pad_out"), (("b", "i1"),)))
+        with pytest.raises(ValueError, match="drives both"):
+            nl.freeze()
+
+    def test_doubly_driven_input_rejected(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        nl.add_cell(Cell("b", "input"))
+        nl.add_cell(Cell("c", "comb", num_inputs=1))
+        nl.add_cell(Cell("d", "output", num_inputs=1))
+        nl.add_net(Net("n1", ("a", "pad_out"), (("c", "i0"),)))
+        nl.add_net(Net("n2", ("b", "pad_out"), (("c", "i0"),)))
+        # silence the unused net-to-po check by wiring c
+        nl.add_net(Net("n3", ("c", "y"), (("d", "pad_in"),)))
+        with pytest.raises(ValueError, match="two nets"):
+            nl.freeze()
+
+    def test_undriven_input_rejected(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        nl.add_cell(Cell("b", "comb", num_inputs=2))
+        nl.add_cell(Cell("d", "output", num_inputs=1))
+        nl.add_net(Net("n1", ("a", "pad_out"), (("b", "i0"),)))
+        nl.add_net(Net("n2", ("b", "y"), (("d", "pad_in"),)))
+        with pytest.raises(ValueError, match="undriven"):
+            nl.freeze()
+
+
+class TestQueries:
+    def test_nets_of_cell(self, netlist):
+        c0 = netlist.cell("c0").index
+        names = {netlist.nets[i].name for i in netlist.nets_of_cell(c0)}
+        assert names == {"n_pi0", "n_ff0", "n_c0"}
+
+    def test_driver_and_sink_net(self, netlist):
+        c0 = netlist.cell("c0").index
+        assert netlist.nets[netlist.driver_net(c0, "y")].name == "n_c0"
+        assert netlist.nets[netlist.sink_net(c0, "i0")].name == "n_pi0"
+        assert netlist.driver_net(c0, "i0") is None
+
+    def test_fanout_fanin_cells(self, netlist):
+        pi0 = netlist.cell("pi0").index
+        fanout_names = {netlist.cells[i].name for i in netlist.fanout_cells(pi0)}
+        assert fanout_names == {"c0", "c1"}
+        ff0 = netlist.cell("ff0").index
+        fanin_names = {netlist.cells[i].name for i in netlist.fanin_cells(ff0)}
+        assert fanin_names == {"c0"}
+
+    def test_input_output_nets(self, netlist):
+        c0 = netlist.cell("c0").index
+        assert len(netlist.input_nets(c0)) == 2
+        assert len(netlist.output_nets(c0)) == 1
+
+    def test_queries_require_freeze(self):
+        nl = Netlist()
+        nl.add_cell(Cell("a", "input"))
+        with pytest.raises(RuntimeError, match="frozen"):
+            nl.nets_of_cell(0)
+
+    def test_cells_of_kind(self, netlist):
+        assert len(netlist.cells_of_kind("comb")) == 2
+        assert len(netlist.cells_of_kind("input", "output")) == 2
+
+    def test_boundary_cells(self, netlist):
+        names = {c.name for c in netlist.boundary_cells()}
+        assert names == {"pi0", "ff0", "po0"}
+
+    def test_stats(self, netlist):
+        stats = netlist.stats()
+        assert stats["cells"] == 5
+        assert stats["nets"] == 4
+        assert stats["max_fanout"] == 2
+        assert stats["pins"] == 9

@@ -1,0 +1,112 @@
+"""Unit tests for the .net text format (repro.netlist.io)."""
+
+import pytest
+
+from repro.netlist import (
+    NetlistFormatError,
+    dump,
+    dumps,
+    load,
+    loads,
+    tiny,
+)
+
+VALID = """\
+# a tiny example
+circuit demo
+cell a input 0
+cell b comb 2
+cell c output 1
+cell d input 0
+
+net n1 a.pad_out b.i0   # inline comment
+net n2 d.pad_out b.i1
+net n3 b.y c.pad_in
+"""
+
+
+class TestLoads:
+    def test_valid_roundtrip_fields(self):
+        netlist = loads(VALID)
+        assert netlist.name == "demo"
+        assert netlist.num_cells == 4
+        assert netlist.num_nets == 3
+        assert netlist.cell("b").num_inputs == 2
+        assert netlist.net("n3").driver == ("b", "y")
+
+    def test_frozen_after_load(self):
+        assert loads(VALID).frozen
+
+    def test_unknown_keyword(self):
+        with pytest.raises(NetlistFormatError, match="unknown keyword"):
+            loads("wire n1 a.y b.i0\n")
+
+    def test_bad_terminal(self):
+        with pytest.raises(NetlistFormatError, match="cell.port"):
+            loads("circuit x\ncell a input 0\nnet n a_pad_out a.pad_out\n")
+
+    def test_bad_num_inputs(self):
+        with pytest.raises(NetlistFormatError, match="integer"):
+            loads("cell a comb two\n")
+
+    def test_bad_kind_reports_line(self):
+        with pytest.raises(NetlistFormatError, match="line 2"):
+            loads("circuit x\ncell a gizmo 1\n")
+
+    def test_duplicate_circuit(self):
+        with pytest.raises(NetlistFormatError, match="duplicate circuit"):
+            loads("circuit a\ncircuit b\n")
+
+    def test_net_needs_sink(self):
+        with pytest.raises(NetlistFormatError, match="usage: net"):
+            loads("circuit x\ncell a input 0\nnet n a.pad_out\n")
+
+    def test_semantic_error_wrapped(self):
+        text = (
+            "circuit x\n"
+            "cell a input 0\n"
+            "cell b comb 1\n"
+            "net n b.i0 a.pad_out\n"  # driver is an input port
+        )
+        with pytest.raises(NetlistFormatError, match="line 4"):
+            loads(text)
+
+
+class TestDumps:
+    def test_round_trip_identity(self):
+        original = tiny(seed=2)
+        text = dumps(original)
+        loaded = loads(text)
+        assert loaded.name == original.name
+        assert [c.name for c in loaded.cells] == [c.name for c in original.cells]
+        assert [n.name for n in loaded.nets] == [n.name for n in original.nets]
+        for net_a, net_b in zip(loaded.nets, original.nets):
+            assert net_a.driver == net_b.driver
+            assert net_a.sinks == net_b.sinks
+        # Serialization is canonical: dumping again is byte-identical.
+        assert dumps(loaded) == text
+
+    def test_ends_with_newline(self):
+        assert dumps(tiny(seed=2)).endswith("\n")
+
+
+class TestFileIO:
+    def test_path_round_trip(self, tmp_path):
+        original = tiny(seed=3)
+        path = tmp_path / "circuit.net"
+        dump(original, path)
+        loaded = load(path)
+        assert loaded.num_cells == original.num_cells
+        assert loaded.num_nets == original.num_nets
+
+    def test_str_path(self, tmp_path):
+        path = str(tmp_path / "c.net")
+        dump(tiny(seed=3), path)
+        assert load(path).frozen
+
+    def test_open_file_objects(self, tmp_path):
+        path = tmp_path / "c.net"
+        with open(path, "w", encoding="utf-8") as handle:
+            dump(tiny(seed=3), handle)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert load(handle).num_cells == 24

@@ -1,0 +1,92 @@
+"""Tests for unit-delay net criticality weights and the timing-driven
+sequential baseline variant."""
+
+import pytest
+
+from repro.netlist import Cell, Net, build_netlist, tiny
+from repro.place import criticality_weights, unit_delay_slacks
+
+
+def chain_with_branch():
+    """pi0 -> c0 -> c1 -> c2 -> po0 (critical), pi1 -> c3 -> po1 (short)."""
+    cells = [
+        Cell("pi0", "input"),
+        Cell("pi1", "input"),
+        Cell("c0", "comb", num_inputs=1),
+        Cell("c1", "comb", num_inputs=1),
+        Cell("c2", "comb", num_inputs=1),
+        Cell("c3", "comb", num_inputs=1),
+        Cell("po0", "output", num_inputs=1),
+        Cell("po1", "output", num_inputs=1),
+    ]
+    nets = [
+        Net("n0", ("pi0", "pad_out"), (("c0", "i0"),)),
+        Net("n1", ("c0", "y"), (("c1", "i0"),)),
+        Net("n2", ("c1", "y"), (("c2", "i0"),)),
+        Net("n3", ("c2", "y"), (("po0", "pad_in"),)),
+        Net("n4", ("pi1", "pad_out"), (("c3", "i0"),)),
+        Net("n5", ("c3", "y"), (("po1", "pad_in"),)),
+    ]
+    return build_netlist("chain", cells, nets)
+
+
+class TestUnitDelaySlacks:
+    def test_critical_chain_zero_slack(self):
+        netlist = chain_with_branch()
+        slacks = unit_delay_slacks(netlist)
+        for name in ("n0", "n1", "n2", "n3"):
+            assert slacks[netlist.net(name).index] == pytest.approx(0.0)
+
+    def test_short_path_positive_slack(self):
+        netlist = chain_with_branch()
+        slacks = unit_delay_slacks(netlist)
+        assert slacks[netlist.net("n4").index] > 0
+        assert slacks[netlist.net("n5").index] > 0
+
+    def test_all_slacks_nonnegative(self, tiny_netlist):
+        slacks = unit_delay_slacks(tiny_netlist)
+        assert len(slacks) == tiny_netlist.num_nets
+        assert all(value >= 0 for value in slacks.values())
+
+
+class TestCriticalityWeights:
+    def test_range(self, tiny_netlist):
+        weights = criticality_weights(tiny_netlist, alpha=2.0)
+        assert all(1.0 <= w <= 3.0 for w in weights)
+
+    def test_critical_nets_heaviest(self):
+        netlist = chain_with_branch()
+        weights = criticality_weights(netlist, alpha=2.0)
+        critical = weights[netlist.net("n1").index]
+        relaxed = weights[netlist.net("n4").index]
+        assert critical == pytest.approx(3.0)
+        assert relaxed < critical
+
+    def test_alpha_zero_flat(self, tiny_netlist):
+        weights = criticality_weights(tiny_netlist, alpha=0.0)
+        assert all(w == 1.0 for w in weights)
+
+    def test_negative_alpha_rejected(self, tiny_netlist):
+        with pytest.raises(ValueError):
+            criticality_weights(tiny_netlist, alpha=-1.0)
+
+
+class TestTimingDrivenSequential:
+    def test_flow_runs_and_routes(self):
+        from conftest import architecture_for
+        from repro.core import ScheduleConfig
+        from repro.flows import SequentialConfig, run_sequential
+
+        netlist = tiny(seed=15, num_cells=48, depth=4)
+        arch = architecture_for(netlist, tracks=16, vtracks=6)
+        config = SequentialConfig(
+            seed=1,
+            attempts_per_cell=3,
+            initial="clustered",
+            timing_driven=True,
+            schedule=ScheduleConfig(lambda_=2.0, max_temperatures=12,
+                                    freeze_patience=2),
+        )
+        result = run_sequential(netlist, arch, config)
+        assert result.worst_delay > 0
+        assert result.state.check_consistency() == []

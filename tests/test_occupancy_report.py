@@ -1,0 +1,45 @@
+"""Tests for the textual die-occupancy reporting (the Figure-7 stand-in)."""
+
+from repro.route import IncrementalRouter, RoutingState
+from repro.place import clustered_placement
+
+
+class TestOccupancyReport:
+    def test_empty_fabric_all_free(self, tiny_arch):
+        fabric = tiny_arch.build()
+        report = fabric.occupancy_report()
+        assert "#" not in report
+        assert report.count("--- channel") == fabric.num_channels
+
+    def test_routed_fabric_shows_usage(self, routed_tiny):
+        _, state = routed_tiny
+        report = state.fabric.occupancy_report()
+        assert "#" in report
+
+    def test_row_markers_interleaved(self, routed_tiny):
+        _, state = routed_tiny
+        fabric = state.fabric
+        lines = state.fabric.occupancy_report().splitlines()
+        row_lines = [line for line in lines if line.startswith("row ")]
+        assert len(row_lines) == fabric.rows
+
+    def test_track_rows_match_width(self, routed_tiny):
+        _, state = routed_tiny
+        fabric = state.fabric
+        for channel in fabric.channels:
+            for row in channel.occupancy_rows():
+                # '#'/'.' per column plus '|' at each interior break.
+                fill = row.replace("|", "")
+                assert len(fill) == fabric.cols
+
+    def test_usage_matches_segments_used(self, routed_tiny):
+        _, state = routed_tiny
+        for channel in state.fabric.channels:
+            rows = channel.occupancy_rows()
+            used_runs = sum(
+                1
+                for t, row in enumerate(rows)
+                for piece in row.split("|")
+                if "#" in piece
+            )
+            assert (used_runs > 0) == (channel.segments_used() > 0)

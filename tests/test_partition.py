@@ -1,0 +1,130 @@
+"""Tests for FM bipartitioning and recursive k-way partitioning."""
+
+import random
+
+import pytest
+
+from repro.netlist import Cell, Net, build_netlist, generate, CircuitSpec, tiny
+from repro.partition import Partition, bipartition, cut_size, kway_partition
+
+
+def two_cliques():
+    """Two 4-cell groups densely wired inside, one net across.
+
+    The optimal balanced bipartition has cut size 1.
+    """
+    cells = [Cell(f"pi{k}", "input") for k in range(2)]
+    cells += [Cell(f"a{k}", "comb", num_inputs=2) for k in range(3)]
+    cells += [Cell(f"b{k}", "comb", num_inputs=2) for k in range(3)]
+    cells += [Cell("poa", "output", num_inputs=1), Cell("pob", "output", num_inputs=1)]
+    nets = [
+        # Group A: pi0 -> a0 -> a1 -> a2 -> poa, with local feedback wiring.
+        Net("na0", ("pi0", "pad_out"), (("a0", "i0"), ("a0", "i1"), ("a1", "i0"))),
+        Net("na1", ("a0", "y"), (("a1", "i1"), ("a2", "i0"))),
+        Net("na2", ("a1", "y"), (("a2", "i1"),)),
+        Net("na3", ("a2", "y"), (("poa", "pad_in"), ("b0", "i0"))),  # the bridge
+        # Group B mirrors it.
+        Net("nb0", ("pi1", "pad_out"), (("b1", "i0"), ("b0", "i1"))),
+        Net("nb1", ("b0", "y"), (("b1", "i1"), ("b2", "i0"))),
+        Net("nb2", ("b1", "y"), (("b2", "i1"),)),
+        Net("nb3", ("b2", "y"), (("pob", "pad_in"),)),
+    ]
+    return build_netlist("cliques", cells, nets)
+
+
+class TestCutSize:
+    def test_all_one_side_uncut_is_zero(self):
+        netlist = two_cliques()
+        assert cut_size(netlist, [0] * netlist.num_cells) == 0
+
+    def test_alternating_sides(self):
+        netlist = two_cliques()
+        sides = [i % 2 for i in range(netlist.num_cells)]
+        assert cut_size(netlist, sides) > 0
+
+
+class TestBipartition:
+    def test_finds_natural_cut(self):
+        netlist = two_cliques()
+        result = bipartition(netlist, seed=1, balance_tolerance=0.2)
+        # The clean split cuts only the single bridge net.
+        assert result.cut_size <= 2
+
+    def test_balance_respected(self):
+        netlist = generate(CircuitSpec("p", num_cells=80, seed=3))
+        tolerance = 0.1
+        result = bipartition(netlist, seed=2, balance_tolerance=tolerance)
+        sizes = result.block_sizes()
+        assert set(sizes) == {0, 1}
+        low = int(netlist.num_cells * (0.5 - tolerance))
+        assert all(size >= low for size in sizes.values())
+
+    def test_never_worse_than_initial(self):
+        netlist = generate(CircuitSpec("p", num_cells=80, seed=4))
+        rng = random.Random(9)
+        initial = [rng.randint(0, 1) for _ in range(netlist.num_cells)]
+        # Force balance on the initial labelling.
+        while initial.count(0) != netlist.num_cells // 2:
+            index = rng.randrange(netlist.num_cells)
+            if initial.count(0) < netlist.num_cells // 2:
+                initial[index] = 0
+            else:
+                initial[index] = 1
+        before = cut_size(netlist, initial)
+        result = bipartition(netlist, seed=9, initial=initial)
+        assert result.cut_size <= before
+
+    def test_history_monotone_nonincreasing(self):
+        netlist = generate(CircuitSpec("p", num_cells=60, seed=5))
+        result = bipartition(netlist, seed=3)
+        for a, b in zip(result.history, result.history[1:]):
+            assert b <= a
+
+    def test_deterministic(self):
+        netlist = tiny(seed=2)
+        a = bipartition(netlist, seed=7)
+        b = bipartition(netlist, seed=7)
+        assert a.side_of == b.side_of
+
+    def test_invalid_inputs(self):
+        netlist = tiny(seed=2)
+        with pytest.raises(ValueError):
+            bipartition(netlist, balance_tolerance=0.5)
+        with pytest.raises(ValueError):
+            bipartition(netlist, initial=[0, 1])  # wrong length
+
+    def test_blocks_listing(self):
+        netlist = tiny(seed=2)
+        result = bipartition(netlist, seed=1)
+        block0 = result.block(0)
+        block1 = result.block(1)
+        assert len(block0) + len(block1) == netlist.num_cells
+        assert not set(block0) & set(block1)
+
+
+class TestKway:
+    def test_four_way(self):
+        netlist = generate(CircuitSpec("p", num_cells=96, seed=6))
+        result = kway_partition(netlist, k=4, seed=1)
+        sizes = result.block_sizes()
+        assert len(sizes) == 4
+        assert sum(sizes.values()) == netlist.num_cells
+        # Roughly balanced blocks (recursive bisection compounds the
+        # per-level tolerance, so the bound is loose).
+        assert max(sizes.values()) <= 3 * min(sizes.values())
+
+    def test_k_must_be_power_of_two(self):
+        netlist = tiny(seed=2)
+        with pytest.raises(ValueError):
+            kway_partition(netlist, k=3)
+
+    def test_k1_is_trivial(self):
+        netlist = tiny(seed=2)
+        result = kway_partition(netlist, k=1)
+        assert result.cut_size == 0
+        assert result.block_sizes() == {0: netlist.num_cells}
+
+    def test_kway_cut_reported_correctly(self):
+        netlist = generate(CircuitSpec("p", num_cells=64, seed=7))
+        result = kway_partition(netlist, k=2, seed=2)
+        assert result.cut_size == cut_size(netlist, result.side_of)

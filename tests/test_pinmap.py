@@ -1,0 +1,129 @@
+"""Unit tests for repro.arch.pinmap."""
+
+import pytest
+
+from repro.arch import BOTTOM, TOP, PhysicalPin, Pinmap, PinmapPalette, generate_palette
+
+
+class TestPhysicalPin:
+    def test_valid(self):
+        pin = PhysicalPin(BOTTOM, 2)
+        assert pin.side == "bottom"
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError, match="side"):
+            PhysicalPin("left", 0)
+
+    def test_negative_site(self):
+        with pytest.raises(ValueError, match="site"):
+            PhysicalPin(TOP, -1)
+
+
+class TestPinmap:
+    def test_side_of(self):
+        pinmap = Pinmap({"a": PhysicalPin(BOTTOM, 0), "y": PhysicalPin(TOP, 0)})
+        assert pinmap.side_of("a") == BOTTOM
+        assert pinmap.side_of("y") == TOP
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError, match="same site"):
+            Pinmap({"a": PhysicalPin(TOP, 1), "b": PhysicalPin(TOP, 1)})
+
+    def test_same_site_different_sides_ok(self):
+        pinmap = Pinmap({"a": PhysicalPin(TOP, 1), "b": PhysicalPin(BOTTOM, 1)})
+        assert len(pinmap) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Pinmap({})
+
+    def test_count_on_side(self):
+        pinmap = Pinmap(
+            {
+                "a": PhysicalPin(BOTTOM, 0),
+                "b": PhysicalPin(BOTTOM, 1),
+                "y": PhysicalPin(TOP, 0),
+            }
+        )
+        assert pinmap.count_on_side(BOTTOM) == 2
+        assert pinmap.count_on_side(TOP) == 1
+
+    def test_equality_and_hash(self):
+        p1 = Pinmap({"a": PhysicalPin(BOTTOM, 0)})
+        p2 = Pinmap({"a": PhysicalPin(BOTTOM, 0)})
+        p3 = Pinmap({"a": PhysicalPin(TOP, 0)})
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1 != p3
+
+    def test_contains(self):
+        pinmap = Pinmap({"a": PhysicalPin(BOTTOM, 0)})
+        assert "a" in pinmap
+        assert "z" not in pinmap
+
+
+class TestPalette:
+    def test_needs_one_pinmap(self):
+        with pytest.raises(ValueError):
+            PinmapPalette([])
+
+    def test_mismatched_ports_rejected(self):
+        p1 = Pinmap({"a": PhysicalPin(BOTTOM, 0)})
+        p2 = Pinmap({"b": PhysicalPin(BOTTOM, 0)})
+        with pytest.raises(ValueError, match="same ports"):
+            PinmapPalette([p1, p2])
+
+    def test_indexing(self):
+        p1 = Pinmap({"a": PhysicalPin(BOTTOM, 0)})
+        p2 = Pinmap({"a": PhysicalPin(TOP, 0)})
+        palette = PinmapPalette([p1, p2])
+        assert palette[0] == p1
+        assert palette.default == p1
+        assert palette.index_of(p2) == 1
+        assert len(palette) == 2
+
+
+class TestGeneratePalette:
+    def test_all_alternatives_distinct(self):
+        palette = generate_palette(["i0", "i1", "y"])
+        seen = set(palette)
+        assert len(seen) == len(palette)
+
+    def test_all_alternatives_cover_ports(self):
+        palette = generate_palette(["i0", "i1", "i2", "y"])
+        for pinmap in palette:
+            assert set(pinmap.ports()) == {"i0", "i1", "i2", "y"}
+
+    def test_single_port_gets_both_sides(self):
+        palette = generate_palette(["pad_out"])
+        sides = {pinmap.side_of("pad_out") for pinmap in palette}
+        assert sides == {BOTTOM, TOP}
+
+    def test_respects_sites_per_side(self):
+        palette = generate_palette(["a", "b", "c", "d"], sites_per_side=2)
+        for pinmap in palette:
+            assert pinmap.count_on_side(BOTTOM) <= 2
+            assert pinmap.count_on_side(TOP) <= 2
+
+    def test_max_alternatives_cap(self):
+        palette = generate_palette(["a", "b", "c", "d", "y"], max_alternatives=3)
+        assert len(palette) <= 3
+
+    def test_too_many_ports_rejected(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            generate_palette(["p%d" % i for i in range(9)], sites_per_side=4)
+
+    def test_no_ports_rejected(self):
+        with pytest.raises(ValueError):
+            generate_palette([])
+
+    def test_deterministic(self):
+        a = generate_palette(["i0", "i1", "y"])
+        b = generate_palette(["i0", "i1", "y"])
+        assert list(a) == list(b)
+
+    def test_canonical_is_balanced(self):
+        palette = generate_palette(["i0", "i1", "i2", "y"])
+        default = palette.default
+        assert default.count_on_side(BOTTOM) == 2
+        assert default.count_on_side(TOP) == 2

@@ -1,0 +1,189 @@
+"""Unit tests for repro.place.placement."""
+
+import pytest
+
+from repro.place import Placement, PlacementError
+
+from conftest import architecture_for
+
+
+@pytest.fixture
+def placement(micro_netlist, micro_arch):
+    return Placement(micro_netlist, micro_arch.build())
+
+
+def io_slots(placement, n):
+    return placement.fabric.slots_of_kind("io")[:n]
+
+
+def logic_slots(placement, n):
+    return placement.fabric.slots_of_kind("logic")[:n]
+
+
+class TestPlaceUnplace:
+    def test_place_and_query(self, placement, micro_netlist):
+        pi0 = micro_netlist.cell("pi0").index
+        slot = io_slots(placement, 1)[0]
+        placement.place(pi0, slot)
+        assert placement.slot_of(pi0) == slot
+        assert placement.cell_at(slot) == pi0
+
+    def test_double_place_rejected(self, placement, micro_netlist):
+        pi0 = micro_netlist.cell("pi0").index
+        a, b = io_slots(placement, 2)
+        placement.place(pi0, a)
+        with pytest.raises(PlacementError, match="already placed"):
+            placement.place(pi0, b)
+
+    def test_occupied_slot_rejected(self, placement, micro_netlist):
+        slot = io_slots(placement, 1)[0]
+        placement.place(micro_netlist.cell("pi0").index, slot)
+        with pytest.raises(PlacementError, match="occupied"):
+            placement.place(micro_netlist.cell("pi1").index, slot)
+
+    def test_slot_class_enforced(self, placement, micro_netlist):
+        c0 = micro_netlist.cell("c0").index
+        with pytest.raises(PlacementError, match="cannot occupy"):
+            placement.place(c0, io_slots(placement, 1)[0])
+        pi0 = micro_netlist.cell("pi0").index
+        with pytest.raises(PlacementError, match="cannot occupy"):
+            placement.place(pi0, logic_slots(placement, 1)[0])
+
+    def test_unplace(self, placement, micro_netlist):
+        pi0 = micro_netlist.cell("pi0").index
+        slot = io_slots(placement, 1)[0]
+        placement.place(pi0, slot)
+        assert placement.unplace(pi0) == slot
+        assert placement.slot_of(pi0) is None
+        assert placement.cell_at(slot) is None
+
+    def test_unplace_unplaced_rejected(self, placement, micro_netlist):
+        with pytest.raises(PlacementError, match="not placed"):
+            placement.unplace(micro_netlist.cell("pi0").index)
+
+    def test_is_complete(self, placement, micro_netlist):
+        assert not placement.is_complete()
+
+
+class TestSwap:
+    def test_swap_two_cells(self, placement, micro_netlist):
+        a, b = logic_slots(placement, 2)
+        c0 = micro_netlist.cell("c0").index
+        c1 = micro_netlist.cell("c1").index
+        placement.place(c0, a)
+        placement.place(c1, b)
+        placement.swap_slots(a, b)
+        assert placement.slot_of(c0) == b
+        assert placement.slot_of(c1) == a
+
+    def test_translate_into_empty(self, placement, micro_netlist):
+        a, b = logic_slots(placement, 2)
+        c0 = micro_netlist.cell("c0").index
+        placement.place(c0, a)
+        placement.swap_slots(a, b)
+        assert placement.slot_of(c0) == b
+        assert placement.cell_at(a) is None
+
+    def test_swap_both_empty_rejected(self, placement):
+        a, b = logic_slots(placement, 2)
+        with pytest.raises(PlacementError, match="both slots"):
+            placement.swap_slots(a, b)
+
+    def test_swap_same_slot_noop(self, placement, micro_netlist):
+        a = logic_slots(placement, 1)[0]
+        c0 = micro_netlist.cell("c0").index
+        placement.place(c0, a)
+        placement.swap_slots(a, a)
+        assert placement.slot_of(c0) == a
+
+    def test_swap_is_self_inverse(self, placement, micro_netlist):
+        a, b = logic_slots(placement, 2)
+        c0 = micro_netlist.cell("c0").index
+        placement.place(c0, a)
+        placement.swap_slots(a, b)
+        placement.swap_slots(a, b)
+        assert placement.slot_of(c0) == a
+
+    def test_cross_class_swap_rejected(self, placement, micro_netlist):
+        io_slot = io_slots(placement, 1)[0]
+        logic_slot = logic_slots(placement, 1)[0]
+        placement.place(micro_netlist.cell("pi0").index, io_slot)
+        with pytest.raises(PlacementError):
+            placement.swap_slots(io_slot, logic_slot)
+
+
+class TestPinmaps:
+    def test_default_pinmap_index(self, placement, micro_netlist):
+        c0 = micro_netlist.cell("c0").index
+        assert placement.pinmap_index(c0) == 0
+        assert placement.pinmap(c0) is placement.palette(c0)[0]
+
+    def test_set_pinmap(self, placement, micro_netlist):
+        c0 = micro_netlist.cell("c0").index
+        placement.set_pinmap(c0, 1)
+        assert placement.pinmap_index(c0) == 1
+
+    def test_set_pinmap_out_of_range(self, placement, micro_netlist):
+        c0 = micro_netlist.cell("c0").index
+        with pytest.raises(PlacementError, match="out of range"):
+            placement.set_pinmap(c0, 99)
+
+    def test_palettes_shared_by_type(self, placement, micro_netlist):
+        pi0 = micro_netlist.cell("pi0").index
+        pi1 = micro_netlist.cell("pi1").index
+        assert placement.palette(pi0) is placement.palette(pi1)
+
+
+class TestPinPositions:
+    def test_pin_position_follows_slot_and_side(self, placement, micro_netlist):
+        c0 = micro_netlist.cell("c0").index
+        slot = logic_slots(placement, 1)[0]
+        placement.place(c0, slot)
+        row, col = slot
+        channel, column = placement.pin_position(c0, "i0")
+        assert column == col
+        side = placement.pinmap(c0).side_of("i0")
+        assert channel == (row if side == "bottom" else row + 1)
+
+    def test_pinmap_change_moves_pin(self, placement, micro_netlist):
+        c0 = micro_netlist.cell("c0").index
+        placement.place(c0, logic_slots(placement, 1)[0])
+        before = placement.pin_position(c0, "i0")
+        moved = False
+        for alt in range(1, len(placement.palette(c0))):
+            placement.set_pinmap(c0, alt)
+            if placement.pin_position(c0, "i0") != before:
+                moved = True
+                break
+        assert moved
+
+    def test_unplaced_pin_position_rejected(self, placement, micro_netlist):
+        with pytest.raises(PlacementError, match="not placed"):
+            placement.pin_position(micro_netlist.cell("c0").index, "i0")
+
+    def test_net_bounding_box(self, routed_tiny):
+        placement, _ = routed_tiny
+        for net in placement.netlist.nets:
+            cmin, cmax, xmin, xmax = placement.net_bounding_box(net.index)
+            assert 0 <= cmin <= cmax < placement.fabric.num_channels
+            assert 0 <= xmin <= xmax < placement.fabric.cols
+
+
+class TestCopyAssignments:
+    def test_copy(self, tiny_netlist, tiny_arch, rng):
+        from repro.place import random_placement
+
+        fabric = tiny_arch.build()
+        a = random_placement(tiny_netlist, fabric, rng)
+        b = Placement(tiny_netlist, fabric)
+        b.copy_assignments_from(a)
+        for cell in tiny_netlist.cells:
+            assert b.slot_of(cell.index) == a.slot_of(cell.index)
+
+    def test_copy_wrong_netlist_rejected(self, tiny_netlist, micro_netlist):
+        arch_a = architecture_for(tiny_netlist)
+        arch_b = architecture_for(micro_netlist)
+        a = Placement(tiny_netlist, arch_a.build())
+        b = Placement(micro_netlist, arch_b.build())
+        with pytest.raises(PlacementError, match="different netlists"):
+            b.copy_assignments_from(a)

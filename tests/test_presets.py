@@ -1,0 +1,67 @@
+"""Unit tests for repro.arch.presets."""
+
+import pytest
+
+from repro.arch import (
+    PRESETS,
+    act1_like,
+    coarse_grained,
+    fine_grained,
+    wire_dominated,
+)
+
+
+class TestAct1Like:
+    def test_builds_fabric_fitting_netlist(self):
+        arch = act1_like(num_io=20, num_logic=120)
+        fabric = arch.build()
+        assert fabric.capacity("io") >= 20
+        assert fabric.capacity("logic") >= 120
+
+    def test_with_tracks(self):
+        arch = act1_like(num_io=8, num_logic=40, tracks_per_channel=20)
+        shrunk = arch.with_tracks(10)
+        assert shrunk.build().channels[0].num_tracks == 10
+        assert shrunk.technology is arch.technology
+        assert arch.build().channels[0].num_tracks == 20  # original untouched
+
+    def test_mixed_segmentation_present(self):
+        fabric = act1_like(num_io=8, num_logic=40).build()
+        lengths = {
+            end - start
+            for track in fabric.channels[0].segmentation.tracks
+            for start, end in track
+        }
+        assert len(lengths) > 1  # mixed short/long segments
+
+
+class TestAblationPresets:
+    def test_fine_grained_all_short(self):
+        fabric = fine_grained(num_io=8, num_logic=40).build()
+        width = fabric.cols
+        longest = max(
+            end - start
+            for track in fabric.channels[0].segmentation.tracks
+            for start, end in track
+        )
+        assert longest <= max(2, width // 10)
+
+    def test_coarse_grained_full_tracks(self):
+        fabric = coarse_grained(num_io=8, num_logic=40).build()
+        for track in fabric.channels[0].segmentation.tracks:
+            assert len(track) == 1
+
+    def test_wire_dominated_technology(self):
+        arch = wire_dominated(num_io=8, num_logic=40)
+        assert arch.technology.r_antifuse < arch.technology.r_segment_per_col
+
+    def test_registry_complete(self):
+        assert set(PRESETS) == {
+            "act1_like",
+            "fine_grained",
+            "coarse_grained",
+            "wire_dominated",
+        }
+        for factory in PRESETS.values():
+            arch = factory(8, 40)
+            assert arch.build().rows >= 2

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import (
+    Channel,
+    Technology,
+    generate_palette,
+    mixed_segmentation,
+    uniform_segmentation,
+)
+from repro.netlist import CircuitSpec, generate, validate
+from repro.route import column_scan_order
+from repro.timing import RCTree
+from repro.timing.estimator import estimate_by_position
+
+
+class TestSegmentationProperties:
+    @given(
+        width=st.integers(min_value=1, max_value=200),
+        tracks=st.integers(min_value=1, max_value=40),
+        seg_len=st.integers(min_value=1, max_value=50),
+    )
+    def test_uniform_always_tiles(self, width, tracks, seg_len):
+        seg = uniform_segmentation(width, tracks, seg_len)
+        assert seg.num_tracks == tracks
+        for track in seg.tracks:
+            position = 0
+            for start, end in track:
+                assert start == position and end > start
+                position = end
+            assert position == width
+
+    @given(
+        width=st.integers(min_value=1, max_value=200),
+        tracks=st.integers(min_value=1, max_value=40),
+    )
+    def test_mixed_always_tiles(self, width, tracks):
+        seg = mixed_segmentation(width, tracks)
+        assert seg.num_tracks == tracks
+        total = sum(end - start for track in seg.tracks for start, end in track)
+        assert total == width * tracks
+
+    @given(
+        width=st.integers(min_value=2, max_value=100),
+        tracks=st.integers(min_value=1, max_value=20),
+        new_tracks=st.integers(min_value=1, max_value=40),
+    )
+    def test_with_tracks_preserves_validity(self, width, tracks, new_tracks):
+        seg = mixed_segmentation(width, tracks).with_tracks(new_tracks)
+        assert seg.num_tracks == new_tracks
+
+
+class TestChannelProperties:
+    @settings(max_examples=50)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        width=st.integers(min_value=4, max_value=60),
+        tracks=st.integers(min_value=1, max_value=10),
+    )
+    def test_claim_release_never_corrupts(self, seed, width, tracks):
+        """Random interleaved claims and releases keep occupancy exact."""
+        rng = random.Random(seed)
+        channel = Channel(0, mixed_segmentation(width, tracks))
+        live: dict[int, object] = {}
+        net_counter = 0
+        for _ in range(30):
+            if live and rng.random() < 0.4:
+                net, claim = live.popitem()
+                channel.release(net, claim)
+            else:
+                lo = rng.randrange(width)
+                hi = rng.randrange(lo, width)
+                candidates = list(channel.candidates(lo, hi))
+                if not candidates:
+                    continue
+                candidate = rng.choice(candidates)
+                net_counter += 1
+                live[net_counter] = channel.claim(net_counter, candidate, lo, hi)
+        # Invariant: owners are exactly the live claims' segments.
+        owned = {}
+        for track in range(channel.num_tracks):
+            for seg in range(len(channel.segmentation.tracks[track])):
+                owner = channel.owner_of(track, seg)
+                if owner is not None:
+                    owned.setdefault(owner, []).append((track, seg))
+        assert set(owned) == set(live)
+        for net, claim in live.items():
+            expected = [
+                (claim.track, s)
+                for s in range(claim.first_seg, claim.last_seg + 1)
+            ]
+            assert sorted(owned[net]) == expected
+
+    @settings(max_examples=50)
+    @given(
+        width=st.integers(min_value=2, max_value=60),
+        data=st.data(),
+    )
+    def test_candidate_covers_interval(self, width, data):
+        channel = Channel(0, mixed_segmentation(width, 6))
+        lo = data.draw(st.integers(min_value=0, max_value=width - 1))
+        hi = data.draw(st.integers(min_value=lo, max_value=width - 1))
+        for candidate in channel.candidates(lo, hi):
+            segments = channel.segmentation.tracks[candidate.track]
+            assert segments[candidate.first_seg][0] <= lo
+            assert segments[candidate.last_seg][1] >= hi + 1
+            assert candidate.wastage == candidate.used_length - (hi - lo + 1)
+            assert candidate.wastage >= 0
+
+
+class TestRCTreeProperties:
+    @settings(max_examples=100)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        nodes=st.integers(min_value=2, max_value=40),
+    )
+    def test_elmore_monotone_along_paths(self, seed, nodes):
+        """Delay never decreases walking away from the root, and all
+        delays are non-negative, for arbitrary random RC trees."""
+        rng = random.Random(seed)
+        tree = RCTree()
+        tree.add_node(rng.random())
+        for node in range(1, nodes):
+            tree.add_node(
+                rng.random(),
+                parent=rng.randrange(node),
+                resistance=rng.random(),
+            )
+        delays = tree.elmore_delays()
+        assert all(d >= 0 for d in delays)
+        for node in range(1, nodes):
+            assert delays[node] >= delays[tree.parent[node]]
+
+    @settings(max_examples=100)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_subtree_caps_conserve_total(self, seed):
+        rng = random.Random(seed)
+        tree = RCTree()
+        tree.add_node(rng.random())
+        for node in range(1, 20):
+            tree.add_node(rng.random(), parent=rng.randrange(node),
+                          resistance=rng.random())
+        totals = tree.subtree_caps()
+        assert totals[0] == pytest.approx(sum(tree.cap))
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_cells=st.integers(min_value=30, max_value=150),
+        depth=st.integers(min_value=2, max_value=9),
+    )
+    def test_generated_circuits_always_valid(self, seed, num_cells, depth):
+        spec = CircuitSpec("prop", num_cells=num_cells, seed=seed, depth=depth)
+        netlist = generate(spec)
+        assert netlist.num_cells == num_cells
+        assert validate(netlist) == []
+
+
+class TestPaletteProperties:
+    @given(
+        num_ports=st.integers(min_value=1, max_value=8),
+        sites=st.integers(min_value=4, max_value=8),
+        cap=st.integers(min_value=1, max_value=10),
+    )
+    def test_palettes_always_legal(self, num_ports, sites, cap):
+        ports = [f"p{i}" for i in range(num_ports)]
+        palette = generate_palette(ports, sites_per_side=sites,
+                                   max_alternatives=cap)
+        assert 1 <= len(palette) <= cap
+        for pinmap in palette:
+            assert set(pinmap.ports()) == set(ports)
+            assert pinmap.count_on_side("bottom") <= sites
+            assert pinmap.count_on_side("top") <= sites
+
+
+class TestScanOrderProperties:
+    @given(
+        center=st.integers(min_value=-5, max_value=60),
+        columns=st.integers(min_value=1, max_value=50),
+    )
+    def test_scan_order_is_permutation(self, center, columns):
+        order = list(column_scan_order(center, columns))
+        assert sorted(order) == list(range(columns))
+
+    @given(
+        center=st.integers(min_value=0, max_value=49),
+        columns=st.integers(min_value=1, max_value=50),
+    )
+    def test_scan_order_distance_monotone(self, center, columns):
+        center = min(center, columns - 1)
+        order = list(column_scan_order(center, columns))
+        distances = [abs(col - center) for col in order]
+        assert distances == sorted(distances)
+
+
+class TestEstimatorProperties:
+    @settings(max_examples=60)
+    @given(
+        xspan=st.integers(min_value=0, max_value=20),
+        grow=st.integers(min_value=1, max_value=10),
+        cspan=st.integers(min_value=0, max_value=4),
+        fanout=st.integers(min_value=1, max_value=8),
+    )
+    def test_wider_box_never_faster(self, xspan, grow, cspan, fanout):
+        from repro.arch import act1_like
+
+        arch = act1_like(8, 60, tracks_per_channel=10)
+        fabric = arch.build()
+        tech = Technology()
+        cmax = min(cspan, fabric.num_channels - 1)
+        x_hi = min(xspan, fabric.cols - 1)
+        x_hi_wide = min(xspan + grow, fabric.cols - 1)
+        narrow = estimate_by_position(0, cmax, 0, x_hi, fanout, fabric, tech)
+        wide = estimate_by_position(0, cmax, 0, x_hi_wide, fanout, fabric, tech)
+        assert wide >= narrow

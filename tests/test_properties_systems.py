@@ -1,0 +1,94 @@
+"""Property-based tests over the higher-level systems:
+layout serialization, partitioning, and technology mapping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import layout_from_dict, layout_to_dict
+from repro.netlist import CircuitSpec, generate, validate
+from repro.partition import bipartition, cut_size, extract_all_blocks
+from repro.place import clustered_placement, random_placement
+from repro.route import IncrementalRouter, RoutingState, verify_layout
+from repro.techmap import random_logic, technology_map
+
+from conftest import architecture_for
+
+
+def lay_out(netlist, seed, tracks=16):
+    arch = architecture_for(netlist, tracks=tracks, vtracks=6)
+    placement = random_placement(netlist, arch.build(), random.Random(seed))
+    state = RoutingState(placement)
+    IncrementalRouter(state).route_all_from_scratch()
+    return arch, placement, state
+
+
+class TestLayoutIOProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        circuit_seed=st.integers(min_value=0, max_value=50),
+        placement_seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_roundtrip_any_layout(self, circuit_seed, placement_seed):
+        """Any (possibly partially routed) layout that serializes must
+        reload bit-identically."""
+        netlist = generate(
+            CircuitSpec("pio", num_cells=30, seed=circuit_seed, depth=3)
+        )
+        arch, placement, state = lay_out(netlist, placement_seed)
+        data = layout_to_dict(placement, state)
+        placement2, state2 = layout_from_dict(netlist, arch, data)
+        assert layout_to_dict(placement2, state2) == data
+        assert state2.check_consistency() == []
+
+
+class TestRoutingVerifierProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_router_output_always_electrically_sound(self, seed):
+        netlist = generate(CircuitSpec("pv", num_cells=36, seed=seed, depth=4))
+        _, _, state = lay_out(netlist, seed)
+        assert verify_layout(state, require_complete=False) == []
+
+
+class TestPartitionProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100),
+        num_cells=st.integers(min_value=20, max_value=90),
+    )
+    def test_balance_and_block_validity(self, seed, num_cells):
+        netlist = generate(CircuitSpec("pp", num_cells=num_cells, seed=seed))
+        partition = bipartition(netlist, seed=seed, balance_tolerance=0.15)
+        sizes = partition.block_sizes()
+        low = int(num_cells * 0.35)
+        assert all(size >= low for size in sizes.values())
+        assert partition.cut_size == cut_size(netlist, partition.side_of)
+        for block in extract_all_blocks(partition).values():
+            assert validate(block) == []
+
+
+class TestTechmapProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        num_gates=st.integers(min_value=10, max_value=90),
+        k=st.integers(min_value=2, max_value=6),
+    )
+    def test_mapping_always_valid_and_equivalent(self, seed, num_gates, k):
+        circuit = random_logic(seed=seed, num_gates=num_gates)
+        result = technology_map(circuit, k=k)
+        assert validate(result.netlist) == []
+        for cell in result.netlist.cells_of_kind("comb"):
+            assert cell.num_inputs <= k
+        rng = random.Random(seed)
+        inputs = [n.name for n in circuit.inputs()]
+        state_a: dict = {}
+        state_b: dict = {}
+        for _ in range(3):
+            vector = {name: rng.randint(0, 1) for name in inputs}
+            out_a, state_a = circuit.simulate(vector, state_a)
+            out_b, state_b = result.simulate(vector, state_b)
+            assert out_a == out_b
+            assert state_a == state_b

@@ -1,0 +1,68 @@
+"""Unit tests for report formatting helpers."""
+
+import pytest
+
+from repro.analysis import format_table, percent_reduction, sparkline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22.5]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[3.14159]], decimals=3)
+        assert "3.142" in table
+
+    def test_none_renders_dash(self):
+        assert "-" in format_table(["v"], [[None]])
+
+    def test_bool_renders_yes_no(self):
+        table = format_table(["a", "b"], [[True, False]])
+        assert "yes" in table and "no" in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction(100.0, 75.0) == pytest.approx(25.0)
+
+    def test_negative_improvement(self):
+        assert percent_reduction(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert percent_reduction(0.0, 10.0) is None
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_monotone_shape(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        assert line[0] < line[-1] or line[0] == " "
+
+    def test_width_respected(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) <= 51

@@ -1,0 +1,100 @@
+"""Tests for router strategies and the timing-driven reroute post-pass."""
+
+import pytest
+
+from repro.place import clustered_placement
+from repro.route import (
+    RoutingState,
+    STRATEGIES,
+    best_candidate,
+    detail_route_all,
+    global_route_all,
+    timing_reroute,
+    verify_layout,
+)
+from repro.timing import analyze
+
+
+@pytest.fixture
+def routed_state(tiny_netlist, tiny_arch, rng):
+    placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+    state = RoutingState(placement)
+    global_route_all(state)
+    detail_route_all(state)
+    return state
+
+
+class TestStrategies:
+    @pytest.fixture
+    def fresh_state(self, tiny_netlist, tiny_arch, rng):
+        placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+        state = RoutingState(placement)
+        global_route_all(state)
+        return state
+
+    def test_unknown_strategy_rejected(self, fresh_state):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            best_candidate(fresh_state, 0, 0, 3, strategy="psychic")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_strategies_produce_feasible_candidates(
+        self, fresh_state, strategy
+    ):
+        route = next(r for r in fresh_state.routes if r.globally_routed)
+        channel, (lo, hi) = next(iter(route.requirements().items()))
+        candidate = best_candidate(fresh_state, channel, lo, hi,
+                                   strategy=strategy)
+        assert candidate is not None
+        segments = fresh_state.fabric.channels[channel].segmentation.tracks[
+            candidate.track
+        ]
+        assert segments[candidate.first_seg][0] <= lo
+        assert segments[candidate.last_seg][1] >= hi + 1
+
+    def test_min_wastage_beats_or_ties_weighted_on_wastage(self, fresh_state):
+        route = next(r for r in fresh_state.routes if r.globally_routed)
+        channel, (lo, hi) = next(iter(route.requirements().items()))
+        tight = best_candidate(fresh_state, channel, lo, hi,
+                               strategy="min_wastage")
+        weighted = best_candidate(fresh_state, channel, lo, hi,
+                                  strategy="weighted")
+        assert tight.wastage <= weighted.wastage
+
+    def test_min_segments_beats_or_ties_on_fuses(self, fresh_state):
+        route = next(r for r in fresh_state.routes if r.globally_routed)
+        channel, (lo, hi) = next(iter(route.requirements().items()))
+        few = best_candidate(fresh_state, channel, lo, hi,
+                             strategy="min_segments")
+        tight = best_candidate(fresh_state, channel, lo, hi,
+                               strategy="min_wastage")
+        assert few.num_segments <= tight.num_segments
+
+
+class TestTimingReroute:
+    def test_never_worsens_delay(self, routed_state, tech):
+        before = analyze(routed_state, tech).worst_delay
+        outcome = timing_reroute(routed_state, tech, rounds=3)
+        after = analyze(routed_state, tech).worst_delay
+        assert after <= before + 1e-9
+        assert outcome.delay_after == pytest.approx(after)
+        assert outcome.delay_before == pytest.approx(before)
+
+    def test_layout_still_sound(self, routed_state, tech):
+        timing_reroute(routed_state, tech, rounds=3)
+        assert routed_state.check_consistency() == []
+        assert verify_layout(routed_state, require_complete=False) == []
+
+    def test_routing_completeness_preserved(self, routed_state, tech):
+        complete_before = routed_state.is_complete()
+        timing_reroute(routed_state, tech, rounds=2)
+        assert routed_state.is_complete() == complete_before
+
+    def test_improvement_percent(self, routed_state, tech):
+        outcome = timing_reroute(routed_state, tech, rounds=2)
+        assert outcome.improvement_percent >= 0
+
+    def test_invalid_arguments(self, routed_state, tech):
+        with pytest.raises(ValueError):
+            timing_reroute(routed_state, tech, rounds=0)
+        with pytest.raises(ValueError):
+            timing_reroute(routed_state, tech, nets_per_round=0)

@@ -1,0 +1,117 @@
+"""Unit tests for the adaptive cooling schedule."""
+
+import math
+
+import pytest
+
+from repro.core import CoolingSchedule, ScheduleConfig
+
+
+class TestScheduleConfig:
+    def test_defaults_valid(self):
+        ScheduleConfig()
+
+    def test_chi0_bounds(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(chi0=0.0)
+        with pytest.raises(ValueError):
+            ScheduleConfig(chi0=1.0)
+
+    def test_lambda_positive(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(lambda_=0.0)
+
+    def test_ratio_ordering(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(min_ratio=0.9, max_ratio=0.5)
+
+
+class TestStart:
+    def test_t0_from_sigma(self):
+        schedule = CoolingSchedule(ScheduleConfig(chi0=0.9))
+        costs = [10.0, 12.0, 8.0, 11.0, 9.0]
+        t0 = schedule.start(costs)
+        import statistics
+
+        sigma = statistics.pstdev(costs)
+        assert t0 == pytest.approx(sigma / -math.log(0.9))
+
+    def test_hotter_start_for_higher_chi0(self):
+        costs = [10.0, 12.0, 8.0, 11.0, 9.0]
+        cool = CoolingSchedule(ScheduleConfig(chi0=0.5)).start(list(costs))
+        hot = CoolingSchedule(ScheduleConfig(chi0=0.95)).start(list(costs))
+        assert hot > cool
+
+    def test_constant_walk_fallback(self):
+        schedule = CoolingSchedule(ScheduleConfig())
+        t0 = schedule.start([5.0, 5.0, 5.0])
+        assert t0 > 0
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            CoolingSchedule(ScheduleConfig()).start([1.0])
+
+
+class TestCooling:
+    def test_temperature_decreases(self):
+        schedule = CoolingSchedule(ScheduleConfig())
+        t0 = schedule.start([10.0, 14.0, 8.0, 12.0])
+        t1 = schedule.next_temperature([10.0, 11.0, 9.0])
+        assert 0 < t1 < t0
+
+    def test_rough_landscape_cools_slowly(self):
+        config = ScheduleConfig()
+        rough = CoolingSchedule(config)
+        smooth = CoolingSchedule(config)
+        walk = [10.0, 14.0, 8.0, 12.0]
+        rough.start(list(walk))
+        smooth.start(list(walk))
+        t_rough = rough.next_temperature([0.0, 100.0, 50.0, 75.0])
+        t_smooth = smooth.next_temperature([10.0, 10.01, 9.99, 10.0])
+        assert t_rough > t_smooth
+
+    def test_ratio_clamped(self):
+        config = ScheduleConfig(min_ratio=0.5, max_ratio=0.98)
+        schedule = CoolingSchedule(config)
+        t0 = schedule.start([10.0, 14.0, 8.0, 12.0])
+        # Zero variance -> min_ratio clamp.
+        t1 = schedule.next_temperature([5.0, 5.0])
+        assert t1 == pytest.approx(t0 * 0.5)
+
+    def test_requires_start(self):
+        with pytest.raises(RuntimeError):
+            CoolingSchedule(ScheduleConfig()).next_temperature([1.0, 2.0])
+
+
+class TestTermination:
+    def _started(self, **kwargs):
+        schedule = CoolingSchedule(ScheduleConfig(**kwargs))
+        schedule.start([10.0, 14.0, 8.0, 12.0])
+        return schedule
+
+    def test_not_frozen_initially(self):
+        assert not self._started().frozen
+
+    def test_freezes_after_calm_streak(self):
+        schedule = self._started(freeze_patience=2)
+        for _ in range(2):
+            schedule.observe(acceptance=0.001, costs_at_temperature=[5.0, 5.1])
+        assert schedule.frozen
+
+    def test_activity_resets_streak(self):
+        schedule = self._started(freeze_patience=2)
+        schedule.observe(0.001, [5.0, 5.1])
+        schedule.observe(0.5, [5.0, 50.0])
+        schedule.observe(0.001, [5.0, 5.1])
+        assert not schedule.frozen
+
+    def test_max_temperatures(self):
+        schedule = self._started(max_temperatures=3)
+        for _ in range(3):
+            schedule.observe(0.5, [1.0, 50.0])
+            schedule.next_temperature([1.0, 50.0])
+        assert schedule.frozen
+
+    def test_min_temperature(self):
+        schedule = self._started(min_temperature=1e30)
+        assert schedule.frozen  # T0 is far below an absurd floor

@@ -1,0 +1,157 @@
+"""Unit tests for repro.arch.segmentation."""
+
+import pytest
+
+from repro.arch import (
+    Segmentation,
+    custom_segmentation,
+    full_length_segmentation,
+    mixed_segmentation,
+    uniform_segmentation,
+)
+
+
+def assert_tiles_exactly(segmentation):
+    """Every track's segments must tile [0, width) contiguously."""
+    for track in segmentation.tracks:
+        position = 0
+        for start, end in track:
+            assert start == position
+            assert end > start
+            position = end
+        assert position == segmentation.width
+
+
+class TestSegmentationValidation:
+    def test_valid_construction(self):
+        seg = Segmentation(8, (((0, 4), (4, 8)),))
+        assert seg.num_tracks == 1
+        assert seg.segment_count() == 2
+
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            Segmentation(8, (((0, 4), (5, 8)),))
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            Segmentation(8, (((0, 4), (3, 8)),))
+
+    def test_rejects_empty_segment(self):
+        with pytest.raises(ValueError):
+            Segmentation(8, (((0, 0), (0, 8)),))
+
+    def test_rejects_short_tiling(self):
+        with pytest.raises(ValueError, match=r"tiles \[0, 6\)"):
+            Segmentation(8, (((0, 6),),))
+
+    def test_rejects_empty_track(self):
+        with pytest.raises(ValueError, match="no segments"):
+            Segmentation(8, ((),))
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            Segmentation(0, ())
+
+
+class TestUniform:
+    def test_exact_division(self):
+        seg = uniform_segmentation(12, 3, 4)
+        assert seg.num_tracks == 3
+        assert all(len(track) == 3 for track in seg.tracks)
+        assert_tiles_exactly(seg)
+
+    def test_ragged_division_clips_last(self):
+        seg = uniform_segmentation(10, 1, 4)
+        assert seg.tracks[0] == ((0, 4), (4, 8), (8, 10))
+
+    def test_segment_longer_than_channel(self):
+        seg = uniform_segmentation(5, 1, 100)
+        assert seg.tracks[0] == ((0, 5),)
+
+    def test_invalid_segment_length(self):
+        with pytest.raises(ValueError):
+            uniform_segmentation(10, 1, 0)
+
+
+class TestFullLength:
+    def test_single_segment_per_track(self):
+        seg = full_length_segmentation(20, 5)
+        assert seg.segment_count() == 5
+        assert all(track == ((0, 20),) for track in seg.tracks)
+
+    def test_mean_segment_length(self):
+        assert full_length_segmentation(20, 5).mean_segment_length() == 20.0
+
+
+class TestMixed:
+    @pytest.mark.parametrize("width", [10, 16, 29, 40, 64])
+    @pytest.mark.parametrize("tracks", [1, 5, 12, 24])
+    def test_always_tiles(self, width, tracks):
+        seg = mixed_segmentation(width, tracks)
+        assert seg.num_tracks == tracks
+        assert_tiles_exactly(seg)
+
+    def test_contains_full_width_track(self):
+        seg = mixed_segmentation(32, 10)
+        assert any(track == ((0, 32),) for track in seg.tracks)
+
+    def test_contains_short_segments(self):
+        seg = mixed_segmentation(32, 10)
+        shortest = min(
+            end - start for track in seg.tracks for start, end in track
+        )
+        assert shortest <= 32 // 8 + 1
+
+    def test_staggering_differs_between_same_class_tracks(self):
+        seg = mixed_segmentation(40, 12)
+        # Tracks 0 and 5 are both 'short' class but different stagger groups.
+        assert seg.tracks[0] != seg.tracks[5]
+
+    def test_invalid_tracks(self):
+        with pytest.raises(ValueError):
+            mixed_segmentation(16, 0)
+
+
+class TestCustom:
+    def test_explicit_breaks(self):
+        seg = custom_segmentation(10, [[3, 7], []])
+        assert seg.tracks[0] == ((0, 3), (3, 7), (7, 10))
+        assert seg.tracks[1] == ((0, 10),)
+
+    def test_duplicate_breaks_collapse(self):
+        seg = custom_segmentation(10, [[5, 5]])
+        assert seg.tracks[0] == ((0, 5), (5, 10))
+
+    def test_out_of_range_break(self):
+        with pytest.raises(ValueError, match="inside"):
+            custom_segmentation(10, [[10]])
+        with pytest.raises(ValueError, match="inside"):
+            custom_segmentation(10, [[0]])
+
+
+class TestWithTracks:
+    def test_grow_cycles_tracks(self):
+        seg = custom_segmentation(10, [[5], []])
+        grown = seg.with_tracks(5)
+        assert grown.num_tracks == 5
+        assert grown.tracks[0] == seg.tracks[0]
+        assert grown.tracks[2] == seg.tracks[0]
+        assert grown.tracks[3] == seg.tracks[1]
+
+    def test_shrink_keeps_prefix(self):
+        seg = mixed_segmentation(20, 8)
+        shrunk = seg.with_tracks(3)
+        assert shrunk.tracks == seg.tracks[:3]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            mixed_segmentation(20, 8).with_tracks(0)
+
+
+class TestStatistics:
+    def test_segment_count(self):
+        assert uniform_segmentation(12, 2, 4).segment_count() == 6
+
+    def test_mean_segment_length(self):
+        seg = uniform_segmentation(12, 2, 4)
+        assert seg.mean_segment_length() == pytest.approx(4.0)

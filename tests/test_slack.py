@@ -1,0 +1,73 @@
+"""Tests for slack analysis (backward STA pass)."""
+
+import pytest
+
+from repro.timing import (
+    analyze,
+    compute_slacks,
+    critical_cells,
+    slack_histogram,
+)
+
+
+@pytest.fixture
+def analyzed(routed_tiny, tech):
+    _, state = routed_tiny
+    report = analyze(state, tech)
+    return state, report, compute_slacks(state, tech, report)
+
+
+class TestComputeSlacks:
+    def test_one_slack_per_cell(self, analyzed):
+        state, _, slacks = analyzed
+        assert len(slacks) == state.netlist.num_cells
+
+    def test_all_slacks_nonnegative(self, analyzed):
+        _, _, slacks = analyzed
+        assert all(slack >= -1e-9 for slack in slacks)
+
+    def test_critical_path_has_zero_slack(self, analyzed):
+        state, report, slacks = analyzed
+        for name in report.critical_path:
+            cell = state.netlist.cell(name)
+            assert slacks[cell.index] == pytest.approx(0.0, abs=1e-6), name
+
+    def test_some_cells_have_positive_slack(self, analyzed):
+        _, _, slacks = analyzed
+        assert any(slack > 1e-6 for slack in slacks)
+
+    def test_slack_bounded_by_worst_delay(self, analyzed):
+        _, report, slacks = analyzed
+        assert all(slack <= report.worst_delay + 1e-9 for slack in slacks)
+
+
+class TestCriticalCells:
+    def test_contains_critical_path(self, analyzed, routed_tiny, tech):
+        state, report, _ = analyzed
+        critical = set(critical_cells(state, tech, report))
+        assert set(report.critical_path) <= critical
+
+    def test_not_everything_is_critical(self, analyzed, routed_tiny, tech):
+        state, report, _ = analyzed
+        critical = critical_cells(state, tech, report)
+        assert len(critical) < state.netlist.num_cells
+
+
+class TestSlackHistogram:
+    def test_counts_sum_to_cells(self, analyzed, tech):
+        state, report, _ = analyzed
+        histogram = slack_histogram(state, tech, report, bins=6)
+        assert sum(count for _, _, count in histogram) == state.netlist.num_cells
+
+    def test_bins_ordered(self, analyzed, tech):
+        state, report, _ = analyzed
+        histogram = slack_histogram(state, tech, report, bins=6)
+        for (lo_a, hi_a, _), (lo_b, hi_b, _) in zip(histogram, histogram[1:]):
+            assert hi_a == pytest.approx(lo_b)
+            assert lo_a < hi_a
+
+    def test_first_bin_nonempty(self, analyzed, tech):
+        """The zero-slack (critical) cells land in the first bin."""
+        state, report, _ = analyzed
+        histogram = slack_histogram(state, tech, report, bins=6)
+        assert histogram[0][2] >= 1

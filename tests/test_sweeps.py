@@ -1,0 +1,108 @@
+"""Tests for the Table-2 min-tracks bisection sweep."""
+
+import pytest
+
+from repro.analysis import SweepResult, min_tracks_for_routing
+from repro.flows import run_sequential
+from repro.flows.common import FlowResult
+from repro.netlist import tiny
+from repro.place import clustered_placement
+from repro.route import IncrementalRouter, RoutingState
+from repro.timing import analyze
+
+from conftest import architecture_for
+
+
+def routing_only_runner(netlist, architecture):
+    """A deterministic cheap 'flow': clustered placement + batch routing.
+
+    Good enough to exercise the bisection logic without annealing.
+    """
+    import time
+
+    started = time.perf_counter()
+    fabric = architecture.build()
+    placement = clustered_placement(netlist, fabric)
+    state = RoutingState(placement)
+    IncrementalRouter(state).route_all_from_scratch()
+    report = analyze(state, architecture.technology)
+    return FlowResult(
+        flow="routing-only",
+        design=netlist.name,
+        placement=placement,
+        state=state,
+        timing=report,
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    netlist = tiny(seed=20, num_cells=40, depth=4)
+    arch = architecture_for(netlist, tracks=20, vtracks=6)
+    return netlist, arch
+
+
+class TestMinTracks:
+    def test_finds_minimum(self, sweep_setup):
+        netlist, arch = sweep_setup
+        result = min_tracks_for_routing(
+            routing_only_runner, netlist, arch, flow_name="routing-only"
+        )
+        assert result.min_tracks is not None
+        assert 1 <= result.min_tracks <= 20
+
+    def test_minimum_is_tight(self, sweep_setup):
+        """min-1 tracks must fail, min tracks must succeed."""
+        netlist, arch = sweep_setup
+        result = min_tracks_for_routing(routing_only_runner, netlist, arch)
+        minimum = result.min_tracks
+        assert routing_only_runner(
+            netlist, arch.with_tracks(minimum)
+        ).fully_routed
+        if minimum > 1:
+            assert not routing_only_runner(
+                netlist, arch.with_tracks(minimum - 1)
+            ).fully_routed
+
+    def test_probes_recorded(self, sweep_setup):
+        netlist, arch = sweep_setup
+        result = min_tracks_for_routing(routing_only_runner, netlist, arch)
+        assert result.probes[result.min_tracks] is True
+        assert len(result.probes) <= 12  # bisection, not linear scan
+
+    def test_expands_ceiling(self, sweep_setup):
+        netlist, arch = sweep_setup
+        result = min_tracks_for_routing(
+            routing_only_runner, netlist, arch, hi=2, max_expand=5
+        )
+        # hi=2 is unroutable; the sweep must expand upward and succeed.
+        assert result.min_tracks is not None
+        assert result.min_tracks > 2
+
+    def test_gives_up_when_never_routable(self, sweep_setup):
+        netlist, arch = sweep_setup
+
+        def hopeless_runner(nl, architecture):
+            result = routing_only_runner(nl, architecture)
+            result.state.unrouted_global.add(0)  # force incomplete
+            return result
+
+        result = min_tracks_for_routing(
+            hopeless_runner, netlist, arch, hi=4, max_expand=1
+        )
+        assert result.min_tracks is None
+
+    def test_invalid_bounds(self, sweep_setup):
+        netlist, arch = sweep_setup
+        with pytest.raises(ValueError):
+            min_tracks_for_routing(routing_only_runner, netlist, arch,
+                                   lo=0)
+        with pytest.raises(ValueError):
+            min_tracks_for_routing(routing_only_runner, netlist, arch,
+                                   lo=10, hi=5)
+
+    def test_repr(self, sweep_setup):
+        netlist, arch = sweep_setup
+        result = min_tracks_for_routing(routing_only_runner, netlist, arch)
+        assert "min_tracks=" in repr(result)

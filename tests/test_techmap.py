@@ -1,0 +1,198 @@
+"""Tests for the technology-mapping substrate."""
+
+import random
+
+import pytest
+
+from repro.netlist import validate
+from repro.techmap import (
+    GateNetlist,
+    GateNode,
+    TechmapError,
+    cover,
+    random_logic,
+    technology_map,
+)
+
+
+def small_circuit():
+    """y = (a AND b) XOR (NOT c), plus a registered copy."""
+    return GateNetlist(
+        "small",
+        [
+            GateNode("a", "INPUT"),
+            GateNode("b", "INPUT"),
+            GateNode("c", "INPUT"),
+            GateNode("g_and", "AND", ("a", "b")),
+            GateNode("g_not", "NOT", ("c",)),
+            GateNode("g_xor", "XOR", ("g_and", "g_not")),
+            GateNode("r0", "DFF", ("g_xor",)),
+            GateNode("y", "OUTPUT", ("g_xor",)),
+            GateNode("yr", "OUTPUT", ("r0",)),
+        ],
+    )
+
+
+class TestGateNetlist:
+    def test_construction_and_queries(self):
+        circuit = small_circuit()
+        assert len(circuit.gates()) == 3
+        assert len(circuit.inputs()) == 3
+        assert len(circuit.outputs()) == 2
+        assert len(circuit.dffs()) == 1
+        assert circuit.fanouts("g_xor") == ["r0", "y"]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            GateNetlist("x", [GateNode("a", "INPUT"), GateNode("a", "INPUT")])
+
+    def test_unknown_fanin_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            GateNetlist("x", [GateNode("g", "NOT", ("ghost",))])
+
+    def test_reading_output_rejected(self):
+        with pytest.raises(ValueError, match="reads from output"):
+            GateNetlist(
+                "x",
+                [
+                    GateNode("a", "INPUT"),
+                    GateNode("y", "OUTPUT", ("a",)),
+                    GateNode("g", "NOT", ("y",)),
+                ],
+            )
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="needs 2 fanins"):
+            GateNode("g", "AND", ("a",))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            GateNetlist(
+                "x",
+                [
+                    GateNode("g1", "NOT", ("g2",)),
+                    GateNode("g2", "NOT", ("g1",)),
+                ],
+            )
+
+    def test_dff_breaks_cycle(self):
+        circuit = GateNetlist(
+            "x",
+            [
+                GateNode("r", "DFF", ("g",)),
+                GateNode("g", "NOT", ("r",)),
+                GateNode("y", "OUTPUT", ("g",)),
+            ],
+        )
+        assert len(circuit.topo_order) == 3
+
+    def test_simulate_combinational(self):
+        circuit = small_circuit()
+        outputs, next_state = circuit.simulate({"a": 1, "b": 1, "c": 1})
+        # (1 AND 1) XOR (NOT 1) = 1 XOR 0 = 1
+        assert outputs["y"] == 1
+        assert next_state["r0"] == 1
+
+    def test_simulate_state(self):
+        circuit = small_circuit()
+        outputs, _ = circuit.simulate(
+            {"a": 0, "b": 0, "c": 1}, state_values={"r0": 1}
+        )
+        assert outputs["yr"] == 1
+
+
+class TestCover:
+    def test_single_cluster_for_tree(self):
+        clusters = cover(small_circuit(), k=4)
+        # All three gates share one fanout chain except g_xor feeds two
+        # non-gates; the whole tree collapses into one 3-input cluster.
+        assert len(clusters) == 1
+        cluster = clusters[0]
+        assert cluster.root == "g_xor"
+        assert set(cluster.leaves) == {"a", "b", "c"}
+        assert set(cluster.gates) == {"g_and", "g_not", "g_xor"}
+
+    def test_k_limits_absorption(self):
+        clusters = cover(small_circuit(), k=2)
+        assert len(clusters) > 1
+        for cluster in clusters:
+            assert cluster.num_inputs <= 2
+
+    def test_shared_gate_not_duplicated(self):
+        circuit = GateNetlist(
+            "shared",
+            [
+                GateNode("a", "INPUT"),
+                GateNode("b", "INPUT"),
+                GateNode("h", "AND", ("a", "b")),  # fanout 2
+                GateNode("g1", "NOT", ("h",)),
+                GateNode("g2", "BUF", ("h",)),
+                GateNode("y1", "OUTPUT", ("g1",)),
+                GateNode("y2", "OUTPUT", ("g2",)),
+            ],
+        )
+        clusters = cover(circuit, k=4)
+        owners = [c for c in clusters if "h" in c.gates]
+        assert len(owners) == 1  # h covered exactly once
+
+    def test_invalid_k(self):
+        with pytest.raises(TechmapError):
+            cover(small_circuit(), k=1)
+
+
+class TestTechnologyMap:
+    def test_mapped_netlist_valid(self):
+        result = technology_map(random_logic(seed=5))
+        assert validate(result.netlist) == []
+
+    def test_cell_counts(self):
+        circuit = random_logic(seed=6, num_inputs=8, num_outputs=5, num_dffs=3)
+        result = technology_map(circuit)
+        stats = result.netlist.stats()
+        assert stats["inputs"] == 8
+        assert stats["outputs"] == 5
+        assert stats["seq"] == 3
+        assert stats["comb"] == len(result.clusters)
+        assert stats["comb"] <= len(circuit.gates())
+
+    def test_all_cells_k_feasible(self):
+        result = technology_map(random_logic(seed=7), k=4)
+        for cell in result.netlist.cells_of_kind("comb"):
+            assert cell.num_inputs <= 4
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_functional_equivalence(self, seed):
+        """The mapped design computes the same function, over random
+        input vectors and several clock cycles."""
+        circuit = random_logic(seed=seed, num_gates=60)
+        result = technology_map(circuit)
+        rng = random.Random(seed + 100)
+        input_names = [n.name for n in circuit.inputs()]
+        state_a: dict[str, int] = {}
+        state_b: dict[str, int] = {}
+        for _ in range(8):
+            vector = {name: rng.randint(0, 1) for name in input_names}
+            out_a, state_a = circuit.simulate(vector, state_a)
+            out_b, state_b = result.simulate(vector, state_b)
+            assert out_a == out_b
+            assert state_a == state_b
+
+    def test_smaller_k_more_cells(self):
+        circuit = random_logic(seed=8, num_gates=70)
+        cells_k2 = technology_map(circuit, k=2).num_cells
+        cells_k4 = technology_map(circuit, k=4).num_cells
+        assert cells_k4 <= cells_k2
+
+    def test_mapped_netlist_lays_out(self):
+        """End-to-end: synthesize -> map -> place -> route."""
+        from conftest import architecture_for
+        from repro.place import clustered_placement
+        from repro.route import IncrementalRouter, RoutingState, verify_layout
+
+        result = technology_map(random_logic(seed=9, num_gates=50))
+        netlist = result.netlist
+        arch = architecture_for(netlist, tracks=16, vtracks=6)
+        placement = clustered_placement(netlist, arch.build())
+        state = RoutingState(placement)
+        IncrementalRouter(state).route_all_from_scratch()
+        assert verify_layout(state, require_complete=False) == []

@@ -1,0 +1,102 @@
+"""Unit tests for repro.arch.technology."""
+
+import pytest
+
+from repro.arch import ANTIFUSE_DOMINATED, WIRE_DOMINATED, Technology
+
+
+class TestConstruction:
+    def test_defaults_are_positive(self):
+        tech = Technology()
+        assert tech.r_antifuse > 0
+        assert tech.c_segment_per_col > 0
+        assert tech.t_comb > 0
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError, match="r_antifuse"):
+            Technology(r_antifuse=-0.1)
+
+    def test_zero_driver_resistance_rejected(self):
+        with pytest.raises(ValueError, match="r_driver"):
+            Technology(r_driver=0.0)
+
+    def test_frozen(self):
+        tech = Technology()
+        with pytest.raises(AttributeError):
+            tech.r_antifuse = 1.0
+
+
+class TestCellDelay:
+    def test_comb(self):
+        assert Technology(t_comb=2.5).cell_delay("comb") == 2.5
+
+    def test_seq(self):
+        assert Technology(t_seq=4.5).cell_delay("seq") == 4.5
+
+    def test_io(self):
+        assert Technology(t_io=1.25).cell_delay("io") == 1.25
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            Technology().cell_delay("mystery")
+
+
+class TestRC:
+    def test_segment_rc_scales_with_length(self):
+        tech = Technology()
+        r1, c1 = tech.segment_rc(1)
+        r4, c4 = tech.segment_rc(4)
+        assert r4 == pytest.approx(4 * r1)
+        assert c4 == pytest.approx(4 * c1)
+
+    def test_segment_rc_zero_length(self):
+        assert Technology().segment_rc(0) == (0.0, 0.0)
+
+    def test_segment_rc_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Technology().segment_rc(-1)
+
+    def test_vertical_rc_scales_with_span(self):
+        tech = Technology()
+        r1, c1 = tech.vertical_rc(1)
+        r3, c3 = tech.vertical_rc(3)
+        assert r3 == pytest.approx(3 * r1)
+        assert c3 == pytest.approx(3 * c1)
+
+    def test_vertical_rc_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Technology().vertical_rc(-2)
+
+
+class TestScaled:
+    def test_scales_interconnect_only(self):
+        tech = Technology()
+        doubled = tech.scaled(2.0)
+        assert doubled.r_antifuse == pytest.approx(2 * tech.r_antifuse)
+        assert doubled.c_segment_per_col == pytest.approx(
+            2 * tech.c_segment_per_col
+        )
+        assert doubled.t_comb == tech.t_comb
+        assert doubled.r_driver == tech.r_driver
+
+    def test_identity_scale(self):
+        tech = Technology()
+        assert tech.scaled(1.0) == tech
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Technology().scaled(0.0)
+        with pytest.raises(ValueError):
+            Technology().scaled(-1.0)
+
+
+class TestPresets:
+    def test_antifuse_dominated_has_expensive_fuses(self):
+        tech = ANTIFUSE_DOMINATED
+        # One antifuse must cost more resistance than several columns of
+        # wire — the regime that makes segment count dominate delay.
+        assert tech.r_antifuse > 5 * tech.r_segment_per_col
+
+    def test_wire_dominated_has_cheap_fuses(self):
+        tech = WIRE_DOMINATED
+        assert tech.r_antifuse < tech.r_segment_per_col

@@ -1,0 +1,104 @@
+"""Tests for atomic move transactions (apply/rollback cascades)."""
+
+import random
+
+import pytest
+
+from repro.core import MoveGenerator, apply_move, rollback
+from repro.core.transaction import LayoutContext
+from repro.place import clustered_placement
+from repro.route import IncrementalRouter, RoutingState
+from repro.timing import IncrementalTiming
+
+from test_incremental_routing import snapshot_occupancy
+
+
+@pytest.fixture
+def ctx(tiny_netlist, tiny_arch, tech, rng):
+    placement = clustered_placement(tiny_netlist, tiny_arch.build(), rng)
+    state = RoutingState(placement)
+    router = IncrementalRouter(state)
+    router.route_all_from_scratch()
+    timing = IncrementalTiming(state, tech)
+    return LayoutContext(placement, state, router, timing)
+
+
+def placement_fingerprint(placement):
+    return tuple(
+        (placement.slot_of(c.index), placement.pinmap_index(c.index))
+        for c in placement.netlist.cells
+    )
+
+
+class TestApplyMove:
+    def test_apply_keeps_state_consistent(self, ctx, rng):
+        generator = MoveGenerator(ctx.placement, rng)
+        for _ in range(20):
+            move = generator.propose()
+            if move is None:
+                continue
+            apply_move(ctx, move)
+            assert ctx.state.check_consistency() == []
+        assert ctx.timing.audit() == []
+
+    def test_apply_reports_touched_nets(self, ctx, rng):
+        generator = MoveGenerator(ctx.placement, rng, pinmap_probability=0.0)
+        move = None
+        while move is None:
+            move = generator.propose()
+        record = apply_move(ctx, move)
+        assert record.nets_touched >= 0
+        assert record.move is move
+
+
+class TestRollback:
+    def test_rollback_restores_everything(self, ctx, rng):
+        generator = MoveGenerator(ctx.placement, rng)
+        for _ in range(30):
+            move = generator.propose()
+            if move is None:
+                continue
+            place_before = placement_fingerprint(ctx.placement)
+            occ_before = snapshot_occupancy(ctx.state)
+            arrival_before = list(ctx.timing.arrival)
+            boundary_before = dict(ctx.timing.boundary_in)
+
+            record = apply_move(ctx, move)
+            rollback(ctx, record)
+
+            assert placement_fingerprint(ctx.placement) == place_before
+            assert snapshot_occupancy(ctx.state) == occ_before
+            assert ctx.timing.arrival == arrival_before
+            assert ctx.timing.boundary_in == boundary_before
+        assert ctx.state.check_consistency() == []
+        assert ctx.timing.audit() == []
+
+    def test_interleaved_commit_rollback(self, ctx):
+        """Alternate committed and rolled-back moves; audits stay clean."""
+        rng = random.Random(42)
+        generator = MoveGenerator(ctx.placement, rng)
+        for i in range(40):
+            move = generator.propose()
+            if move is None:
+                continue
+            record = apply_move(ctx, move)
+            if i % 2:
+                rollback(ctx, record)
+        assert ctx.state.check_consistency() == []
+        assert ctx.timing.audit() == []
+
+    def test_pinmap_move_transaction(self, ctx, tiny_netlist):
+        from repro.core import PinmapMove
+
+        cell = next(
+            c
+            for c in tiny_netlist.cells
+            if len(ctx.placement.palette(c.index)) > 1
+        )
+        occ_before = snapshot_occupancy(ctx.state)
+        move = PinmapMove(cell.index, new_index=1, old_index=0)
+        record = apply_move(ctx, move)
+        assert ctx.state.check_consistency() == []
+        rollback(ctx, record)
+        assert ctx.placement.pinmap_index(cell.index) == 0
+        assert snapshot_occupancy(ctx.state) == occ_before

@@ -1,0 +1,95 @@
+"""Unit tests for repro.netlist.validate."""
+
+from repro.netlist import (
+    Cell,
+    Net,
+    build_netlist,
+    combinational_cycles,
+    validate,
+)
+
+
+def cyclic_netlist():
+    """c0 -> c1 -> c0 combinational loop (plus boundary dressing)."""
+    cells = [
+        Cell("pi0", "input"),
+        Cell("c0", "comb", num_inputs=2),
+        Cell("c1", "comb", num_inputs=1),
+        Cell("po0", "output", num_inputs=1),
+    ]
+    nets = [
+        Net("n_pi", ("pi0", "pad_out"), (("c0", "i0"),)),
+        Net("n_c0", ("c0", "y"), (("c1", "i0"),)),
+        Net("n_c1", ("c1", "y"), (("c0", "i1"), ("po0", "pad_in"))),
+    ]
+    return build_netlist("cyclic", cells, nets)
+
+
+def ff_loop_netlist():
+    """A loop broken by a flip-flop — legal."""
+    cells = [
+        Cell("pi0", "input"),
+        Cell("c0", "comb", num_inputs=2),
+        Cell("ff0", "seq", num_inputs=1),
+        Cell("po0", "output", num_inputs=1),
+    ]
+    nets = [
+        Net("n_pi", ("pi0", "pad_out"), (("c0", "i0"),)),
+        Net("n_c0", ("c0", "y"), (("ff0", "d"), ("po0", "pad_in"))),
+        Net("n_ff", ("ff0", "q"), (("c0", "i1"),)),
+    ]
+    return build_netlist("ffloop", cells, nets)
+
+
+class TestCycles:
+    def test_comb_cycle_detected(self):
+        cycles = combinational_cycles(cyclic_netlist())
+        assert cycles
+        assert set(cycles[0]) == {"c0", "c1"}
+
+    def test_ff_breaks_cycle(self):
+        assert combinational_cycles(ff_loop_netlist()) == []
+
+    def test_validate_reports_cycle(self):
+        problems = validate(cyclic_netlist())
+        assert any("combinational cycle" in p for p in problems)
+
+    def test_validate_accepts_ff_loop(self):
+        assert validate(ff_loop_netlist()) == []
+
+
+class TestLimits:
+    def test_fanout_limit(self, micro_netlist):
+        problems = validate(micro_netlist, max_fanout=1)
+        assert any("fanout" in p for p in problems)
+
+    def test_fanin_limit(self, micro_netlist):
+        problems = validate(micro_netlist, max_fanin=1)
+        assert any("fanin" in p for p in problems)
+
+    def test_defaults_pass(self, micro_netlist):
+        assert validate(micro_netlist) == []
+
+
+class TestDeadLogic:
+    def test_valid_circuit_has_no_dead_logic(self, tiny_netlist):
+        assert validate(tiny_netlist) == []
+
+    def test_unreachable_comb_detected(self):
+        # c1 feeds po0, but c1's only input comes from c0 whose input
+        # comes from c1 -> the pair is a cycle unreachable from inputs.
+        cells = [
+            Cell("pi0", "input"),
+            Cell("c0", "comb", num_inputs=1),
+            Cell("c1", "comb", num_inputs=1),
+            Cell("po0", "output", num_inputs=1),
+            Cell("po1", "output", num_inputs=1),
+        ]
+        nets = [
+            Net("n_pi", ("pi0", "pad_out"), (("po1", "pad_in"),)),
+            Net("n_c0", ("c0", "y"), (("c1", "i0"),)),
+            Net("n_c1", ("c1", "y"), (("c0", "i0"), ("po0", "pad_in"))),
+        ]
+        netlist = build_netlist("dead", cells, nets)
+        problems = validate(netlist)
+        assert any("not driven from any boundary" in p for p in problems)

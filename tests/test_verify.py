@@ -1,0 +1,119 @@
+"""Tests for the independent electrical layout verifier."""
+
+import pytest
+
+from repro.route import verify_layout, verify_net
+
+
+class TestCleanLayouts:
+    def test_routed_layout_verifies(self, routed_tiny):
+        _, state = routed_tiny
+        assert verify_layout(state) == []
+
+    def test_random_placement_layout_verifies(self, random_routed_tiny):
+        _, state = random_routed_tiny
+        # This layout may be incomplete; verified nets must still be sound.
+        assert verify_layout(state, require_complete=False) == []
+
+    def test_incomplete_reported_when_required(self, routed_tiny):
+        _, state = routed_tiny
+        net = state.routes[0].net_index
+        state.rip_up(net)
+        problems = verify_layout(state, require_complete=True)
+        assert any("unrouted" in p for p in problems)
+
+    def test_incomplete_ignored_when_not_required(self, routed_tiny):
+        _, state = routed_tiny
+        state.rip_up(state.routes[0].net_index)
+        assert verify_layout(state, require_complete=False) == []
+
+
+class TestCorruptionDetection:
+    """Inject semantic corruption the bookkeeping would not notice."""
+
+    def test_missing_channel_claim(self, routed_tiny):
+        _, state = routed_tiny
+        route = next(r for r in state.routes if r.fully_routed)
+        channel, claim = next(iter(route.claims.items()))
+        # Remove the claim record but leave occupancy + queues alone:
+        # only the electrical check notices.
+        del route.claims[channel]
+        problems = verify_net(state, route.net_index)
+        assert any("no claim in pin channel" in p for p in problems)
+
+    def test_interval_not_covering_pin(self, routed_tiny):
+        from repro.arch.channel import ChannelClaim
+
+        _, state = routed_tiny
+        route = next(r for r in state.routes if r.fully_routed)
+        channel, claim = next(iter(route.claims.items()))
+        pin = route.pin_channels[channel][0]
+        # Shrink the recorded interval past the pin.
+        route.claims[channel] = ChannelClaim(
+            claim.channel, claim.track, claim.first_seg, claim.last_seg,
+            pin + 1, max(pin + 1, claim.hi),
+        )
+        problems = verify_net(state, route.net_index)
+        assert any("outside claim" in p for p in problems)
+
+    def test_stolen_occupancy(self, routed_tiny):
+        _, state = routed_tiny
+        route = next(r for r in state.routes if r.fully_routed)
+        channel, claim = next(iter(route.claims.items()))
+        ch = state.fabric.channels[channel]
+        # Flip ownership behind the router's back.
+        ch._owner[claim.track][claim.first_seg] = 99999
+        problems = verify_net(state, route.net_index)
+        assert any("owned by 99999" in p for p in problems)
+
+    def test_trunk_outside_claim(self, routed_tiny):
+        from repro.arch.vertical import VerticalClaim
+
+        _, state = routed_tiny
+        route = next(
+            r for r in state.routes if r.fully_routed and r.needs_vertical
+        )
+        v = route.vertical
+        # Teleport the recorded trunk to a column no claim covers.
+        far_column = next(
+            column
+            for column in range(state.fabric.cols)
+            if not any(
+                claim.lo <= column <= claim.hi
+                for claim in route.claims.values()
+            )
+        )
+        route.vertical = VerticalClaim(
+            far_column, v.track, v.first_seg, v.last_seg, v.cmin, v.cmax
+        )
+        problems = verify_net(state, route.net_index)
+        assert any("unclaimed wire" in p or "owned by" in p for p in problems)
+
+    def test_vertical_span_too_short(self, routed_tiny):
+        from repro.arch.vertical import VerticalClaim
+
+        _, state = routed_tiny
+        route = next(
+            r for r in state.routes if r.fully_routed and r.needs_vertical
+        )
+        v = route.vertical
+        route.vertical = VerticalClaim(
+            v.column, v.track, v.first_seg, v.last_seg, v.cmin + 1, v.cmax
+        )
+        if route.cmin >= v.cmin + 1:
+            pytest.skip("span still covers the pins")
+        problems = verify_net(state, route.net_index)
+        assert any("pins span" in p for p in problems)
+
+    def test_spurious_vertical_on_flat_net(self, routed_tiny):
+        _, state = routed_tiny
+        flat = next(
+            r for r in state.routes if r.fully_routed and not r.needs_vertical
+        )
+        trunk = next(
+            r.vertical for r in state.routes
+            if r.fully_routed and r.needs_vertical
+        )
+        flat.vertical = trunk
+        problems = verify_net(state, flat.net_index)
+        assert any("single-channel net holds" in p for p in problems)

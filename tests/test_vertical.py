@@ -1,0 +1,105 @@
+"""Unit tests for repro.arch.vertical (segmented vertical tracks)."""
+
+import pytest
+
+from repro.arch import (
+    VerticalColumn,
+    custom_segmentation,
+    mixed_vertical_segmentation,
+    uniform_segmentation,
+)
+
+
+@pytest.fixture
+def vcolumn():
+    """Column 3 over 6 channels: track 0 cut at channel 3, track 1 full."""
+    return VerticalColumn(3, custom_segmentation(6, [[3], []]))
+
+
+class TestCandidates:
+    def test_best_candidate_prefers_least_wastage(self, vcolumn):
+        best = vcolumn.best_candidate(0, 2)
+        assert best.track == 0  # 3-channel segment beats the 6-channel one
+        assert best.wastage == 0
+
+    def test_spanning_break_uses_antifuse(self, vcolumn):
+        best = vcolumn.best_candidate(1, 4)
+        # Track 0 needs both segments (wastage 2, 2 segs); track 1 has
+        # wastage 2, 1 seg -> track 1 wins on the segment tiebreak.
+        assert best.track == 1
+        assert best.num_segments == 1
+
+    def test_no_candidate_when_full(self, vcolumn):
+        claim1 = vcolumn.claim(1, vcolumn.best_candidate(0, 2), 0, 2)
+        claim2 = vcolumn.claim(2, vcolumn.best_candidate(0, 5), 0, 5)
+        assert vcolumn.best_candidate(1, 4) is None
+        assert claim1.track != claim2.track
+
+
+class TestClaims:
+    def test_claim_fields(self, vcolumn):
+        claim = vcolumn.claim(5, vcolumn.best_candidate(0, 4), 0, 4)
+        assert claim.column == 3
+        assert claim.cmin == 0
+        assert claim.cmax == 4
+        assert claim.span_channels == 4
+
+    def test_antifuse_count(self, vcolumn):
+        candidate = vcolumn.candidates(0, 5)
+        spanning = [c for c in vcolumn.candidates(0, 5) if c.num_segments == 2]
+        assert spanning, "track 0 run over the break expected"
+        claim = vcolumn.claim(1, spanning[0], 0, 5)
+        assert claim.num_antifuses == 1
+
+    def test_release_roundtrip(self, vcolumn):
+        claim = vcolumn.claim(2, vcolumn.best_candidate(0, 2), 0, 2)
+        vcolumn.release(2, claim)
+        assert vcolumn.best_candidate(0, 2).track == 0
+
+    def test_release_wrong_column_rejected(self, vcolumn):
+        other = VerticalColumn(9, custom_segmentation(6, [[]]))
+        claim = other.claim(1, other.best_candidate(0, 5), 0, 5)
+        with pytest.raises(ValueError, match="column 9"):
+            vcolumn.release(1, claim)
+
+    def test_reclaim(self, vcolumn):
+        claim = vcolumn.claim(2, vcolumn.best_candidate(0, 2), 0, 2)
+        vcolumn.release(2, claim)
+        vcolumn.reclaim(2, claim)
+        assert vcolumn.best_candidate(0, 2).track != claim.track
+
+
+class TestStatistics:
+    def test_utilization_counts_spans(self, vcolumn):
+        assert vcolumn.utilization() == 0.0
+        vcolumn.claim(1, vcolumn.best_candidate(0, 5), 0, 5)
+        assert vcolumn.utilization() > 0.0
+
+    def test_segments_used(self, vcolumn):
+        vcolumn.claim(1, vcolumn.best_candidate(0, 2), 0, 2)
+        assert vcolumn.segments_used() == 1
+
+
+class TestMixedVerticalSegmentation:
+    @pytest.mark.parametrize("channels", [3, 6, 9])
+    @pytest.mark.parametrize("tracks", [1, 4, 8])
+    def test_tiles(self, channels, tracks):
+        seg = mixed_vertical_segmentation(channels, tracks)
+        assert seg.num_tracks == tracks
+        for track in seg.tracks:
+            assert track[0][0] == 0
+            assert track[-1][1] == channels
+
+    def test_has_short_feedthroughs(self):
+        seg = mixed_vertical_segmentation(8, 8)
+        assert any(
+            (end - start) <= 2 for track in seg.tracks for start, end in track
+        )
+
+    def test_has_full_height_track(self):
+        seg = mixed_vertical_segmentation(8, 8)
+        assert any(track == ((0, 8),) for track in seg.tracks)
+
+    def test_invalid_tracks(self):
+        with pytest.raises(ValueError):
+            mixed_vertical_segmentation(8, 0)

@@ -1,0 +1,80 @@
+"""Unit tests for placement-level wiring estimators."""
+
+import pytest
+
+from repro.place import (
+    Placement,
+    channel_congestion,
+    congestion_penalty,
+    net_hpwl,
+    net_span_key,
+    total_hpwl,
+)
+
+
+@pytest.fixture
+def hand_placement(micro_netlist, micro_arch):
+    """pi0/pi1 at row ends, logic packed left-to-right in row 0."""
+    placement = Placement(micro_netlist, micro_arch.build())
+    io_slots = sorted(placement.fabric.slots_of_kind("io"))
+    logic_slots = sorted(placement.fabric.slots_of_kind("logic"))
+    placement.place(micro_netlist.cell("pi0").index, io_slots[0])
+    placement.place(micro_netlist.cell("pi1").index, io_slots[1])
+    placement.place(micro_netlist.cell("po0").index, io_slots[2])
+    placement.place(micro_netlist.cell("c0").index, logic_slots[0])
+    placement.place(micro_netlist.cell("c1").index, logic_slots[1])
+    placement.place(micro_netlist.cell("ff0").index, logic_slots[2])
+    return placement
+
+
+class TestHpwl:
+    def test_single_net_value(self, hand_placement, micro_netlist):
+        net = micro_netlist.net("n_c0")
+        cmin, cmax, xmin, xmax = hand_placement.net_bounding_box(net.index)
+        assert net_hpwl(hand_placement, net.index) == pytest.approx(
+            (xmax - xmin) + 0.5 * (cmax - cmin)
+        )
+
+    def test_total_is_sum(self, hand_placement, micro_netlist):
+        assert total_hpwl(hand_placement) == pytest.approx(
+            sum(net_hpwl(hand_placement, n.index) for n in micro_netlist.nets)
+        )
+
+    def test_span_key_matches_hpwl(self, hand_placement, micro_netlist):
+        for net in micro_netlist.nets:
+            assert net_span_key(hand_placement, net.index) == net_hpwl(
+                hand_placement, net.index
+            )
+
+    def test_moving_cell_changes_hpwl(self, hand_placement, micro_netlist):
+        before = total_hpwl(hand_placement)
+        c1 = micro_netlist.cell("c1").index
+        far = sorted(hand_placement.fabric.slots_of_kind("logic"))[-1]
+        hand_placement.swap_slots(hand_placement.slot_of(c1), far)
+        assert total_hpwl(hand_placement) != before
+
+
+class TestCongestion:
+    def test_demand_vector_length(self, hand_placement):
+        demand = channel_congestion(hand_placement)
+        assert len(demand) == hand_placement.fabric.num_channels
+
+    def test_demand_nonnegative(self, hand_placement):
+        assert all(d >= 0 for d in channel_congestion(hand_placement))
+
+    def test_total_demand_positive(self, hand_placement):
+        assert sum(channel_congestion(hand_placement)) > 0
+
+    def test_penalty_zero_with_many_tracks(self, hand_placement):
+        assert congestion_penalty(hand_placement, tracks_per_channel=1000) == 0.0
+
+    def test_penalty_positive_with_few_tracks(self, routed_tiny):
+        placement, _ = routed_tiny
+        assert congestion_penalty(placement, tracks_per_channel=0) > 0.0
+
+    def test_penalty_quadratic(self, routed_tiny):
+        placement, _ = routed_tiny
+        # Penalty grows superlinearly as capacity shrinks.
+        p0 = congestion_penalty(placement, 0)
+        p1 = congestion_penalty(placement, 1)
+        assert p0 > p1 >= 0
