@@ -1,0 +1,230 @@
+"""Move-throughput benchmark for the simultaneous annealer's hot loop.
+
+Measures attempted moves per second on generated circuits and emits a
+machine-readable ``BENCH_moves.json``.  This is the harness behind the
+fast-path optimization work (dirty-channel repair, negative-result
+caches, fused candidate scans): any change to the move transaction or
+the routers should be checked against it.
+
+Absolute moves/sec depends on the host, so every run also times a fixed
+pure-Python calibration loop and reports a *normalized score*
+(moves per calibration unit).  Regression checks compare normalized
+scores, which makes a checked-in baseline meaningful across machines of
+different speeds.
+
+Usage
+-----
+Full run (small + medium), write ``BENCH_moves.json`` in the cwd::
+
+    PYTHONPATH=src python benchmarks/bench_moves_per_sec.py
+
+CI smoke run with a regression gate against a checked-in baseline::
+
+    PYTHONPATH=src python benchmarks/bench_moves_per_sec.py --smoke \
+        --check benchmarks/baselines/moves_smoke.json --max-regression 0.30
+
+Exit status is non-zero if any design fails to anneal or the regression
+gate trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Optional, Sequence
+
+from repro import architecture_for
+from repro.core import AnnealerConfig, ScheduleConfig, SimultaneousAnnealer
+from repro.netlist import CircuitSpec, generate
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark configuration (circuit + anneal effort)."""
+
+    name: str
+    spec: CircuitSpec
+    tracks: int
+    max_temperatures: int
+
+
+def _schedule(max_temperatures: int) -> ScheduleConfig:
+    return ScheduleConfig(
+        lambda_=2.0, max_temperatures=max_temperatures, freeze_patience=2
+    )
+
+
+def _config(case: BenchCase, profile: bool) -> AnnealerConfig:
+    return AnnealerConfig(
+        seed=1,
+        attempts_per_cell=4,
+        initial="clustered",
+        greedy_rounds=1,
+        profile=profile,
+        schedule=_schedule(case.max_temperatures),
+    )
+
+
+#: The standing benchmark set.  ``medium`` is the headline number quoted
+#: in BENCH_moves.json; ``smoke`` is a cut-down case cheap enough for CI.
+CASES = {
+    "small": BenchCase(
+        "small", CircuitSpec("small", num_cells=60, seed=42, depth=5), 20, 10
+    ),
+    "medium": BenchCase(
+        "medium", CircuitSpec("medium", num_cells=150, seed=42, depth=7), 20, 10
+    ),
+    "smoke": BenchCase(
+        "smoke", CircuitSpec("smoke", num_cells=60, seed=42, depth=5), 20, 6
+    ),
+}
+
+
+def calibrate(reps: int = 3, iters: int = 200_000) -> float:
+    """Seconds for a fixed pure-Python workload (best of ``reps``).
+
+    Used to normalize moves/sec across hosts: score = moves_per_sec *
+    calibration_s is roughly machine-independent for CPython.
+    """
+    best = float("inf")
+    for _ in range(reps):
+        t0 = perf_counter()
+        acc = 0
+        for i in range(iters):
+            acc += i % 7
+        best = min(best, perf_counter() - t0)
+    assert acc >= 0
+    return best
+
+
+def run_case(case: BenchCase, calibration_s: float, profile: bool) -> dict:
+    """Run one benchmark case and return its result record."""
+    netlist = generate(case.spec)
+    arch = architecture_for(netlist, tracks_per_channel=case.tracks)
+    annealer = SimultaneousAnnealer(netlist, arch, _config(case, profile))
+    t0 = perf_counter()
+    result = annealer.run()
+    wall = perf_counter() - t0
+    moves_per_sec = result.moves_attempted / wall if wall > 0 else 0.0
+    record = {
+        "num_cells": netlist.num_cells,
+        "num_nets": netlist.num_nets,
+        "moves_attempted": result.moves_attempted,
+        "moves_accepted": result.moves_accepted,
+        "wall_time_s": round(wall, 4),
+        "moves_per_sec": round(moves_per_sec, 1),
+        "normalized_score": round(moves_per_sec * calibration_s, 3),
+        "fully_routed": result.fully_routed,
+        "worst_delay_ns": result.worst_delay,
+        "audit_clean": annealer.audit() == [],
+    }
+    if result.profile is not None:
+        record["profile"] = result.profile.as_dict()
+    return record
+
+
+def check_regression(
+    current: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Compare normalized scores against a baseline.  Returns failures."""
+    failures: list[str] = []
+    for name, base in baseline.get("designs", {}).items():
+        now = current["designs"].get(name)
+        if now is None:
+            continue
+        base_score = base.get("normalized_score")
+        now_score = now.get("normalized_score")
+        if not base_score or not now_score:
+            failures.append(f"{name}: missing normalized_score for comparison")
+            continue
+        regression = 1.0 - now_score / base_score
+        verdict = "FAIL" if regression > max_regression else "ok"
+        print(
+            f"  {name}: score {now_score:.3f} vs baseline {base_score:.3f} "
+            f"({-regression:+.1%}) [{verdict}]"
+        )
+        if regression > max_regression:
+            failures.append(
+                f"{name}: moves/sec regressed {regression:.1%} "
+                f"(limit {max_regression:.0%})"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--designs", nargs="+", choices=sorted(CASES), default=None,
+        help="cases to run (default: small medium; --smoke overrides)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run only the cut-down smoke case (CI-sized)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach per-phase profiles to the JSON records",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_moves.json",
+        help="where to write the JSON report (default ./BENCH_moves.json)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE_JSON", default=None,
+        help="compare against a baseline report and gate on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="maximum tolerated normalized-score regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.designs or (["smoke"] if args.smoke else ["small", "medium"])
+    calibration_s = calibrate()
+    report = {
+        "schema": "bench-moves/1",
+        "calibration_s": round(calibration_s, 5),
+        "designs": {},
+    }
+    ok = True
+    for name in names:
+        case = CASES[name]
+        record = run_case(case, calibration_s, args.profile)
+        report["designs"][name] = record
+        print(
+            f"{name}: {record['moves_attempted']} moves in "
+            f"{record['wall_time_s']:.2f}s -> {record['moves_per_sec']:.1f} "
+            f"moves/s (score {record['normalized_score']:.3f}, "
+            f"routed={record['fully_routed']})"
+        )
+        if not record["audit_clean"]:
+            print(f"{name}: AUDIT FAILED", file=sys.stderr)
+            ok = False
+
+    Path(args.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    if args.check:
+        try:
+            baseline = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL: cannot read baseline {args.check}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"regression check vs {args.check} "
+              f"(limit {args.max_regression:.0%}):")
+        failures = check_regression(report, baseline, args.max_regression)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        ok = ok and not failures
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ from .flows import (
     run_simultaneous,
     timing_improvement_percent,
 )
+from .perf import Profiler, RunProfile, maybe_profiler
 from .netlist import (
     CircuitSpec,
     Netlist,
@@ -87,6 +88,8 @@ __all__ = [
     "FlowResult",
     "Netlist",
     "PAPER_SPECS",
+    "Profiler",
+    "RunProfile",
     "ScheduleConfig",
     "SequentialConfig",
     "SimultaneousAnnealer",
@@ -105,6 +108,7 @@ __all__ = [
     "format_table",
     "generate",
     "kway_partition",
+    "maybe_profiler",
     "min_tracks_for_routing",
     "paper_benchmark",
     "random_logic",

@@ -137,6 +137,44 @@ class Channel:
             if candidate is not None:
                 yield candidate
 
+    def best_weighted(
+        self, lo: int, hi: int, segment_weight: float
+    ) -> Optional[TrackCandidate]:
+        """Lowest ``wastage + segment_weight * num_segments`` candidate.
+
+        Fused form of ``min(candidates(lo, hi), key=...)`` for the
+        incremental router's hot loop: one flat scan over tracks with no
+        per-track function calls and a single :class:`TrackCandidate`
+        allocated at the end.  Ties keep the lowest track index, exactly
+        like a strict ``<`` comparison over :meth:`candidates` in track
+        order — selection must stay bit-identical to the generic path.
+        """
+        self._check_interval(lo, hi)
+        span = hi - lo + 1
+        best = None
+        best_cost = 0.0
+        tracks = self.segmentation.tracks
+        single = lo == hi
+        for track in range(len(tracks)):
+            starts = self._starts[track]
+            first = bisect_right(starts, lo) - 1
+            last = first if single else bisect_right(starts, hi) - 1
+            owner = self._owner[track]
+            for s in range(first, last + 1):
+                if owner[s] is not None:
+                    break
+            else:
+                segs = tracks[track]
+                used = segs[last][1] - segs[first][0]
+                cost = (used - span) + segment_weight * (last - first + 1)
+                if best is None or cost < best_cost:
+                    best = (track, first, last, used)
+                    best_cost = cost
+        if best is None:
+            return None
+        track, first, last, used = best
+        return TrackCandidate(track, first, last, used, used - span)
+
     def claim(self, net: NetId, candidate: TrackCandidate, lo: int, hi: int) -> ChannelClaim:
         """Commit ``candidate`` for ``net``; returns the recorded claim."""
         owner = self._owner[candidate.track]

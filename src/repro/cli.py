@@ -70,12 +70,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     arch = architecture_for(netlist, tracks_per_channel=args.tracks)
     sim_cfg, seq_cfg = _configs(args.effort, args.seed)
     if args.flow == "simultaneous":
-        result = run_simultaneous(netlist, arch, sim_cfg)
+        result = run_simultaneous(netlist, arch, sim_cfg,
+                                  profile=args.profile or None)
     else:
+        if args.profile:
+            print("note: --profile only instruments the simultaneous flow",
+                  file=sys.stderr)
         result = run_sequential(netlist, arch, seq_cfg)
     print(result)
     for key, value in result.metrics().items():
         print(f"  {key:>24}: {value}")
+    profile = result.extra.get("profile") if result.extra else None
+    if profile is not None:
+        print(profile.format())
     return 0 if result.fully_routed else 1
 
 
@@ -127,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_run)
     p_run.add_argument(
         "--flow", choices=("sequential", "simultaneous"), default="simultaneous"
+    )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="collect and print per-phase hot-loop timings "
+        "(moves/sec, rip-up vs repair vs timing vs cost)",
     )
     p_run.set_defaults(func=_cmd_run)
 

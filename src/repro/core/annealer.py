@@ -21,11 +21,13 @@ import math
 import random
 import time
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional
 
 from ..arch.presets import Architecture
 from ..arch.technology import Technology
 from ..netlist.netlist import Netlist
+from ..perf import RunProfile, maybe_profiler
 from ..place.initial import clustered_placement, random_placement
 from ..place.placement import Placement
 from ..route.channel_router import DEFAULT_SEGMENT_WEIGHT
@@ -60,6 +62,15 @@ class AnnealerConfig:
     #: direction): fraction of swap proposals drawn from the current
     #: near-zero-slack cells instead of uniformly.  0 disables.
     critical_bias: float = 0.0
+    #: Collect per-phase timings and counters into ``AnnealResult.profile``.
+    #: Never affects results: identical seeds give identical metrics
+    #: with profiling on or off.
+    profile: bool = False
+    #: Repair fast path (dirty-channel iteration + negative-result
+    #: caches + zero-net-move short circuit).  Bit-identical results
+    #: either way; off exists for the golden determinism test and A/B
+    #: benchmarking.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell <= 0:
@@ -106,6 +117,8 @@ class AnnealResult:
     moves_accepted: int
     temperatures: int
     wall_time_s: float
+    #: Per-phase timings/counters; present only when profiling was on.
+    profile: Optional[RunProfile] = None
 
     @property
     def fully_routed(self) -> bool:
@@ -153,10 +166,14 @@ class SimultaneousAnnealer:
         else:
             placement = random_placement(netlist, fabric, self.rng)
         state = RoutingState(placement)
-        router = IncrementalRouter(state, self.config.segment_weight)
+        router = IncrementalRouter(
+            state, self.config.segment_weight, fast_path=self.config.fast_path
+        )
         router.route_all_from_scratch()
         timing = IncrementalTiming(state, self.technology)
-        self.ctx = LayoutContext(placement, state, router, timing)
+        self.profiler = maybe_profiler(self.config.profile)
+        self.ctx = LayoutContext(placement, state, router, timing,
+                                 profiler=self.profiler)
         self.weights = CostWeights(
             self.config.importance_global,
             self.config.importance_detail,
@@ -188,8 +205,13 @@ class SimultaneousAnnealer:
         cells_touched = move.cells_involved(self.ctx.placement)
         self._attempted += 1
         record = apply_move(self.ctx, move)
+        prof = self.profiler
+        if prof is not None:
+            t0 = perf_counter()
         new_terms = self.evaluator.terms()
         delta = self.weights.scalar(new_terms) - self.weights.scalar(current)
+        if prof is not None:
+            prof.add_time("cost", perf_counter() - t0)
         if delta <= 0:
             accept = True
         elif temperature <= 0:
@@ -283,6 +305,12 @@ class SimultaneousAnnealer:
 
         current = self._greedy_cleanup(current)
 
+        wall_time = time.perf_counter() - started
+        profile = None
+        if self.profiler is not None:
+            profile = self.profiler.finish(
+                wall_time, self._attempted, self._accepted
+            )
         return AnnealResult(
             placement=self.ctx.placement,
             state=self.ctx.state,
@@ -292,7 +320,8 @@ class SimultaneousAnnealer:
             moves_attempted=self._attempted,
             moves_accepted=self._accepted,
             temperatures=self.schedule.temperatures_done,
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=wall_time,
+            profile=profile,
         )
 
     def _refocus_moves(self) -> None:

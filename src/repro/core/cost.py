@@ -28,11 +28,17 @@ from ..timing.incremental import IncrementalTiming
 
 @dataclass(frozen=True)
 class CostTerms:
-    """One evaluation of the raw cost components."""
+    """One evaluation of the raw cost components.
 
-    global_unrouted: int  # G
-    detail_unrouted: int  # D
-    worst_delay: float    # T
+    ``G`` and ``D`` are integer counts when read off live state, but the
+    fields are typed ``float`` because the same record carries the *mean*
+    terms used for weight recalibration — truncating a mean of 0.9
+    unrouted nets to 0 would silently hit the weight floor.
+    """
+
+    global_unrouted: float  # G (a count; float so means stay exact)
+    detail_unrouted: float  # D (a count; float so means stay exact)
+    worst_delay: float      # T
 
     def as_tuple(self) -> tuple[float, float, float]:
         """The raw terms as a (G, D, T) float tuple."""
@@ -125,12 +131,12 @@ class TermAccumulator:
             self._sums[i] += value
 
     def mean_terms(self) -> CostTerms:
-        """Mean of the accumulated term samples."""
+        """Mean of the accumulated term samples (kept as exact floats)."""
         if not self.count:
             return CostTerms(0, 0, 0.0)
         return CostTerms(
-            int(self._sums[0] / self.count),
-            int(self._sums[1] / self.count),
+            self._sums[0] / self.count,
+            self._sums[1] / self.count,
             self._sums[2] / self.count,
         )
 

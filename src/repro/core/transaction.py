@@ -12,12 +12,24 @@ undoable bit-exactly.  :func:`apply_move` journals every net whose
 claims can change and captures the timing delta; :func:`rollback`
 replays them in the correct order (placement first — route geometry is
 recomputed from it — then routing claims, then timing).
+
+A move that touches no nets (a swap of cells with no terminals, or an
+unconnected pinmap change) frees no routing capacity, so the repair
+queues are exactly as hopeless as the previous transaction left them —
+the whole cascade is skipped when the router's fast path is on.
+
+When a :class:`~repro.perf.Profiler` rides on the context, each phase
+of the cascade is timed under the guarded-probe pattern (a single
+``is not None`` test per phase when profiling is off).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
+from typing import Optional
 
+from ..perf import Profiler
 from ..place.placement import Placement
 from ..route.incremental import IncrementalRouter, NetJournal
 from ..route.state import RoutingState
@@ -33,6 +45,7 @@ class LayoutContext:
     state: RoutingState
     router: IncrementalRouter
     timing: IncrementalTiming
+    profiler: Optional[Profiler] = None
 
 
 @dataclass
@@ -47,24 +60,54 @@ class TransactionRecord:
 
 def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
     """Apply ``move`` and the full rip-up/repair/timing cascade."""
+    prof = ctx.profiler
     affected_cells = move.cells_involved(ctx.placement)
     affected_nets: set[int] = set()
     for cell_index in affected_cells:
         affected_nets.update(ctx.placement.netlist.nets_of_cell(cell_index))
 
     journal = NetJournal(ctx.state)
+    if not affected_nets and ctx.router.fast_path:
+        # Nothing ripped, nothing freed: repair would re-fail every
+        # pending net and timing would re-derive every arrival bit-for-
+        # bit.  Apply the placement mutation alone.
+        move.apply(ctx.placement)
+        if prof is not None:
+            prof.count("moves", 1)
+            prof.count("moves_zero_net", 1)
+        return TransactionRecord(move, journal, TimingDelta(), 0)
+
+    if prof is not None:
+        t0 = perf_counter()
     ctx.router.rip_up_nets(affected_nets, journal)
     move.apply(ctx.placement)
     ctx.router.refresh_nets(affected_nets)
+    if prof is not None:
+        prof.add_time("ripup", perf_counter() - t0)
+        t0 = perf_counter()
     ctx.router.repair(journal)
+    if prof is not None:
+        prof.add_time("repair", perf_counter() - t0)
 
     touched = journal.touched()
+    if prof is not None:
+        t0 = perf_counter()
     timing_delta = ctx.timing.update_nets(touched)
+    if prof is not None:
+        prof.add_time("timing", perf_counter() - t0)
+        prof.count("moves", 1)
+        prof.count("nets_ripped", len(affected_nets))
+        prof.count("nets_journaled", len(touched))
     return TransactionRecord(move, journal, timing_delta, len(touched))
 
 
 def rollback(ctx: LayoutContext, record: TransactionRecord) -> None:
     """Undo an applied move bit-exactly."""
+    prof = ctx.profiler
+    if prof is not None:
+        t0 = perf_counter()
     record.move.undo(ctx.placement)
     record.journal.restore_all()
     ctx.timing.restore(record.timing_delta)
+    if prof is not None:
+        prof.add_time("rollback", perf_counter() - t0)

@@ -7,6 +7,7 @@ sequential baseline, so Table-1 comparisons are apples to apples.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Optional
 
@@ -21,9 +22,19 @@ def run_simultaneous(
     netlist: Netlist,
     architecture: Architecture,
     config: Optional[AnnealerConfig] = None,
+    profile: Optional[bool] = None,
 ) -> FlowResult:
-    """Run the simultaneous flow end to end."""
+    """Run the simultaneous flow end to end.
+
+    ``profile`` overrides ``config.profile`` when given — this is the
+    one profiling entry point the CLI and the benchmark harnesses
+    share.  The run's :class:`~repro.perf.RunProfile` (or None) rides
+    in ``extra["profile"]``.
+    """
     started = time.perf_counter()
+    if profile is not None:
+        config = dataclasses.replace(config or AnnealerConfig(),
+                                     profile=profile)
     annealer = SimultaneousAnnealer(netlist, architecture, config)
     result = annealer.run()
     report = analyze(result.state, architecture.technology)
@@ -40,5 +51,6 @@ def run_simultaneous(
             "moves_accepted": result.moves_accepted,
             "temperatures": result.temperatures,
             "internal_worst_delay": result.worst_delay,
+            "profile": result.profile,
         },
     )

@@ -1,0 +1,9 @@
+"""Profiling and performance observability (``repro.perf``).
+
+Counters, section timers, and the per-run :class:`RunProfile` record
+that the annealer attaches to its result when profiling is enabled.
+"""
+
+from .profiler import HOT_SECTIONS, Profiler, RunProfile, maybe_profiler
+
+__all__ = ["HOT_SECTIONS", "Profiler", "RunProfile", "maybe_profiler"]

@@ -1,0 +1,154 @@
+"""Near-zero-overhead counters and section timers for the hot loop.
+
+The annealer's inner loop runs hundreds of thousands of move
+transactions; instrumenting it must not distort what it measures.  The
+pattern used throughout the hot paths is therefore a *guarded* probe::
+
+    prof = ctx.profiler          # None unless --profile was requested
+    if prof is not None:
+        t0 = perf_counter()
+    ... work ...
+    if prof is not None:
+        prof.add_time("repair", perf_counter() - t0)
+
+When profiling is off the only cost is one ``is not None`` test per
+section — no timer calls, no allocation, no virtual dispatch.  When it
+is on, :class:`Profiler` accumulates wall time and call counts per
+named section plus arbitrary event counters, and :meth:`Profiler.finish`
+folds everything into an immutable :class:`RunProfile` that rides on
+``AnnealResult`` and serializes to JSON for the benchmark harnesses.
+
+Profiling never touches the random-number stream or any layout state,
+so identical seeds produce bit-identical results with and without it
+(``tests/test_perf.py`` guards this).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator, Optional
+
+#: Canonical section names used by the move-transaction hot path, in
+#: display order.  Other sections may be added freely; these just sort
+#: first in reports.
+HOT_SECTIONS = ("ripup", "repair", "timing", "cost", "rollback")
+
+
+class Profiler:
+    """Mutable accumulator for one run's counters and section timers."""
+
+    __slots__ = ("section_s", "section_calls", "counters")
+
+    def __init__(self) -> None:
+        self.section_s: dict[str, float] = {}
+        self.section_calls: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+
+    # -- hot-path probes (call only under an ``is not None`` guard) ----
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate one timed section sample."""
+        self.section_s[name] = self.section_s.get(name, 0.0) + seconds
+        self.section_calls[name] = self.section_calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump an event counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- convenience for non-hot call sites ----------------------------
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Context-manager form of :meth:`add_time` for cool paths."""
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, perf_counter() - t0)
+
+    def finish(
+        self,
+        wall_time_s: float,
+        moves_attempted: int,
+        moves_accepted: int,
+    ) -> "RunProfile":
+        """Freeze the accumulated data into a :class:`RunProfile`."""
+        return RunProfile(
+            wall_time_s=wall_time_s,
+            moves_attempted=moves_attempted,
+            moves_accepted=moves_accepted,
+            section_s=dict(self.section_s),
+            section_calls=dict(self.section_calls),
+            counters=dict(self.counters),
+        )
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Immutable per-run profile attached to ``AnnealResult.profile``."""
+
+    wall_time_s: float
+    moves_attempted: int
+    moves_accepted: int
+    section_s: dict[str, float] = field(default_factory=dict)
+    section_calls: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def moves_per_sec(self) -> float:
+        """Attempted moves per wall-clock second."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.moves_attempted / self.wall_time_s
+
+    @property
+    def mean_nets_journaled(self) -> float:
+        """Average nets journaled per attempted move."""
+        if not self.moves_attempted:
+            return 0.0
+        return self.counters.get("nets_journaled", 0) / self.moves_attempted
+
+    def section_fraction(self, name: str) -> float:
+        """Share of total wall time spent in one section."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.section_s.get(name, 0.0) / self.wall_time_s
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (what the benchmark JSON records)."""
+        return {
+            "wall_time_s": self.wall_time_s,
+            "moves_attempted": self.moves_attempted,
+            "moves_accepted": self.moves_accepted,
+            "moves_per_sec": self.moves_per_sec,
+            "mean_nets_journaled": self.mean_nets_journaled,
+            "section_s": dict(self.section_s),
+            "section_calls": dict(self.section_calls),
+            "counters": dict(self.counters),
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        lines = [
+            f"profile: {self.moves_attempted} moves in "
+            f"{self.wall_time_s:.2f}s  ->  {self.moves_per_sec:.1f} moves/s",
+            f"  nets journaled / move: {self.mean_nets_journaled:.2f}",
+        ]
+        ordered = [s for s in HOT_SECTIONS if s in self.section_s]
+        ordered += sorted(set(self.section_s) - set(HOT_SECTIONS))
+        for name in ordered:
+            total = self.section_s[name]
+            calls = self.section_calls.get(name, 0)
+            lines.append(
+                f"  {name:>10}: {total:8.3f}s "
+                f"({100.0 * self.section_fraction(name):5.1f}%) "
+                f"over {calls} calls"
+            )
+        for name in sorted(self.counters):
+            lines.append(f"  {name:>22}: {self.counters[name]}")
+        return "\n".join(lines)
+
+
+def maybe_profiler(enabled: bool) -> Optional[Profiler]:
+    """The single profiling entry point shared by CLI / flows / benches."""
+    return Profiler() if enabled else None

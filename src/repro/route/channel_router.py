@@ -55,6 +55,10 @@ def best_candidate(
         raise ValueError(
             f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
         )
+    if strategy == "weighted":
+        # Hot default: a fused scan on the channel picks the identical
+        # candidate without generator dispatch per track.
+        return state.fabric.channels[channel].best_weighted(lo, hi, segment_weight)
     best: Optional[TrackCandidate] = None
     best_key = None
     for candidate in state.fabric.channels[channel].candidates(lo, hi):
@@ -96,6 +100,10 @@ def route_net_in_channel(
     lo, hi = needs[channel]
     candidate = best_candidate(state, channel, lo, hi, segment_weight, strategy)
     if candidate is None:
+        # Feasibility is strategy-independent (every strategy scans the
+        # same candidate set), so the failure is safe to cache for the
+        # repair fast path.
+        state.note_detail_failure(net_index, channel, lo, hi)
         return False
     claim = state.fabric.channels[channel].claim(net_index, candidate, lo, hi)
     state.commit_detail(net_index, claim)

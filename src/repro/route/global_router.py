@@ -61,16 +61,36 @@ def route_net_global(state: RoutingState, net_index: int) -> bool:
         )
         state.commit_vertical(net_index, claim)
         return True
+    state.note_global_failure(net_index, route.cmin, route.cmax)
     return False
 
 
 def ripup_order(state: RoutingState, net_indices: Sequence[int]) -> list[int]:
-    """Nets sorted longest-estimated-first (the U_G / U_DR queue order)."""
-    def estimated_length(net_index: int) -> float:
-        route = state.routes[net_index]
-        return (route.xmax - route.xmin) + 0.5 * (route.cmax - route.cmin)
+    """Nets sorted longest-estimated-first (the U_G / U_DR queue order).
 
-    return sorted(net_indices, key=estimated_length, reverse=True)
+    Hot path: called once per pending queue per repair.  Queues of zero
+    or one net (the common case late in an anneal) skip the sort, and
+    longer queues decorate-and-sort without per-key lambda dispatch.
+    Equal-length nets order by index, so the queue is a pure function
+    of the pending *contents* — never of set iteration order, which
+    varies with each set's mutation history and would make otherwise
+    identical layouts repair differently.
+    """
+    if len(net_indices) <= 1:
+        return list(net_indices)
+    routes = state.routes
+    decorated = []
+    for net_index in net_indices:
+        route = routes[net_index]
+        # Negated length so the plain ascending sort puts longest first.
+        decorated.append(
+            (
+                (route.xmin - route.xmax) + 0.5 * (route.cmin - route.cmax),
+                net_index,
+            )
+        )
+    decorated.sort()
+    return [entry[1] for entry in decorated]
 
 
 def global_route_all(

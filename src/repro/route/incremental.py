@@ -92,9 +92,15 @@ class IncrementalRouter:
         self,
         state: RoutingState,
         segment_weight: float = DEFAULT_SEGMENT_WEIGHT,
+        fast_path: bool = True,
     ) -> None:
         self.state = state
         self.segment_weight = segment_weight
+        #: When True, :meth:`repair` visits only dirty channels and
+        #: skips attempts the negative caches prove will fail.  Results
+        #: are bit-identical either way; the flag exists so the golden
+        #: determinism test can compare against the exhaustive path.
+        self.fast_path = fast_path
 
     # ------------------------------------------------------------------
     # Rip-up
@@ -125,20 +131,36 @@ class IncrementalRouter:
         rejected move can undo them even if they were not connected to
         the perturbed cell (e.g. a previously-unroutable net that
         succeeds in the more compliant intermediate placement).
+
+        Fast path: only channels with pending nets are visited, and a
+        net whose last attempt failed is skipped outright until some
+        capacity it could use has been released (see the negative
+        caches on :class:`RoutingState`).  Both shortcuts are exact —
+        a skipped attempt has no side effects and would fail again —
+        so the claims committed are identical to the exhaustive scan.
         """
         state = self.state
         touched: set[int] = set()
+        fast = self.fast_path
 
         pending_global = ripup_order(state, list(state.unrouted_global))
         for net_index in pending_global:
+            if fast and state.global_attempt_is_hopeless(net_index):
+                continue
             if journal is not None:
                 journal.snapshot(net_index)
             touched.add(net_index)
             route_net_global(state, net_index)
 
-        for channel in range(state.fabric.num_channels):
+        if fast:
+            channels: Iterable[int] = sorted(state.dirty_channels)
+        else:
+            channels = range(state.fabric.num_channels)
+        for channel in channels:
             pending = ripup_order(state, list(state.unrouted_detail[channel]))
             for net_index in pending:
+                if fast and state.detail_attempt_is_hopeless(net_index, channel):
+                    continue
                 if journal is not None:
                     journal.snapshot(net_index)
                 touched.add(net_index)

@@ -126,11 +126,36 @@ class RoutingState:
         self.unrouted_detail: list[set[int]] = [
             set() for _ in range(self.fabric.num_channels)
         ]
+        #: Channels whose pending set is non-empty; the repair fast path
+        #: iterates this instead of every channel.
+        self.dirty_channels: set[int] = set()
+        # Per-net mirror of the channels it is pending in, so rip-up /
+        # re-mark touches only those channels instead of scanning all.
+        self._pending_channels: list[set[int]] = [
+            set() for _ in range(len(self.routes))
+        ]
         # O(1) D-counter support: per-net count of missing channel claims,
         # per-net "counts toward D" flag, and the running total.
         self._missing: list[int] = [0] * len(self.routes)
         self._counts_d: list[bool] = [False] * len(self.routes)
         self._d_count = 0
+        # Negative-result caches for the repair fast path.  Routing a
+        # net can only *consume* segments; a failed attempt stays failed
+        # until capacity overlapping the needed interval is released.
+        # Each channel keeps an append-only log of released column
+        # spans (the vertical plane keeps one of channel spans); a
+        # recorded failure carries its log position and needed interval
+        # and is retried only once a later release overlaps it.
+        self._channel_releases: list[list[Interval]] = [
+            [] for _ in range(self.fabric.num_channels)
+        ]
+        self._vertical_releases: list[Interval] = []
+        self._detail_fail: list[dict[int, tuple[int, int, int]]] = [
+            {} for _ in range(len(self.routes))
+        ]
+        self._global_fail: list[Optional[tuple[int, int, int]]] = (
+            [None] * len(self.routes)
+        )
         for net in self.netlist.nets:
             self.refresh_geometry(net.index)
 
@@ -164,16 +189,27 @@ class RoutingState:
         return route
 
     def _mark_unrouted(self, route: NetRoute) -> None:
+        net_index = route.net_index
         if route.needs_vertical:
-            self.unrouted_global.add(route.net_index)
+            self.unrouted_global.add(net_index)
         else:
-            self.unrouted_global.discard(route.net_index)
-        for channel_sets in self.unrouted_detail:
-            channel_sets.discard(route.net_index)
-        for channel in route.pin_channels:
-            self.unrouted_detail[channel].add(route.net_index)
-        self._missing[route.net_index] = len(route.pin_channels)
-        self._refresh_d(route.net_index)
+            self.unrouted_global.discard(net_index)
+        for channel in self._pending_channels[net_index]:
+            pending = self.unrouted_detail[channel]
+            pending.discard(net_index)
+            if not pending:
+                self.dirty_channels.discard(channel)
+        pending_channels = set(route.pin_channels)
+        self._pending_channels[net_index] = pending_channels
+        for channel in pending_channels:
+            self.unrouted_detail[channel].add(net_index)
+            self.dirty_channels.add(channel)
+        self._missing[net_index] = len(pending_channels)
+        # Geometry (and hence requirements) may have changed: forget
+        # every cached routing failure for this net.
+        self._detail_fail[net_index].clear()
+        self._global_fail[net_index] = None
+        self._refresh_d(net_index)
 
     def _refresh_d(self, net_index: int) -> None:
         """Keep the O(1) D counter in sync for one net."""
@@ -208,10 +244,7 @@ class RoutingState:
                 f"net {net_index} already routed in channel {claim.channel}"
             )
         route.claims[claim.channel] = claim
-        if net_index in self.unrouted_detail[claim.channel]:
-            self.unrouted_detail[claim.channel].discard(net_index)
-            self._missing[net_index] -= 1
-            self._refresh_d(net_index)
+        self._drop_pending(net_index, claim.channel)
 
     def rip_up(self, net_index: int) -> None:
         """Release all of the net's segments and mark it unrouted.
@@ -222,24 +255,126 @@ class RoutingState:
         """
         route = self.routes[net_index]
         if route.vertical is not None:
-            self.fabric.vcolumns[route.vertical.column].release(
-                net_index, route.vertical
+            claim = route.vertical
+            self.fabric.vcolumns[claim.column].release(net_index, claim)
+            segs = self.fabric.vcolumns[claim.column].segmentation.tracks[
+                claim.track
+            ]
+            self._log_vertical_release(
+                segs[claim.first_seg][0], segs[claim.last_seg][1] - 1
             )
             route.vertical = None
         for claim in route.claims.values():
             self.fabric.channels[claim.channel].release(net_index, claim)
+            segs = self.fabric.channels[claim.channel].segmentation.tracks[
+                claim.track
+            ]
+            self._log_channel_release(
+                claim.channel, segs[claim.first_seg][0], segs[claim.last_seg][1] - 1
+            )
         route.claims = {}
         self._mark_unrouted(route)
 
     # ------------------------------------------------------------------
     # Cost-function counters and diagnostics
     # ------------------------------------------------------------------
-    def discard_detail_pending(self, net_index: int, channel: int) -> None:
-        """Drop a stale pending entry while keeping the D counter exact."""
-        if net_index in self.unrouted_detail[channel]:
-            self.unrouted_detail[channel].discard(net_index)
+    def _drop_pending(self, net_index: int, channel: int) -> None:
+        pending = self.unrouted_detail[channel]
+        if net_index in pending:
+            pending.discard(net_index)
+            if not pending:
+                self.dirty_channels.discard(channel)
+            self._pending_channels[net_index].discard(channel)
             self._missing[net_index] -= 1
             self._refresh_d(net_index)
+
+    def discard_detail_pending(self, net_index: int, channel: int) -> None:
+        """Drop a stale pending entry while keeping the D counter exact."""
+        self._drop_pending(net_index, channel)
+
+    # ------------------------------------------------------------------
+    # Negative-result caches (repair fast path)
+    # ------------------------------------------------------------------
+    # Claims only ever shrink the free segment set, so a failed attempt
+    # to cover ``[lo, hi]`` stays a failure until a *release overlapping
+    # that interval* happens in the same channel: every segment of a
+    # track's covering run contains at least one column of [lo, hi], so
+    # a release with no column overlap cannot unblock any track.  The
+    # same argument holds for global routing with channel spans in
+    # place of column intervals.  Cached failures are cleared in
+    # :meth:`_mark_unrouted` (the single place a net's geometry or
+    # trunk — and hence its needed intervals — can change).
+
+    #: Release-log length at which a channel's log is compacted (all
+    #: cached failures referencing it are dropped, forcing one retry).
+    RELEASE_LOG_CAP = 65536
+
+    def _log_channel_release(self, channel: int, lo: int, hi: int) -> None:
+        log = self._channel_releases[channel]
+        log.append((lo, hi))
+        if len(log) > self.RELEASE_LOG_CAP:
+            for fails in self._detail_fail:
+                fails.pop(channel, None)
+            log.clear()
+
+    def _log_vertical_release(self, cmin: int, cmax: int) -> None:
+        log = self._vertical_releases
+        log.append((cmin, cmax))
+        if len(log) > self.RELEASE_LOG_CAP:
+            self._global_fail = [None] * len(self.routes)
+            log.clear()
+
+    def detail_attempt_is_hopeless(self, net_index: int, channel: int) -> bool:
+        """Whether a detail attempt is known to fail (amortized O(1))."""
+        entry = self._detail_fail[net_index].get(channel)
+        if entry is None:
+            return False
+        position, lo, hi = entry
+        releases = self._channel_releases[channel]
+        end = len(releases)
+        for i in range(position, end):
+            released = releases[i]
+            if released[0] <= hi and lo <= released[1]:
+                del self._detail_fail[net_index][channel]
+                return False
+        if end != position:
+            self._detail_fail[net_index][channel] = (end, lo, hi)
+        return True
+
+    def note_detail_failure(self, net_index: int, channel: int,
+                            lo: int, hi: int) -> None:
+        """Record a no-candidate detail failure for ``[lo, hi]``.
+
+        Only meaningful for a globally-routed net (whose requirement in
+        the channel is pinned until the next rip-up); callers must not
+        record failures caused by a missing global route.
+        """
+        self._detail_fail[net_index][channel] = (
+            len(self._channel_releases[channel]), lo, hi
+        )
+
+    def global_attempt_is_hopeless(self, net_index: int) -> bool:
+        """Whether a global attempt is known to fail (amortized O(1))."""
+        entry = self._global_fail[net_index]
+        if entry is None:
+            return False
+        position, cmin, cmax = entry
+        releases = self._vertical_releases
+        end = len(releases)
+        for i in range(position, end):
+            released = releases[i]
+            if released[0] <= cmax and cmin <= released[1]:
+                self._global_fail[net_index] = None
+                return False
+        if end != position:
+            self._global_fail[net_index] = (end, cmin, cmax)
+        return True
+
+    def note_global_failure(self, net_index: int, cmin: int, cmax: int) -> None:
+        """Record an all-columns-infeasible global failure for the span."""
+        self._global_fail[net_index] = (
+            len(self._vertical_releases), cmin, cmax
+        )
 
     def count_global_unrouted(self) -> int:
         """G: nets that need but lack a global route."""
@@ -286,16 +421,32 @@ class RoutingState:
             problems.append(
                 f"D counter drift: counter {self._d_count}, actual {len(pending)}"
             )
-        for net_index, route in enumerate(self.routes):
-            actual_missing = sum(
-                1
-                for channel_sets in self.unrouted_detail
-                if net_index in channel_sets
+        actual_dirty = {
+            channel
+            for channel, channel_sets in enumerate(self.unrouted_detail)
+            if channel_sets
+        }
+        if actual_dirty != self.dirty_channels:
+            problems.append(
+                f"dirty-channel drift: tracked {sorted(self.dirty_channels)}, "
+                f"actual {sorted(actual_dirty)}"
             )
-            if actual_missing != self._missing[net_index]:
+        for net_index, route in enumerate(self.routes):
+            actual_channels = {
+                channel
+                for channel, channel_sets in enumerate(self.unrouted_detail)
+                if net_index in channel_sets
+            }
+            if actual_channels != self._pending_channels[net_index]:
+                problems.append(
+                    f"net {net_index} pending-channel drift: mirror "
+                    f"{sorted(self._pending_channels[net_index])}, actual "
+                    f"{sorted(actual_channels)}"
+                )
+            if len(actual_channels) != self._missing[net_index]:
                 problems.append(
                     f"net {net_index} missing-count drift: counter "
-                    f"{self._missing[net_index]}, actual {actual_missing}"
+                    f"{self._missing[net_index]}, actual {len(actual_channels)}"
                 )
         for route in self.routes:
             for channel, claim in route.claims.items():

@@ -72,6 +72,29 @@ class IncrementalTiming:
         self._delay_cache: list[Optional[list[float]]] = [None] * self.netlist.num_nets
         self.arrival: list[float] = [0.0] * self.netlist.num_cells
         self.boundary_in: dict[int, float] = {}
+        # Hot-path adjacency, precomputed once: for every cell, the
+        # (net index, driver cell index, sink position) triple of each
+        # connected input port, so :meth:`_input_arrival` runs without
+        # any name->cell or (cell, port)->position dict lookups; and for
+        # every net, its sink cell indices for frontier seeding.
+        cell_inputs: list[tuple[tuple[int, int, int], ...]] = []
+        for cell in self.netlist.cells:
+            entries = []
+            for port in cell.input_ports:
+                net_index = self.netlist.sink_net(cell.index, port)
+                if net_index is None:
+                    continue
+                driver = self.netlist.cell(
+                    self.netlist.nets[net_index].driver[0]
+                ).index
+                position = self._positions[net_index][(cell.index, port)]
+                entries.append((net_index, driver, position))
+            cell_inputs.append(tuple(entries))
+        self._cell_inputs = cell_inputs
+        self._net_sink_cells: list[tuple[int, ...]] = [
+            tuple(self.netlist.cell(cell_name).index for cell_name, _ in net.sinks)
+            for net in self.netlist.nets
+        ]
         self.full_update()
 
     # ------------------------------------------------------------------
@@ -95,17 +118,13 @@ class IncrementalTiming:
     # ------------------------------------------------------------------
     def _input_arrival(self, cell_index: int) -> float:
         best = 0.0
-        cell = self.netlist.cells[cell_index]
-        for port in cell.input_ports:
-            net_index = self.netlist.sink_net(cell_index, port)
-            if net_index is None:
-                continue
-            driver = self.netlist.cell(
-                self.netlist.nets[net_index].driver[0]
-            ).index
-            value = self.arrival[driver] + self.sink_delay(
-                net_index, cell_index, port
-            )
+        arrival = self.arrival
+        cache = self._delay_cache
+        for net_index, driver, position in self._cell_inputs[cell_index]:
+            delays = cache[net_index]
+            if delays is None:
+                delays = self.sink_delays(net_index)
+            value = arrival[driver] + delays[position]
             if value > best:
                 best = value
         return best
@@ -154,9 +173,8 @@ class IncrementalTiming:
         for net_index in net_indices:
             delta.save_cache(net_index, self._delay_cache[net_index])
             self._delay_cache[net_index] = None
-            net = self.netlist.nets[net_index]
-            for cell_name, _ in net.sinks:
-                consider(self.netlist.cell(cell_name).index)
+            for sink_cell in self._net_sink_cells[net_index]:
+                consider(sink_cell)
 
         while frontier:
             _, cell_index = heapq.heappop(frontier)
