@@ -1,0 +1,85 @@
+"""Sanitizer smoke check: a sanitized anneal must be invisible.
+
+Runs the same short simultaneous anneal twice on a small generated
+benchmark — once plain, once with ``AnnealerConfig(sanitize=True)`` —
+and asserts:
+
+1. the sanitized run completes with zero :class:`SanitizerError`
+   (every move's rollback digest, cache probe, and invariant audit
+   passed), and
+2. the two runs land on bit-identical metrics (the sanitizer consumes
+   no RNG and mutates no semantic state).
+
+Exit code 0 on success, 1 on any mismatch or sanitizer violation.
+CI runs this as the ``sanitize-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import architecture_for
+from repro.core import AnnealerConfig, ScheduleConfig, SimultaneousAnnealer
+from repro.lint.runtime import SanitizerError
+from repro.netlist import tiny
+
+
+def smoke_config(seed: int, sanitize: bool) -> AnnealerConfig:
+    return AnnealerConfig(
+        seed=seed,
+        attempts_per_cell=4,
+        initial="clustered",
+        greedy_rounds=1,
+        schedule=ScheduleConfig(
+            lambda_=1.4, max_temperatures=16, freeze_patience=2
+        ),
+        sanitize=sanitize,
+    )
+
+
+def comparable_metrics(result) -> dict[str, float]:
+    return {k: v for k, v in result.metrics().items() if k != "wall_time_s"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--cells", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    netlist = tiny(seed=4, num_cells=args.cells, depth=4)
+    arch = architecture_for(netlist, tracks_per_channel=10)
+
+    plain = SimultaneousAnnealer(
+        netlist, arch, smoke_config(args.seed, sanitize=False)
+    ).run()
+
+    try:
+        sanitized = SimultaneousAnnealer(
+            netlist, arch, smoke_config(args.seed, sanitize=True)
+        ).run()
+    except SanitizerError as exc:
+        print(f"FAIL: sanitizer violation during anneal:\n{exc}")
+        return 1
+
+    left, right = comparable_metrics(plain), comparable_metrics(sanitized)
+    mismatches = {
+        key: (left[key], right[key]) for key in left if left[key] != right[key]
+    }
+    for key, (a, b) in sorted(mismatches.items()):
+        print(f"FAIL: metric {key!r} diverged: plain={a!r} sanitized={b!r}")
+    if mismatches:
+        return 1
+
+    print(
+        f"OK: sanitized anneal clean and bit-identical "
+        f"({plain.moves_attempted} moves, "
+        f"T={plain.worst_delay:.4f} ns, "
+        f"fully_routed={plain.fully_routed})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

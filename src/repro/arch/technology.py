@@ -110,7 +110,7 @@ class Technology:
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"Technology.{name} must be >= 0, got {value!r}")
-        if self.r_driver == 0:
+        if self.r_driver <= 0:
             raise ValueError("Technology.r_driver must be positive")
 
     def scaled(self, factor: float) -> "Technology":

@@ -10,11 +10,14 @@ Subcommands
     Run one layout flow on one design and print its metrics.
 ``compare <design> [...]``
     Run both flows and print the Table-1-style comparison row.
+``lint [paths ...]``
+    Run the determinism/invariant static analyzer (``repro.lint``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
@@ -69,6 +72,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     netlist = paper_benchmark(args.design)
     arch = architecture_for(netlist, tracks_per_channel=args.tracks)
     sim_cfg, seq_cfg = _configs(args.effort, args.seed)
+    if args.sanitize:
+        if args.flow != "simultaneous":
+            print("note: --sanitize only instruments the simultaneous flow",
+                  file=sys.stderr)
+        sim_cfg = dataclasses.replace(sim_cfg, sanitize=True)
     if args.flow == "simultaneous":
         result = run_simultaneous(netlist, arch, sim_cfg,
                                   profile=args.profile or None)
@@ -112,6 +120,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -140,11 +154,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect and print per-phase hot-loop timings "
         "(moves/sec, rip-up vs repair vs timing vs cost)",
     )
+    p_run.add_argument(
+        "--sanitize", action="store_true",
+        help="cross-check rollback/cache/audit invariants after every "
+        "move (slow; results are bit-identical to an unsanitized run)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run both flows and compare")
     _add_common(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism/invariant static analyzer",
+        add_help=False,
+    )
+    p_lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

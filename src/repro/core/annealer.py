@@ -32,6 +32,7 @@ from ..place.initial import clustered_placement, random_placement
 from ..place.placement import Placement
 from ..route.channel_router import DEFAULT_SEGMENT_WEIGHT
 from ..route.incremental import IncrementalRouter
+from ..lint.runtime import MoveSanitizer, check_all
 from ..route.state import RoutingState
 from ..timing.incremental import IncrementalTiming
 from .cost import CostEvaluator, CostTerms, CostWeights, TermAccumulator
@@ -71,6 +72,15 @@ class AnnealerConfig:
     #: either way; off exists for the golden determinism test and A/B
     #: benchmarking.
     fast_path: bool = True
+    #: Runtime sanitizer: after every move transaction, cross-check
+    #: rollback completeness, negative-cache coherence, and the full
+    #: invariant audit (see :mod:`repro.lint.runtime`).  Slow but
+    #: invisible: a sanitized run consumes no extra RNG and produces
+    #: bit-identical metrics to an unsanitized run with the same seed.
+    sanitize: bool = False
+    #: Thin the full invariant audit to every N-th move when sanitizing
+    #: (the cheap rollback digest and cache probes still run every move).
+    sanitize_every: int = 1
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell <= 0:
@@ -80,6 +90,10 @@ class AnnealerConfig:
         if not 0 <= self.critical_bias <= 1:
             raise ValueError(
                 f"critical_bias must be in [0, 1], got {self.critical_bias}"
+            )
+        if self.sanitize_every < 1:
+            raise ValueError(
+                f"sanitize_every must be >= 1, got {self.sanitize_every}"
             )
 
 
@@ -187,6 +201,10 @@ class SimultaneousAnnealer:
         self.dynamics = DynamicsTrace()
         self._attempted = 0
         self._accepted = 0
+        self.sanitizer: Optional[MoveSanitizer] = None
+        if self.config.sanitize:
+            self.sanitizer = MoveSanitizer(self.config.sanitize_every)
+            self.sanitizer.check_initial(self.ctx)
 
     # ------------------------------------------------------------------
     # Pieces of the run
@@ -204,6 +222,8 @@ class SimultaneousAnnealer:
             return False, current, []
         cells_touched = move.cells_involved(self.ctx.placement)
         self._attempted += 1
+        sanitizer = self.sanitizer
+        before = sanitizer.capture(self.ctx) if sanitizer is not None else None
         record = apply_move(self.ctx, move)
         prof = self.profiler
         if prof is not None:
@@ -221,8 +241,12 @@ class SimultaneousAnnealer:
             accept = exponent > -60 and self.rng.random() < math.exp(exponent)
         if accept:
             self._accepted += 1
+            if sanitizer is not None:
+                sanitizer.check_commit(self.ctx, move)
             return True, new_terms, cells_touched
         rollback(self.ctx, record)
+        if sanitizer is not None:
+            sanitizer.check_rollback(self.ctx, move, before)
         return False, current, []
 
     def _random_walk(self, moves: int) -> tuple[list[float], CostTerms]:
@@ -361,7 +385,10 @@ class SimultaneousAnnealer:
     # Audits (tests call this after runs)
     # ------------------------------------------------------------------
     def audit(self) -> list[str]:
-        """Invariant check; returns problems (empty = clean)."""
-        problems = self.ctx.state.check_consistency()
-        problems.extend(self.ctx.timing.audit())
-        return problems
+        """Invariant check; returns problems (empty = clean).
+
+        Delegates to :func:`repro.lint.runtime.check_all`, the single
+        consolidated entry point over routing bookkeeping, electrical
+        verification, and incremental-timing drift.
+        """
+        return check_all(self.ctx.state, self.ctx.timing)

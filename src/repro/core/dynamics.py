@@ -100,7 +100,7 @@ class DynamicsTrace:
         """Global unroutability reaches zero within the given run fraction."""
         series = self.series("global_unrouted_frac")
         cut = max(1, int(len(series) * fraction_of_run))
-        return any(value == 0.0 for value in series[:cut])
+        return any(value <= 0.0 for value in series[:cut])
 
     def detail_hump_exists(self) -> bool:
         """The globally-routed-but-detail-unrouted gap rises then falls."""
@@ -112,4 +112,4 @@ class DynamicsTrace:
 
     def converged_to_full_routing(self) -> bool:
         """Whether the final sample shows zero unrouted nets."""
-        return bool(self.samples) and self.samples[-1].unrouted_frac == 0.0
+        return bool(self.samples) and self.samples[-1].unrouted_frac <= 0.0

@@ -43,11 +43,17 @@ class SwapMove:
         return cells
 
     def apply(self, placement: Placement) -> None:
-        """Apply the move to the placement."""
+        """Apply the move to the placement.
+
+        Mutates: ``placement`` (exchanges the two slot assignments).
+        """
         placement.swap_slots(self.slot_a, self.slot_b)
 
     def undo(self, placement: Placement) -> None:
-        """Exactly invert a previously applied move."""
+        """Exactly invert a previously applied move.
+
+        Mutates: ``placement`` (exchanges the two slot assignments).
+        """
         placement.swap_slots(self.slot_a, self.slot_b)
 
 
@@ -64,11 +70,17 @@ class PinmapMove:
         return [self.cell_index]
 
     def apply(self, placement: Placement) -> None:
-        """Apply the move to the placement."""
+        """Apply the move to the placement.
+
+        Mutates: ``placement`` (switches the cell's active pinmap).
+        """
         placement.set_pinmap(self.cell_index, self.new_index)
 
     def undo(self, placement: Placement) -> None:
-        """Exactly invert a previously applied move."""
+        """Exactly invert a previously applied move.
+
+        Mutates: ``placement`` (switches the cell's active pinmap).
+        """
         placement.set_pinmap(self.cell_index, self.old_index)
 
 

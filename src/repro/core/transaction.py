@@ -59,7 +59,14 @@ class TransactionRecord:
 
 
 def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
-    """Apply ``move`` and the full rip-up/repair/timing cascade."""
+    """Apply ``move`` and the full rip-up/repair/timing cascade.
+
+    Mutates: every layer of ``ctx`` (placement, routing state, timing)
+    — the returned record is what makes the cascade undoable.  Affected
+    nets are processed in sorted order so the transaction is a pure
+    function of *which* nets a move touches, never of set iteration
+    order.
+    """
     prof = ctx.profiler
     affected_cells = move.cells_involved(ctx.placement)
     affected_nets: set[int] = set()
@@ -77,11 +84,12 @@ def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
             prof.count("moves_zero_net", 1)
         return TransactionRecord(move, journal, TimingDelta(), 0)
 
+    ordered_nets = sorted(affected_nets)
     if prof is not None:
         t0 = perf_counter()
-    ctx.router.rip_up_nets(affected_nets, journal)
+    ctx.router.rip_up_nets(ordered_nets, journal)
     move.apply(ctx.placement)
-    ctx.router.refresh_nets(affected_nets)
+    ctx.router.refresh_nets(ordered_nets)
     if prof is not None:
         prof.add_time("ripup", perf_counter() - t0)
         t0 = perf_counter()
@@ -89,7 +97,7 @@ def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
     if prof is not None:
         prof.add_time("repair", perf_counter() - t0)
 
-    touched = journal.touched()
+    touched = sorted(journal.touched())
     if prof is not None:
         t0 = perf_counter()
     timing_delta = ctx.timing.update_nets(touched)
@@ -102,7 +110,11 @@ def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
 
 
 def rollback(ctx: LayoutContext, record: TransactionRecord) -> None:
-    """Undo an applied move bit-exactly."""
+    """Undo an applied move bit-exactly.
+
+    Mutates: every layer of ``ctx`` (placement, routing state, timing),
+    restoring each to its pre-``record`` snapshot.
+    """
     prof = ctx.profiler
     if prof is not None:
         t0 = perf_counter()

@@ -160,10 +160,13 @@ class SequentialPlacer:
         affected: set[int] = set()
         for cell_index in move.cells_involved(self.placement):
             affected.update(self.netlist.nets_of_cell(cell_index))
-        for net_index in affected:
+        # Sorted order makes the float accumulation (+= per net) a pure
+        # function of which nets are affected, not set iteration order.
+        ordered = sorted(affected)
+        for net_index in ordered:
             self._measure(net_index, add=False)
         move.apply(self.placement)
-        for net_index in affected:
+        for net_index in ordered:
             self._measure(net_index, add=True)
         new_cost = self.cost()
         delta = new_cost - current_cost
@@ -173,10 +176,10 @@ class SequentialPlacer:
             exponent = -delta / temperature
             if exponent > -60 and self.rng.random() < math.exp(exponent):
                 return new_cost
-        for net_index in affected:
+        for net_index in ordered:
             self._measure(net_index, add=False)
         move.undo(self.placement)
-        for net_index in affected:
+        for net_index in ordered:
             self._measure(net_index, add=True)
         return current_cost
 

@@ -1,0 +1,87 @@
+"""Command line for the static pass: ``python -m repro.lint [paths]``.
+
+Also reachable as ``repro-fpga lint`` from the main CLI.  Exit codes:
+0 = clean, 1 = violations found, 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .engine import lint_paths
+from .rules import default_rules, rules_by_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the lint CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga lint",
+        description="Determinism & invariant static analysis for the "
+        "repro codebase (see docs/LINT.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the available rules and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line (diagnostics only)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Lint CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.name:>24}  {rule.summary}")
+        return 0
+
+    rules = None
+    if args.rules:
+        available = rules_by_name()
+        selected = []
+        for name in args.rules.split(","):
+            name = name.strip()
+            if name not in available:
+                print(
+                    f"error: unknown rule {name!r}; available: "
+                    f"{', '.join(sorted(available))}",
+                    file=sys.stderr,
+                )
+                return 2
+            selected.append(available[name])
+        rules = tuple(selected)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such path: {p}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, rules=rules)
+    for diagnostic in findings:
+        print(diagnostic.format())
+    if not args.quiet:
+        noun = "violation" if len(findings) == 1 else "violations"
+        print(f"repro-lint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Rule engine: parse, run rules, honor in-source suppressions.
+
+The engine is deliberately tiny: a :class:`Diagnostic` record, a
+suppression-comment parser, and drivers that lint a source string, a
+file, or a directory tree.  All rule logic lives in
+:mod:`repro.lint.rules`; the engine only decides *which* findings
+survive (suppressions) and in what order they are reported
+(path, then line, then column, then rule — so output is stable and
+diffable, which CI depends on).
+
+Suppression syntax
+------------------
+``# repro-lint: disable=rule-a,rule-b`` — as a trailing comment it
+suppresses those rules on its own line; on a line of its own it
+suppresses them on the next line (for statements that are awkward to
+tag inline).  ``# repro-lint: disable-file=rule-a`` anywhere in the
+file suppresses the rule for the whole file.  The rule name ``all``
+matches every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where it is, which rule fired, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line rendering used by the CLI."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+_SUPPRESS = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+def parse_suppressions(
+    source: str,
+) -> tuple[set[str], dict[int, set[str]]]:
+    """Extract suppression comments from source text.
+
+    Returns ``(file_level_rules, line -> rules)``.  A marker in a
+    trailing comment applies to its own line; a marker on a standalone
+    comment line applies to the next line.
+    """
+    file_rules: set[str] = set()
+    by_line: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(text)
+        if match is None:
+            continue
+        names = {part.strip() for part in match.group("rules").split(",")}
+        names.discard("")
+        if match.group("scope"):
+            file_rules.update(names)
+            continue
+        standalone = not text[: match.start()].strip()
+        target = lineno + 1 if standalone else lineno
+        by_line.setdefault(target, set()).update(names)
+    return file_rules, by_line
+
+
+def _is_suppressed(
+    diagnostic: Diagnostic,
+    file_rules: set[str],
+    by_line: dict[int, set[str]],
+) -> bool:
+    if "all" in file_rules or diagnostic.rule in file_rules:
+        return True
+    line_rules = by_line.get(diagnostic.line)
+    if line_rules is None:
+        return False
+    return "all" in line_rules or diagnostic.rule in line_rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence["Rule"]] = None,  # noqa: F821 (rules module)
+) -> list[Diagnostic]:
+    """Lint one source string; returns surviving diagnostics, sorted."""
+    from .rules import default_rules
+
+    active = default_rules() if rules is None else tuple(rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path,
+                exc.lineno or 1,
+                max(0, (exc.offset or 1) - 1),
+                "parse-error",
+                f"could not parse file: {exc.msg}",
+            )
+        ]
+    file_rules, by_line = parse_suppressions(source)
+    findings: list[Diagnostic] = []
+    for rule in active:
+        for diagnostic in rule.check(tree, source=source, path=path):
+            if not _is_suppressed(diagnostic, file_rules, by_line):
+                findings.append(diagnostic)
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return findings
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence["Rule"]] = None  # noqa: F821
+) -> list[Diagnostic]:
+    """Lint one file on disk."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Sorted traversal keeps report order (and CI logs) independent of
+    filesystem enumeration order.
+    """
+    found: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            found.extend(sorted(entry.rglob("*.py")))
+        else:
+            found.append(entry)
+    return found
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Optional[Sequence["Rule"]] = None,  # noqa: F821
+) -> list[Diagnostic]:
+    """Lint every ``.py`` file reachable from ``paths``."""
+    findings: list[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rules))
+    return findings

@@ -1,0 +1,757 @@
+"""The rule set: the engine's real, historically-observed failure modes.
+
+Every rule here exists because the corresponding bug class breaks the
+annealer's bit-identical determinism contract or desyncs the
+incremental caches that move transactions depend on:
+
+``set-iteration``
+    Iterating a ``set`` (or anything inferred to be one) into an
+    ordering-sensitive sink — a ``for`` loop, an ordered comprehension,
+    ``list``/``tuple``/``enumerate``/``iter``, or ``min``/``max`` with
+    a ``key=`` (ties resolve by encounter order) — makes behavior a
+    function of hash-table insertion *history*, not contents.  Wrap the
+    iterable in ``sorted(...)``.  Order-insensitive uses (``len``,
+    membership, ``any``/``all``, set algebra, building another set) are
+    allowed.
+
+``nondeterministic-call``
+    Module-level ``random.*`` functions share one hidden global RNG;
+    wall-clock reads (``time.time``, ``datetime.now``), ``os.urandom``,
+    ``uuid.uuid1/4`` and ``secrets`` smuggle entropy into layouts.
+    All randomness must flow through an explicitly seeded
+    ``random.Random`` owned by ``AnnealerConfig``.  Monotonic timers
+    (``perf_counter`` etc.) are allowed: they feed telemetry only.
+
+``float-equality``
+    ``==``/``!=`` on cost/delay floats silently turns epsilon drift
+    into control-flow divergence.  Compare with a tolerance, or
+    restructure to ``<=``/``>=``.
+
+``mutable-default``
+    A mutable default argument (or bare mutable dataclass field
+    default) is shared across calls/instances — state leaks between
+    supposedly independent runs.
+
+``undocumented-mutation``
+    In ``core/``, ``route/``, and ``timing/`` a public function that
+    mutates one of its arguments must say so with a ``Mutates:`` line
+    in its docstring.  The rollback machinery is only auditable if
+    every in-place effect is declared at the call boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+from .engine import Diagnostic
+
+# Inferred "kinds" the shared type tracker distinguishes.
+SET = "set"
+SET_CONTAINER = "set-container"  # list/dict/... holding sets
+FLOAT = "float"
+
+_SET_TYPE_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+_SEQ_TYPE_NAMES = frozenset(
+    {
+        "list", "List", "tuple", "Tuple", "Sequence", "MutableSequence",
+        "Iterable", "Iterator", "Collection",
+    }
+)
+_MAP_TYPE_NAMES = frozenset(
+    {
+        "dict", "Dict", "Mapping", "MutableMapping", "DefaultDict",
+        "defaultdict", "OrderedDict",
+    }
+)
+
+
+def _annotation_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _annotation_kind(node: Optional[ast.expr]) -> Optional[str]:
+    """Kind implied by a type annotation, if recognizable."""
+    if node is None:
+        return None
+    name = _annotation_name(node)
+    if name in _SET_TYPE_NAMES:
+        return SET
+    if name == "float":
+        return FLOAT
+    if isinstance(node, ast.Subscript):
+        base = _annotation_name(node.value)
+        inner = node.slice
+        parts: Sequence[ast.expr]
+        if isinstance(inner, ast.Tuple):
+            parts = inner.elts
+        else:
+            parts = (inner,)
+        if base in _SET_TYPE_NAMES:
+            return SET
+        if base == "Optional" and parts:
+            return _annotation_kind(parts[0])
+        if base in _SEQ_TYPE_NAMES and parts:
+            if _annotation_kind(parts[0]) == SET:
+                return SET_CONTAINER
+        if base in _MAP_TYPE_NAMES and parts:
+            if _annotation_kind(parts[-1]) == SET:
+                return SET_CONTAINER
+    return None
+
+
+class TypeMap:
+    """Best-effort, scope-aware kind inference over one module.
+
+    Tracks three sources of truth: explicit annotations (variables,
+    parameters, ``self.attr``), direct construction (``x = set()``,
+    ``x = {a, b}``, set comprehensions), and one level of container
+    indexing (``xs[i]`` where ``xs: list[set[int]]``).  Anything it
+    cannot prove stays unknown — rules only fire on proven kinds, so
+    imprecision costs recall, never precision.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        # Scope key is id(scope node); module scope key is id(tree).
+        self._vars: dict[int, dict[str, str]] = {}
+        self._attrs: dict[int, dict[str, str]] = {}
+        self._parents: dict[int, int] = {}
+        self._collect(tree, scope=tree, klass=None)
+
+    # -- collection ----------------------------------------------------
+    def _scope_vars(self, scope: ast.AST) -> dict[str, str]:
+        return self._vars.setdefault(id(scope), {})
+
+    def _class_attrs(self, klass: ast.AST) -> dict[str, str]:
+        return self._attrs.setdefault(id(klass), {})
+
+    def _record(self, scope: ast.AST, name: str, kind: Optional[str]) -> None:
+        if kind is not None:
+            self._scope_vars(scope)[name] = kind
+
+    def _collect(
+        self,
+        node: ast.AST,
+        scope: ast.AST,
+        klass: Optional[ast.AST],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._parents[id(child)] = id(scope)
+                args = child.args
+                for arg in (
+                    list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)
+                ):
+                    self._record(child, arg.arg, _annotation_kind(arg.annotation))
+                self._collect(child, scope=child, klass=klass)
+            elif isinstance(child, ast.ClassDef):
+                self._parents[id(child)] = id(scope)
+                self._collect(child, scope=child, klass=child)
+            elif isinstance(child, ast.AnnAssign):
+                kind = _annotation_kind(child.annotation)
+                target = child.target
+                if isinstance(target, ast.Name):
+                    self._record(scope, target.id, kind)
+                    if klass is not None and scope is klass:
+                        # Class-level annotation doubles as an
+                        # instance-attribute declaration (dataclasses).
+                        if kind is not None:
+                            self._class_attrs(klass)[target.id] = kind
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and klass is not None
+                    and kind is not None
+                ):
+                    self._class_attrs(klass)[target.attr] = kind
+                self._collect(child, scope=scope, klass=klass)
+            elif isinstance(child, ast.Assign) and len(child.targets) == 1:
+                kind = self.kind_of(child.value, scope, klass)
+                target = child.targets[0]
+                if isinstance(target, ast.Name):
+                    self._record(scope, target.id, kind)
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and klass is not None
+                    and kind is not None
+                ):
+                    self._class_attrs(klass)[target.attr] = kind
+                self._collect(child, scope=scope, klass=klass)
+            else:
+                self._collect(child, scope=scope, klass=klass)
+
+    # -- queries -------------------------------------------------------
+    def _lookup_var(self, name: str, scope: ast.AST) -> Optional[str]:
+        key: Optional[int] = id(scope)
+        while key is not None:
+            kinds = self._vars.get(key)
+            if kinds is not None and name in kinds:
+                return kinds[name]
+            key = self._parents.get(key)
+        return None
+
+    def kind_of(
+        self,
+        node: ast.expr,
+        scope: ast.AST,
+        klass: Optional[ast.AST],
+    ) -> Optional[str]:
+        """Inferred kind of an expression, or None if unknown."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return SET
+        if isinstance(node, ast.Constant):
+            return FLOAT if isinstance(node.value, float) else None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return SET
+                if func.id == "float":
+                    return FLOAT
+            return None
+        if isinstance(node, ast.Name):
+            return self._lookup_var(node.id, scope)
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and klass is not None
+            ):
+                return self._attrs.get(id(klass), {}).get(node.attr)
+            return None
+        if isinstance(node, ast.Subscript):
+            base_kind = self.kind_of(node.value, scope, klass)
+            if base_kind == SET_CONTAINER:
+                return SET
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self.kind_of(node.left, scope, klass)
+            right = self.kind_of(node.right, scope, klass)
+            if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+                if SET in (left, right):
+                    return SET
+            if isinstance(node.op, ast.Div):
+                return FLOAT
+            if FLOAT in (left, right) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.Mod)
+            ):
+                return FLOAT
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.kind_of(node.operand, scope, klass)
+        if isinstance(node, ast.IfExp):
+            body = self.kind_of(node.body, scope, klass)
+            orelse = self.kind_of(node.orelse, scope, klass)
+            return body if body == orelse else None
+        return None
+
+
+class _ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing scope and class."""
+
+    def __init__(self, types: TypeMap, path: str) -> None:
+        self.types = types
+        self.path = path
+        self.findings: list[Diagnostic] = []
+        self._scope_stack: list[ast.AST] = []
+        self._class_stack: list[Optional[ast.AST]] = [None]
+
+    @property
+    def scope(self) -> ast.AST:
+        return self._scope_stack[-1]
+
+    @property
+    def klass(self) -> Optional[ast.AST]:
+        return self._class_stack[-1]
+
+    def kind_of(self, node: ast.expr) -> Optional[str]:
+        return self.types.kind_of(node, self.scope, self.klass)
+
+    def run(self, tree: ast.Module) -> list[Diagnostic]:
+        self._scope_stack = [tree]
+        self.visit(tree)
+        return self.findings
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Diagnostic(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope_stack.append(node)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope_stack.append(node)
+        self._class_stack.append(node)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._scope_stack.pop()
+
+
+class Rule:
+    """One named check over a parsed module."""
+
+    name: str = ""
+    summary: str = ""
+
+    def check(
+        self, tree: ast.Module, source: str, path: str
+    ) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one module."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# set-iteration
+# ----------------------------------------------------------------------
+class _SetIterationVisitor(_ScopedVisitor):
+    _ORDERED_CALLS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+    def _flag(self, expr: ast.expr, sink: str) -> None:
+        if self.kind_of(expr) == SET:
+            self.report(
+                expr,
+                SetIterationRule.name,
+                f"iteration over a set reaches an ordering-sensitive sink "
+                f"({sink}); wrap it in sorted(...) so behavior depends on "
+                f"contents, not hash-insertion history",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST, sink: str) -> None:
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self._flag(generator.iter, sink)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, "list comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, "generator expression")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, "dict comprehension")
+
+    # Set comprehensions are allowed: an unordered source feeding an
+    # unordered result cannot leak iteration order.
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and node.args:
+            if func.id in self._ORDERED_CALLS:
+                self._flag(node.args[0], f"{func.id}()")
+            elif func.id in ("min", "max") and any(
+                keyword.arg == "key" for keyword in node.keywords
+            ):
+                # Plain min/max over a total order is order-independent;
+                # a key function resolves ties by encounter order.
+                self._flag(node.args[0], f"{func.id}(key=...)")
+        self.generic_visit(node)
+
+
+class SetIterationRule(Rule):
+    name = "set-iteration"
+    summary = (
+        "set iterated into an ordering-sensitive sink without sorted(...)"
+    )
+
+    def check(self, tree, source, path):
+        yield from _SetIterationVisitor(TypeMap(tree), path).run(tree)
+
+
+# ----------------------------------------------------------------------
+# nondeterministic-call
+# ----------------------------------------------------------------------
+#: module -> names whose call is nondeterministic; None = every name.
+#: ``random``: every lowercase attribute is a convenience wrapper around
+#: the hidden module-global RNG (the class constructors Random /
+#: SystemRandom are the *approved* escape hatch, so they are exempt).
+_NONDET_TIME = frozenset({"time", "time_ns", "localtime", "ctime", "gmtime"})
+_NONDET_OS = frozenset({"urandom", "getrandom"})
+_NONDET_UUID = frozenset({"uuid1", "uuid4"})
+_NONDET_DATETIME = frozenset({"now", "utcnow", "today"})
+
+
+class _NondetCallVisitor(_ScopedVisitor):
+    def __init__(self, types: TypeMap, path: str) -> None:
+        super().__init__(types, path)
+        # local alias -> canonical module name, for `import x as y`.
+        self._module_alias: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("random", "time", "os", "uuid", "secrets",
+                              "datetime"):
+                self._module_alias[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        flagged = {
+            "random": None,  # any function import from random
+            "time": _NONDET_TIME,
+            "os": _NONDET_OS,
+            "uuid": _NONDET_UUID,
+            "secrets": None,
+        }
+        names = flagged.get(node.module or "", frozenset())
+        for alias in node.names:
+            bad = names is None and alias.name[:1].islower() or (
+                names is not None and alias.name in names
+            )
+            if bad:
+                self.report(
+                    node,
+                    NondeterministicCallRule.name,
+                    f"importing {alias.name!r} from {node.module!r} pulls in "
+                    f"hidden nondeterministic state; route randomness through "
+                    f"an explicitly seeded random.Random and timestamps "
+                    f"through telemetry-only monotonic timers",
+                )
+        self.generic_visit(node)
+
+    def _module_of(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self._module_alias.get(node.id)
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            module = self._module_of(func.value)
+            attr = func.attr
+            bad = False
+            if module == "random" and attr[:1].islower():
+                bad = True
+            elif module == "time" and attr in _NONDET_TIME:
+                bad = True
+            elif module == "os" and attr in _NONDET_OS:
+                bad = True
+            elif module == "uuid" and attr in _NONDET_UUID:
+                bad = True
+            elif module == "secrets":
+                bad = True
+            elif attr in _NONDET_DATETIME:
+                # datetime.datetime.now() / datetime.date.today() chains.
+                inner = func.value
+                if isinstance(inner, ast.Attribute) and self._module_of(
+                    inner.value
+                ) == "datetime":
+                    bad = True
+                elif self._module_of(inner) == "datetime":
+                    bad = True
+            if bad:
+                self.report(
+                    node,
+                    NondeterministicCallRule.name,
+                    f"call to {module or 'datetime'}.{attr} injects hidden "
+                    f"global or wall-clock state; layouts must be a pure "
+                    f"function of the seed (use an AnnealerConfig-owned "
+                    f"random.Random; monotonic timers are fine for telemetry)",
+                )
+        self.generic_visit(node)
+
+
+class NondeterministicCallRule(Rule):
+    name = "nondeterministic-call"
+    summary = (
+        "module-level random.* / wall-clock / entropy call outside "
+        "seeded, config-owned RNGs"
+    )
+
+    def check(self, tree, source, path):
+        yield from _NondetCallVisitor(TypeMap(tree), path).run(tree)
+
+
+# ----------------------------------------------------------------------
+# float-equality
+# ----------------------------------------------------------------------
+class _FloatEqualityVisitor(_ScopedVisitor):
+    def _is_floatish(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        return self.kind_of(node) == FLOAT
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if self._is_floatish(left) or self._is_floatish(right):
+                self.report(
+                    node,
+                    FloatEqualityRule.name,
+                    "exact ==/!= on float values turns epsilon drift into "
+                    "control-flow divergence; compare with a tolerance "
+                    "(math.isclose / abs(a - b) <= eps) or use <=/>=",
+                )
+                break
+        self.generic_visit(node)
+
+
+class FloatEqualityRule(Rule):
+    name = "float-equality"
+    summary = "exact ==/!= comparison on float (cost/delay) values"
+
+    def check(self, tree, source, path):
+        yield from _FloatEqualityVisitor(TypeMap(tree), path).run(tree)
+
+
+# ----------------------------------------------------------------------
+# mutable-default
+# ----------------------------------------------------------------------
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _annotation_name(node.func)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _decorator_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return _annotation_name(node)
+
+
+class _MutableDefaultVisitor(_ScopedVisitor):
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + list(args.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                self.report(
+                    default,
+                    MutableDefaultRule.name,
+                    "mutable default argument is shared across every call; "
+                    "default to None (or use a factory inside the body)",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        super().visit_FunctionDef(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if any(_decorator_name(dec) == "dataclass" for dec in node.decorator_list):
+            for statement in node.body:
+                if (
+                    isinstance(statement, ast.AnnAssign)
+                    and statement.value is not None
+                    and _is_mutable_default(statement.value)
+                ):
+                    self.report(
+                        statement.value,
+                        MutableDefaultRule.name,
+                        "mutable dataclass field default is shared across "
+                        "instances; use field(default_factory=...)",
+                    )
+        super().visit_ClassDef(node)
+
+
+class MutableDefaultRule(Rule):
+    name = "mutable-default"
+    summary = "mutable default argument or bare mutable dataclass field"
+
+    def check(self, tree, source, path):
+        yield from _MutableDefaultVisitor(TypeMap(tree), path).run(tree)
+
+
+# ----------------------------------------------------------------------
+# undocumented-mutation
+# ----------------------------------------------------------------------
+#: Method names treated as in-place mutators when invoked on (an
+#: attribute chain of) a parameter.  The first group is the stdlib
+#: container vocabulary; the second is this repo's own mutation
+#: vocabulary (RoutingState / Placement / journal verbs), included so
+#: the rule sees through the domain API instead of only raw containers.
+DEFAULT_MUTATORS = frozenset(
+    {
+        # stdlib containers
+        "add", "append", "extend", "insert", "update", "discard", "remove",
+        "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+        # repro domain verbs
+        "rip_up", "rip_up_nets", "refresh_nets", "refresh_geometry",
+        "commit_vertical", "commit_detail", "discard_detail_pending",
+        "note_detail_failure", "note_global_failure", "claim", "release",
+        "reclaim", "restore", "restore_all", "snapshot", "apply", "undo",
+        "swap_slots", "set_pinmap", "place", "unplace", "set_focus",
+        "set_window", "record", "recalibrate",
+    }
+)
+
+#: Path fragments the default rule instance is scoped to.
+DEFAULT_MUTATION_SCOPE = ("core", "route", "timing")
+
+
+def _root_name(node: ast.expr) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _MutationFinder(ast.NodeVisitor):
+    """Collects which parameter names a function body mutates."""
+
+    def __init__(self, params: frozenset[str], mutators: frozenset[str]) -> None:
+        self.params = params
+        self.mutators = mutators
+        self.mutated: set[str] = set()
+
+    def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            if root in self.params:
+                self.mutated.add(root)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self.mutators:
+            root = _root_name(func.value)
+            if root in self.params:
+                self.mutated.add(root)
+        self.generic_visit(node)
+
+
+class UndocumentedMutationRule(Rule):
+    name = "undocumented-mutation"
+    summary = (
+        "public function mutates an argument without a 'Mutates:' "
+        "docstring marker (core/, route/, timing/)"
+    )
+
+    def __init__(
+        self,
+        scope_dirs: Sequence[str] = DEFAULT_MUTATION_SCOPE,
+        mutators: frozenset[str] = DEFAULT_MUTATORS,
+    ) -> None:
+        self.scope_dirs = tuple(scope_dirs)
+        self.mutators = mutators
+
+    def _in_scope(self, path: str) -> bool:
+        if not self.scope_dirs:
+            return True
+        parts = path.replace("\\", "/").split("/")
+        return any(part in self.scope_dirs for part in parts)
+
+    def _check_function(
+        self, node, is_method: bool
+    ) -> Iterator[tuple[ast.AST, str]]:
+        if node.name.startswith("_"):
+            return
+        args = node.args
+        names = [
+            arg.arg
+            for arg in list(args.posonlyargs) + list(args.args)
+            + list(args.kwonlyargs)
+        ]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        if is_method and names and names[0] in ("self", "cls"):
+            # Mutating your own instance is ordinary OO; the contract
+            # the rule enforces is about *other people's* objects.
+            names = names[1:]
+        params = frozenset(names)
+        if not params:
+            return
+        finder = _MutationFinder(params, self.mutators)
+        for statement in node.body:
+            finder.visit(statement)
+        if not finder.mutated:
+            return
+        docstring = ast.get_docstring(node) or ""
+        if "Mutates:" not in docstring:
+            mutated = ", ".join(sorted(finder.mutated))
+            yield node, (
+                f"public function {node.name!r} mutates argument(s) "
+                f"{mutated} but its docstring has no 'Mutates:' marker "
+                f"declaring the in-place effect"
+            )
+
+    def check(self, tree, source, path):
+        if not self._in_scope(path):
+            return
+        # Walk top-level functions and class methods (not nested defs:
+        # closures are implementation detail, not API surface).
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for where, message in self._check_function(node, False):
+                    yield Diagnostic(
+                        path, where.lineno, where.col_offset, self.name, message
+                    )
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        for where, message in self._check_function(item, True):
+                            yield Diagnostic(
+                                path, where.lineno, where.col_offset,
+                                self.name, message,
+                            )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def default_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every shipped rule."""
+    return (
+        SetIterationRule(),
+        NondeterministicCallRule(),
+        FloatEqualityRule(),
+        MutableDefaultRule(),
+        UndocumentedMutationRule(),
+    )
+
+
+def rules_by_name() -> dict[str, Rule]:
+    """Name -> rule instance for CLI rule selection."""
+    return {rule.name: rule for rule in default_rules()}

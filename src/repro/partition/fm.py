@@ -152,7 +152,7 @@ class _FMPass:
             self.counts[net_index][to_side] += 1
             for cell_name in self.netlist.nets[net_index].cells():
                 touched.add(self.netlist.cell(cell_name).index)
-        for other in touched:
+        for other in sorted(touched):
             if not self.locked[other]:
                 self.gains[other] = self._gain(other)
 
@@ -294,7 +294,7 @@ def _raw_fm(
     low, _ = _balanced_bounds(num_vertices, tolerance)
     edges_of = [[] for _ in range(num_vertices)]
     for edge_index, edge in enumerate(hyperedges):
-        for vertex in set(edge):
+        for vertex in sorted(set(edge)):
             edges_of[vertex].append(edge_index)
 
     def edge_cut() -> int:
@@ -305,7 +305,7 @@ def _raw_fm(
     for _ in range(max_passes):
         counts = [[0, 0] for _ in hyperedges]
         for edge_index, edge in enumerate(hyperedges):
-            for vertex in set(edge):
+            for vertex in sorted(set(edge)):
                 counts[edge_index][side_of[vertex]] += 1
         side_count = [side_of.count(0), side_of.count(1)]
         locked = [False] * num_vertices
@@ -348,7 +348,7 @@ def _raw_fm(
                 counts[edge_index][from_side] -= 1
                 counts[edge_index][to_side] += 1
                 touched.update(hyperedges[edge_index])
-            for vertex in touched:
+            for vertex in sorted(touched):
                 if not locked[vertex]:
                     gains[vertex] = gain(vertex)
         best_sum, best_len, running = 0, 0, 0

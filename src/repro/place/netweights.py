@@ -15,6 +15,8 @@ be tested against the strongest sequential baseline, not a strawman.
 
 from __future__ import annotations
 
+import math
+
 from ..netlist.netlist import Netlist
 from ..timing.levelize import cells_in_level_order, levelize
 
@@ -80,7 +82,7 @@ def unit_delay_slacks(netlist: Netlist) -> dict[int, float]:
     slacks: dict[int, float] = {}
     for net in netlist.nets:
         driver = netlist.cell(net.driver[0]).index
-        if required[driver] == float("inf"):
+        if math.isinf(required[driver]):
             slacks[net.index] = worst  # drives nothing timing-relevant
         else:
             slacks[net.index] = max(0.0, required[driver] - arrival[driver])

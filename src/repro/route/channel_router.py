@@ -86,6 +86,9 @@ def route_net_in_channel(
 
     The net must already be globally routed (a net without a global
     route "automatically cannot be detail routed", Section 3.4).
+
+    Mutates: the routing state (commits the channel claim, drops stale
+    pending entries, or records the failure in the negative cache).
     """
     route = state.routes[net_index]
     if not route.globally_routed:
@@ -119,9 +122,11 @@ def route_channel(
     """Drain a channel's pending queue, longest nets first.
 
     Returns the nets that remain unroutable in this channel.
+
+    Mutates: the routing state, via :func:`route_net_in_channel`.
     """
     if net_indices is None:
-        net_indices = list(state.unrouted_detail[channel])
+        net_indices = sorted(state.unrouted_detail[channel])
     failed: list[int] = []
     for net_index in ripup_order(state, net_indices):
         if not route_net_in_channel(state, net_index, channel, segment_weight):
@@ -133,7 +138,10 @@ def detail_route_all(
     state: RoutingState, segment_weight: float = DEFAULT_SEGMENT_WEIGHT
 ) -> dict[int, list[int]]:
     """Detail route every channel ("we proceed through each of the P
-    total channels", Section 3.4).  Returns channel -> failed nets."""
+    total channels", Section 3.4).  Returns channel -> failed nets.
+
+    Mutates: the routing state, via :func:`route_channel`.
+    """
     failures: dict[int, list[int]] = {}
     for channel in range(state.fabric.num_channels):
         failed = route_channel(state, channel, segment_weight=segment_weight)

@@ -45,6 +45,9 @@ def route_net_global(state: RoutingState, net_index: int) -> bool:
     routing now suffices", Section 3.3).  Multi-channel nets claim
     vertical segments at the feasible column nearest their bounding-box
     center; within a column, the least-wasteful track run is used.
+
+    Mutates: the routing state (commits the vertical claim or records
+    the failure in the negative cache).
     """
     route = state.routes[net_index]
     if route.globally_routed:
@@ -100,9 +103,11 @@ def global_route_all(
 
     Nets are processed longest first, "giving priority to the longer
     unroutable nets".  Returns the nets that remain globally unroutable.
+
+    Mutates: the routing state, via :func:`route_net_global`.
     """
     if net_indices is None:
-        net_indices = list(state.unrouted_global)
+        net_indices = sorted(state.unrouted_global)
     failed: list[int] = []
     for net_index in ripup_order(state, net_indices):
         if not route_net_global(state, net_index):

@@ -71,9 +71,10 @@ class NetJournal:
         between nets safe to undo.
         """
         state = self._state
-        for net_index in self._snapshots:
+        for net_index in sorted(self._snapshots):
             state.rip_up(net_index)
-        for net_index, snap in self._snapshots.items():
+        for net_index in sorted(self._snapshots):
+            snap = self._snapshots[net_index]
             state.refresh_geometry(net_index)
             if snap.vertical is not None:
                 state.fabric.vcolumns[snap.vertical.column].reclaim(
@@ -108,15 +109,24 @@ class IncrementalRouter:
     def rip_up_nets(
         self, net_indices: Iterable[int], journal: Optional[NetJournal] = None
     ) -> None:
-        """Free the segments of the given nets (journaling first)."""
-        for net_index in net_indices:
+        """Free the segments of the given nets (journaling first).
+
+        Mutates: the routing state (releases claims) and ``journal``
+        (records pre-rip snapshots).  Rip-up order follows sorted net
+        index so the release logs never depend on set iteration order.
+        """
+        for net_index in sorted(net_indices):
             if journal is not None:
                 journal.snapshot(net_index)
             self.state.rip_up(net_index)
 
     def refresh_nets(self, net_indices: Iterable[int]) -> None:
-        """Recompute geometry after the placement mutation is applied."""
-        for net_index in net_indices:
+        """Recompute geometry after the placement mutation is applied.
+
+        Mutates: the routing state (rewrites each net's geometry and
+        unrouted bookkeeping), in sorted net order for determinism.
+        """
+        for net_index in sorted(net_indices):
             self.state.refresh_geometry(net_index)
 
     # ------------------------------------------------------------------
@@ -138,12 +148,17 @@ class IncrementalRouter:
         caches on :class:`RoutingState`).  Both shortcuts are exact —
         a skipped attempt has no side effects and would fail again —
         so the claims committed are identical to the exhaustive scan.
+
+        Mutates: the routing state (commits claims) and ``journal``
+        (snapshots every net that gains one).  Pending sets are drained
+        through ``sorted`` + :func:`ripup_order`, so the attempt order
+        is a pure function of queue contents on both paths.
         """
         state = self.state
         touched: set[int] = set()
         fast = self.fast_path
 
-        pending_global = ripup_order(state, list(state.unrouted_global))
+        pending_global = ripup_order(state, sorted(state.unrouted_global))
         for net_index in pending_global:
             if fast and state.global_attempt_is_hopeless(net_index):
                 continue
@@ -157,7 +172,7 @@ class IncrementalRouter:
         else:
             channels = range(state.fabric.num_channels)
         for channel in channels:
-            pending = ripup_order(state, list(state.unrouted_detail[channel]))
+            pending = ripup_order(state, sorted(state.unrouted_detail[channel]))
             for net_index in pending:
                 if fast and state.detail_attempt_is_hopeless(net_index, channel):
                     continue

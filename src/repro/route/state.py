@@ -194,14 +194,18 @@ class RoutingState:
             self.unrouted_global.add(net_index)
         else:
             self.unrouted_global.discard(net_index)
-        for channel in self._pending_channels[net_index]:
+        # Sorted iteration keeps the mutation order (and hence any
+        # downstream observation of it) a function of contents, not of
+        # set insertion history — both fast and exhaustive repair paths
+        # must be order-invariant by construction.
+        for channel in sorted(self._pending_channels[net_index]):
             pending = self.unrouted_detail[channel]
             pending.discard(net_index)
             if not pending:
                 self.dirty_channels.discard(channel)
         pending_channels = set(route.pin_channels)
         self._pending_channels[net_index] = pending_channels
-        for channel in pending_channels:
+        for channel in sorted(pending_channels):
             self.unrouted_detail[channel].add(net_index)
             self.dirty_channels.add(channel)
         self._missing[net_index] = len(pending_channels)
@@ -264,7 +268,11 @@ class RoutingState:
                 segs[claim.first_seg][0], segs[claim.last_seg][1] - 1
             )
             route.vertical = None
-        for claim in route.claims.values():
+        # Channel-sorted release order keeps the release logs (which
+        # the negative caches replay) independent of claim insertion
+        # history.
+        for channel in sorted(route.claims):
+            claim = route.claims[channel]
             self.fabric.channels[claim.channel].release(net_index, claim)
             segs = self.fabric.channels[claim.channel].segmentation.tracks[
                 claim.track
@@ -375,6 +383,61 @@ class RoutingState:
         self._global_fail[net_index] = (
             len(self._vertical_releases), cmin, cmax
         )
+
+    # ------------------------------------------------------------------
+    # Sanitizer probes (repro.lint.runtime)
+    # ------------------------------------------------------------------
+    def audit_negative_caches(self, channel: int) -> list[str]:
+        """Cross-check one channel's cached detail failures.
+
+        For every net whose cached failure in ``channel`` still reads
+        hopeless, re-probe feasibility from scratch; a feasible
+        candidate means the cache would have wrongly skipped a routable
+        net.  The probe itself is side-effect-free (``candidates`` only
+        reads occupancy); querying :meth:`detail_attempt_is_hopeless`
+        may prune stale entries, which is semantics-preserving
+        amortization, never a behavioral change.
+        """
+        problems: list[str] = []
+        for net_index in range(len(self.routes)):
+            entry = self._detail_fail[net_index].get(channel)
+            if entry is None:
+                continue
+            _, lo, hi = entry
+            if not self.detail_attempt_is_hopeless(net_index, channel):
+                continue
+            probe = next(
+                iter(self.fabric.channels[channel].candidates(lo, hi)), None
+            )
+            if probe is not None:
+                problems.append(
+                    f"negative detail cache incoherent: net {net_index} is "
+                    f"cached hopeless for [{lo}, {hi}] in channel {channel} "
+                    f"but track {probe.track} has a feasible candidate"
+                )
+        return problems
+
+    def audit_global_cache(self, net_index: int) -> list[str]:
+        """Cross-check one net's cached global-routing failure.
+
+        If the cached failure still reads hopeless, scan every column
+        for a feasible vertical candidate; finding one means the cache
+        would have wrongly skipped a globally-routable net.
+        """
+        entry = self._global_fail[net_index]
+        if entry is None:
+            return []
+        _, cmin, cmax = entry
+        if not self.global_attempt_is_hopeless(net_index):
+            return []
+        for column in range(self.fabric.cols):
+            if self.fabric.vcolumns[column].best_candidate(cmin, cmax) is not None:
+                return [
+                    f"negative global cache incoherent: net {net_index} is "
+                    f"cached hopeless for channels [{cmin}, {cmax}] but "
+                    f"column {column} has a feasible vertical candidate"
+                ]
+        return []
 
     def count_global_unrouted(self) -> int:
         """G: nets that need but lack a global route."""

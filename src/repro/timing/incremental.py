@@ -129,20 +129,53 @@ class IncrementalTiming:
                 best = value
         return best
 
-    def full_update(self) -> None:
-        """Recompute everything from scratch (initialization / audits)."""
-        self._delay_cache = [None] * self.netlist.num_nets
+    def _recompute(
+        self,
+    ) -> tuple[list[float], dict[int, float], list[Optional[list[float]]]]:
+        """From-scratch arrival computation with no side effects.
+
+        Returns ``(arrival, boundary_in, delay_cache)`` computed against
+        the current routing state without touching the incremental
+        fields — the foundation of both :meth:`full_update` (which
+        adopts the result) and :meth:`audit` (which only compares, so
+        the sanitizer can audit after every move without perturbing the
+        incremental trajectory).
+        """
+        arrival = [0.0] * self.netlist.num_cells
+        cache: list[Optional[list[float]]] = [None] * self.netlist.num_nets
+
+        def sink_delays(net_index: int) -> list[float]:
+            delays = cache[net_index]
+            if delays is None:
+                delays = net_sink_delays(self.state, self.tech, net_index)
+                cache[net_index] = delays
+            return delays
+
+        def input_arrival(cell_index: int) -> float:
+            best = 0.0
+            for net_index, driver, position in self._cell_inputs[cell_index]:
+                value = arrival[driver] + sink_delays(net_index)[position]
+                if value > best:
+                    best = value
+            return best
+
         for cell in self.netlist.cells:
             if cell.is_boundary:
-                self.arrival[cell.index] = self.tech.cell_delay(cell.delay_class)
+                arrival[cell.index] = self.tech.cell_delay(cell.delay_class)
         for cell_index in cells_in_level_order(self.netlist, self.levels):
-            self.arrival[cell_index] = (
-                self._input_arrival(cell_index) + self.tech.t_comb
-            )
-        self.boundary_in = {}
+            arrival[cell_index] = input_arrival(cell_index) + self.tech.t_comb
+        boundary_in: dict[int, float] = {}
         for cell in self.netlist.boundary_cells():
             if cell.input_ports:
-                self.boundary_in[cell.index] = self._input_arrival(cell.index)
+                boundary_in[cell.index] = input_arrival(cell.index)
+        return arrival, boundary_in, cache
+
+    def full_update(self) -> None:
+        """Recompute everything from scratch and adopt the result."""
+        arrival, boundary_in, cache = self._recompute()
+        self.arrival = arrival
+        self.boundary_in = boundary_in
+        self._delay_cache = cache
 
     def worst_delay(self) -> float:
         """T: the maximum arrival at any boundary input."""
@@ -201,19 +234,23 @@ class IncrementalTiming:
     # Audits
     # ------------------------------------------------------------------
     def audit(self) -> list[str]:
-        """Compare incremental state against a from-scratch recompute."""
+        """Compare incremental state against a from-scratch recompute.
+
+        Non-mutating: the incremental fields (arrival times, boundary
+        arrivals, delay cache) are left exactly as found, so the
+        sanitizer can audit after every move without perturbing the
+        annealing trajectory.
+        """
         problems: list[str] = []
-        snapshot_arrival = list(self.arrival)
-        snapshot_boundary = dict(self.boundary_in)
-        self.full_update()
-        for cell_index, value in enumerate(snapshot_arrival):
-            if abs(value - self.arrival[cell_index]) > 1e-6:
+        fresh_arrival, fresh_boundary, _ = self._recompute()
+        for cell_index, value in enumerate(self.arrival):
+            if abs(value - fresh_arrival[cell_index]) > 1e-6:
                 problems.append(
                     f"arrival[{self.netlist.cells[cell_index].name}] drifted: "
-                    f"incremental {value:.6f} vs full {self.arrival[cell_index]:.6f}"
+                    f"incremental {value:.6f} vs full {fresh_arrival[cell_index]:.6f}"
                 )
-        for cell_index, value in snapshot_boundary.items():
-            if abs(value - self.boundary_in[cell_index]) > 1e-6:
+        for cell_index, value in self.boundary_in.items():
+            if abs(value - fresh_boundary[cell_index]) > 1e-6:
                 problems.append(
                     f"boundary_in[{self.netlist.cells[cell_index].name}] drifted"
                 )

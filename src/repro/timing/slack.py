@@ -22,6 +22,8 @@ is non-negative by construction.
 
 from __future__ import annotations
 
+import math
+
 from ..arch.technology import Technology
 from ..route.state import RoutingState
 from .analyzer import TimingReport, net_sink_delays, sink_positions
@@ -73,7 +75,7 @@ def compute_slacks(
 
     slacks = []
     for cell in netlist.cells:
-        if required[cell.index] == float("inf"):
+        if math.isinf(required[cell.index]):
             # Drives nothing (e.g. an output pad): anchored at the worst
             # path by definition.
             slacks.append(worst - report.arrival[cell.index])

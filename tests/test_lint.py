@@ -1,0 +1,533 @@
+"""Tests for the repro.lint static-analysis pass.
+
+Each rule gets a positive fixture (must fire), a negative fixture
+(must stay silent), and a suppressed fixture (fires but the in-source
+comment eats it).  The capstone is the self-check: the shipped source
+tree must be lint-clean, which is exactly the invariant CI enforces.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    default_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    rules_by_name,
+)
+from repro.lint.cli import main as lint_main
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def lint(snippet: str, path: str = "src/repro/core/fake.py") -> list[Diagnostic]:
+    return lint_source(textwrap.dedent(snippet), path=path)
+
+
+def fired(snippet: str, rule: str, path: str = "src/repro/core/fake.py") -> bool:
+    return any(d.rule == rule for d in lint(snippet, path=path))
+
+
+# ----------------------------------------------------------------------
+# set-iteration
+# ----------------------------------------------------------------------
+class TestSetIterationRule:
+    def test_for_loop_over_set_fires(self):
+        assert fired(
+            """
+            def drain(pending: set[int]) -> None:
+                for item in pending:
+                    print(item)
+            """,
+            "set-iteration",
+        )
+
+    def test_list_of_set_fires(self):
+        assert fired(
+            """
+            def snapshot(touched: set[int]) -> list[int]:
+                return list(touched)
+            """,
+            "set-iteration",
+        )
+
+    def test_set_literal_flows_through_assignment(self):
+        assert fired(
+            """
+            def order() -> list[int]:
+                seen = {3, 1, 2}
+                return [x + 1 for x in seen]
+            """,
+            "set-iteration",
+        )
+
+    def test_min_max_with_key_fires(self):
+        assert fired(
+            """
+            def pick(scores: set[int]) -> int:
+                return max(scores, key=lambda s: s % 7)
+            """,
+            "set-iteration",
+        )
+
+    def test_sorted_iteration_is_clean(self):
+        assert not fired(
+            """
+            def drain(pending: set[int]) -> None:
+                for item in sorted(pending):
+                    print(item)
+            """,
+            "set-iteration",
+        )
+
+    def test_plain_min_max_is_clean(self):
+        # Without key=, ties are impossible: min/max over a totally
+        # ordered set is order-independent.
+        assert not fired(
+            """
+            def pick(scores: set[int]) -> int:
+                return max(scores)
+            """,
+            "set-iteration",
+        )
+
+    def test_list_iteration_is_clean(self):
+        assert not fired(
+            """
+            def drain(pending: list[int]) -> None:
+                for item in pending:
+                    print(item)
+            """,
+            "set-iteration",
+        )
+
+    def test_suppression_comment_eats_it(self):
+        assert not fired(
+            """
+            def drain(pending: set[int]) -> None:
+                for item in pending:  # repro-lint: disable=set-iteration
+                    print(item)
+            """,
+            "set-iteration",
+        )
+
+
+# ----------------------------------------------------------------------
+# nondeterministic-call
+# ----------------------------------------------------------------------
+class TestNondeterministicCallRule:
+    def test_bare_random_fires(self):
+        assert fired(
+            """
+            import random
+
+            def jitter() -> float:
+                return random.random()
+            """,
+            "nondeterministic-call",
+        )
+
+    def test_time_time_fires(self):
+        assert fired(
+            """
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """,
+            "nondeterministic-call",
+        )
+
+    def test_uuid4_and_secrets_fire(self):
+        snippet = """
+            import secrets
+            import uuid
+
+            def token() -> str:
+                return uuid.uuid4().hex + secrets.token_hex(4)
+            """
+        findings = [d for d in lint(snippet) if d.rule == "nondeterministic-call"]
+        assert len(findings) == 2
+
+    def test_seeded_rng_instance_is_clean(self):
+        assert not fired(
+            """
+            import random
+
+            def shuffle(seed: int) -> random.Random:
+                return random.Random(seed)
+            """,
+            "nondeterministic-call",
+        )
+
+    def test_perf_counter_is_clean(self):
+        # Telemetry clocks are fine: they never feed results.
+        assert not fired(
+            """
+            from time import perf_counter
+
+            def tick() -> float:
+                return perf_counter()
+            """,
+            "nondeterministic-call",
+        )
+
+    def test_suppression(self):
+        assert not fired(
+            """
+            import time
+
+            def stamp() -> float:
+                return time.time()  # repro-lint: disable=nondeterministic-call
+            """,
+            "nondeterministic-call",
+        )
+
+
+# ----------------------------------------------------------------------
+# float-equality
+# ----------------------------------------------------------------------
+class TestFloatEqualityRule:
+    def test_float_literal_comparison_fires(self):
+        assert fired(
+            """
+            def is_free(cost: int) -> bool:
+                return cost == 0.0
+            """,
+            "float-equality",
+        )
+
+    def test_annotated_float_comparison_fires(self):
+        assert fired(
+            """
+            def same(delay: float, other: float) -> bool:
+                return delay != other
+            """,
+            "float-equality",
+        )
+
+    def test_int_comparison_is_clean(self):
+        assert not fired(
+            """
+            def is_empty(count: int) -> bool:
+                return count == 0
+            """,
+            "float-equality",
+        )
+
+    def test_tolerance_comparison_is_clean(self):
+        assert not fired(
+            """
+            def close(a: float, b: float) -> bool:
+                return abs(a - b) <= 1e-9
+            """,
+            "float-equality",
+        )
+
+    def test_suppression(self):
+        assert not fired(
+            """
+            def is_free(cost: float) -> bool:
+                return cost == 0.0  # repro-lint: disable=float-equality
+            """,
+            "float-equality",
+        )
+
+
+# ----------------------------------------------------------------------
+# mutable-default
+# ----------------------------------------------------------------------
+class TestMutableDefaultRule:
+    def test_list_default_fires(self):
+        assert fired(
+            """
+            def collect(into=[]):
+                return into
+            """,
+            "mutable-default",
+        )
+
+    def test_dict_and_set_call_defaults_fire(self):
+        snippet = """
+            def a(x=dict()):
+                return x
+
+            def b(y=set()):
+                return y
+            """
+        findings = [d for d in lint(snippet) if d.rule == "mutable-default"]
+        assert len(findings) == 2
+
+    def test_bare_mutable_dataclass_field_fires(self):
+        assert fired(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                weights: list = []
+            """,
+            "mutable-default",
+        )
+
+    def test_none_default_is_clean(self):
+        assert not fired(
+            """
+            def collect(into=None):
+                return into or []
+            """,
+            "mutable-default",
+        )
+
+    def test_field_factory_is_clean(self):
+        assert not fired(
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Config:
+                weights: list = field(default_factory=list)
+            """,
+            "mutable-default",
+        )
+
+    def test_suppression(self):
+        assert not fired(
+            """
+            def collect(into=[]):  # repro-lint: disable=mutable-default
+                return into
+            """,
+            "mutable-default",
+        )
+
+
+# ----------------------------------------------------------------------
+# undocumented-mutation
+# ----------------------------------------------------------------------
+MUTATOR = """
+    def drain(queue, state):
+        \"\"\"Pop everything.\"\"\"
+        while queue:
+            state.rip_up(queue.pop())
+    """
+
+
+class TestUndocumentedMutationRule:
+    def test_undocumented_mutator_fires_in_scope(self):
+        assert fired(MUTATOR, "undocumented-mutation",
+                     path="src/repro/route/fake.py")
+
+    def test_documented_mutator_is_clean(self):
+        assert not fired(
+            """
+            def drain(queue, state):
+                \"\"\"Pop everything.
+
+                Mutates: ``queue`` (drained) and ``state`` (claims freed).
+                \"\"\"
+                while queue:
+                    state.rip_up(queue.pop())
+            """,
+            "undocumented-mutation",
+            path="src/repro/route/fake.py",
+        )
+
+    def test_out_of_scope_path_is_clean(self):
+        assert not fired(MUTATOR, "undocumented-mutation",
+                         path="src/repro/analysis/fake.py")
+
+    def test_private_function_is_clean(self):
+        assert not fired(
+            """
+            def _drain(queue):
+                queue.pop()
+            """,
+            "undocumented-mutation",
+            path="src/repro/core/fake.py",
+        )
+
+    def test_self_mutation_is_clean(self):
+        assert not fired(
+            """
+            class Box:
+                def put(self, item):
+                    \"\"\"Store it.\"\"\"
+                    self.items.append(item)
+            """,
+            "undocumented-mutation",
+            path="src/repro/core/fake.py",
+        )
+
+    def test_suppression_on_def_line(self):
+        assert not fired(
+            """
+            def drain(queue):  # repro-lint: disable=undocumented-mutation
+                \"\"\"Pop everything.\"\"\"
+                queue.pop()
+            """,
+            "undocumented-mutation",
+            path="src/repro/core/fake.py",
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_parse_error_becomes_diagnostic(self):
+        findings = lint_source("def broken(:\n", path="x.py")
+        assert len(findings) == 1
+        assert findings[0].rule == "parse-error"
+
+    def test_diagnostics_sorted_by_position(self):
+        snippet = textwrap.dedent(
+            """
+            import time
+
+            def late(delay: float) -> bool:
+                return delay == time.time()
+            """
+        )
+        findings = lint_source(snippet, path="src/repro/core/fake.py")
+        assert len(findings) >= 2  # float-equality + nondeterministic-call
+        assert findings == sorted(
+            findings, key=lambda d: (d.path, d.line, d.col, d.rule)
+        )
+
+    def test_format_is_grep_friendly(self):
+        d = Diagnostic("a/b.py", 3, 7, "set-iteration", "msg")
+        assert d.format() == "a/b.py:3:7: [set-iteration] msg"
+
+    def test_standalone_suppression_covers_next_line(self):
+        assert not fired(
+            """
+            def drain(pending: set[int]) -> None:
+                # repro-lint: disable=set-iteration
+                for item in pending:
+                    print(item)
+            """,
+            "set-iteration",
+        )
+
+    def test_file_level_suppression(self):
+        assert not fired(
+            """
+            # repro-lint: disable-file=set-iteration
+            def drain(pending: set[int]) -> None:
+                for item in pending:
+                    print(item)
+            """,
+            "set-iteration",
+        )
+
+    def test_all_wildcard_suppresses_everything(self):
+        assert not lint(
+            """
+            # repro-lint: disable-file=all
+            import time
+
+            def bad(pending: set[int]) -> float:
+                for item in pending:
+                    print(item)
+                return time.time()
+            """
+        )
+
+    def test_parse_suppressions_shapes(self):
+        file_rules, by_line = parse_suppressions(
+            "x = 1  # repro-lint: disable=a,b\n"
+            "# repro-lint: disable=c\n"
+            "y = 2\n"
+            "# repro-lint: disable-file=d\n"
+        )
+        assert file_rules == {"d"}
+        assert by_line == {1: {"a", "b"}, 3: {"c"}}
+
+    def test_iter_python_files_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n")
+        names = [p.name for p in iter_python_files([tmp_path])]
+        assert names == ["a.py", "b.py", "c.py"]
+
+    def test_rules_by_name_covers_all_five(self):
+        names = set(rules_by_name())
+        assert names == {
+            "set-iteration",
+            "nondeterministic-call",
+            "float-equality",
+            "mutable-default",
+            "undocumented-mutation",
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target)]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "nondeterministic-call" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target), "--rules", "no-such-rule"]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+
+    def test_rule_subset_filters(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert lint_main([str(target), "--rules", "float-equality"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "set-iteration" in out and "mutable-default" in out
+
+
+# ----------------------------------------------------------------------
+# The self-check: the shipped tree is clean
+# ----------------------------------------------------------------------
+class TestSelfCheck:
+    def test_src_repro_is_lint_clean(self):
+        findings = lint_paths([SRC_ROOT])
+        assert findings == [], "\n".join(d.format() for d in findings)
+
+    def test_lint_detects_all_rule_classes_somewhere(self):
+        # Acceptance criterion: the analyzer demonstrably detects every
+        # shipped rule class on fixture code.
+        fixtures = {
+            "set-iteration": "def f(s: set[int]):\n    return list(s)\n",
+            "nondeterministic-call": (
+                "import random\n\ndef f():\n    return random.random()\n"
+            ),
+            "float-equality": "def f(x: float):\n    return x == 1.0\n",
+            "mutable-default": "def f(x=[]):\n    return x\n",
+            "undocumented-mutation": (
+                "def f(q):\n    q.pop()\n"
+            ),
+        }
+        for rule, snippet in fixtures.items():
+            findings = lint_source(snippet, path="src/repro/core/fx.py")
+            assert any(d.rule == rule for d in findings), rule
