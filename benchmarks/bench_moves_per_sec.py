@@ -23,8 +23,15 @@ CI smoke run with a regression gate against a checked-in baseline::
     PYTHONPATH=src python benchmarks/bench_moves_per_sec.py --smoke \
         --check benchmarks/baselines/moves_smoke.json --max-regression 0.30
 
-Exit status is non-zero if any design fails to anneal or the regression
-gate trips.
+Each design is also re-run with ``repro.obs`` tracing enabled (same
+seed): the report records the traced throughput and the fractional
+overhead, and the run fails if tracing slows the hot loop by more than
+``--max-trace-overhead`` (default 5%) or — worse — perturbs the anneal
+(traced and untraced runs must be bit-identical).  ``--no-trace`` skips
+the comparison runs.
+
+Exit status is non-zero if any design fails to anneal, the regression
+gate trips, or the tracing overhead gate trips.
 """
 
 from __future__ import annotations
@@ -58,13 +65,14 @@ def _schedule(max_temperatures: int) -> ScheduleConfig:
     )
 
 
-def _config(case: BenchCase, profile: bool) -> AnnealerConfig:
+def _config(case: BenchCase, profile: bool, trace: bool = False) -> AnnealerConfig:
     return AnnealerConfig(
         seed=1,
         attempts_per_cell=4,
         initial="clustered",
         greedy_rounds=1,
         profile=profile,
+        trace=trace,
         schedule=_schedule(case.max_temperatures),
     )
 
@@ -101,11 +109,15 @@ def calibrate(reps: int = 3, iters: int = 200_000) -> float:
     return best
 
 
-def run_case(case: BenchCase, calibration_s: float, profile: bool) -> dict:
+def run_case(
+    case: BenchCase, calibration_s: float, profile: bool, trace: bool = False
+) -> dict:
     """Run one benchmark case and return its result record."""
     netlist = generate(case.spec)
     arch = architecture_for(netlist, tracks_per_channel=case.tracks)
-    annealer = SimultaneousAnnealer(netlist, arch, _config(case, profile))
+    annealer = SimultaneousAnnealer(
+        netlist, arch, _config(case, profile, trace)
+    )
     t0 = perf_counter()
     result = annealer.run()
     wall = perf_counter() - t0
@@ -124,7 +136,55 @@ def run_case(case: BenchCase, calibration_s: float, profile: bool) -> dict:
     }
     if result.profile is not None:
         record["profile"] = result.profile.as_dict()
+    if result.trace is not None:
+        record["trace_events"] = len(result.trace.events)
     return record
+
+
+#: Result-record keys that must be bit-identical with tracing on or off.
+_DETERMINISM_KEYS = (
+    "moves_attempted", "moves_accepted", "fully_routed", "worst_delay_ns",
+)
+
+
+def measure_trace_overhead(
+    case: BenchCase, calibration_s: float, baseline: dict, reps: int = 3
+) -> dict:
+    """Re-run one case with tracing on and compare against ``baseline``.
+
+    Returns a record with the traced throughput, the fractional
+    normalized-score overhead relative to the untraced run, and whether
+    the traced run reproduced the baseline's results bit-exactly (the
+    repro.obs determinism contract).
+
+    Single timings of a multi-second anneal swing by ±10% on a busy
+    host (warm-up drift alone exceeds the sub-5% overhead being gated),
+    so the comparison is paired and best-of: ``reps`` interleaved
+    (untraced, traced) pairs, gating best score against best score.
+    ``baseline`` contributes one extra untraced sample.
+    """
+    best_base = baseline
+    best_traced: Optional[dict] = None
+    for _ in range(reps):
+        again = run_case(case, calibration_s, profile=False)
+        if again["normalized_score"] > best_base["normalized_score"]:
+            best_base = again
+        traced = run_case(case, calibration_s, profile=False, trace=True)
+        if (best_traced is None
+                or traced["normalized_score"] > best_traced["normalized_score"]):
+            best_traced = traced
+    assert best_traced is not None
+    base_score = best_base["normalized_score"] or 1e-12
+    overhead = 1.0 - best_traced["normalized_score"] / base_score
+    return {
+        "moves_per_sec": best_traced["moves_per_sec"],
+        "normalized_score": best_traced["normalized_score"],
+        "trace_events": best_traced["trace_events"],
+        "overhead_frac": round(overhead, 4),
+        "metrics_identical": all(
+            best_traced[key] == baseline[key] for key in _DETERMINISM_KEYS
+        ),
+    }
 
 
 def check_regression(
@@ -181,6 +241,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--max-regression", type=float, default=0.30,
         help="maximum tolerated normalized-score regression (default 0.30)",
     )
+    parser.add_argument(
+        "--max-trace-overhead", type=float, default=0.05,
+        help="maximum tolerated tracing slowdown per design (default 0.05)",
+    )
+    parser.add_argument(
+        "--no-trace", action="store_true",
+        help="skip the tracing-enabled comparison runs",
+    )
     args = parser.parse_args(argv)
 
     names = args.designs or (["smoke"] if args.smoke else ["small", "medium"])
@@ -204,6 +272,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not record["audit_clean"]:
             print(f"{name}: AUDIT FAILED", file=sys.stderr)
             ok = False
+        if not args.no_trace:
+            tracing = measure_trace_overhead(case, calibration_s, record)
+            record["tracing"] = tracing
+            print(
+                f"{name} (traced): {tracing['moves_per_sec']:.1f} moves/s, "
+                f"{tracing['trace_events']} events, overhead "
+                f"{tracing['overhead_frac']:+.1%}"
+            )
+            if not tracing["metrics_identical"]:
+                print(
+                    f"FAIL: {name}: traced run diverged from untraced run",
+                    file=sys.stderr,
+                )
+                ok = False
+            if tracing["overhead_frac"] > args.max_trace_overhead:
+                print(
+                    f"FAIL: {name}: trace overhead "
+                    f"{tracing['overhead_frac']:.1%} exceeds limit "
+                    f"{args.max_trace_overhead:.0%}",
+                    file=sys.stderr,
+                )
+                ok = False
 
     Path(args.output).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"

@@ -1,0 +1,118 @@
+"""Trace smoke check: a traced anneal must be valid and invisible.
+
+Runs a short simultaneous anneal on a small generated benchmark under
+two seeds, with tracing on, plus one untraced control run, and asserts:
+
+1. both traces pass the structural schema validation
+   (:func:`repro.obs.validate_events`) and round-trip through JSONL;
+2. each trace's recorded terms and weights reconstruct the run's final
+   scalar cost **bit-exactly** (:func:`repro.obs.reconstructed_cost`);
+3. the traced run lands on bit-identical metrics to the untraced
+   control (tracing consumes no RNG and reads no wall clock).
+
+The traces are written as JSONL into ``--outdir`` (default
+``trace_smoke/``) so CI can exercise the ``repro-fpga trace``
+summary/diff/validate tooling on real artifacts and upload them.
+
+Exit code 0 on success, 1 on any violation.  CI runs this as the
+``trace-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import architecture_for
+from repro.core import AnnealerConfig, ScheduleConfig, SimultaneousAnnealer
+from repro.obs import read_trace, reconstructed_cost
+from repro.netlist import tiny
+
+SEEDS = (3, 5)
+
+
+def smoke_config(seed: int, trace: bool) -> AnnealerConfig:
+    return AnnealerConfig(
+        seed=seed,
+        attempts_per_cell=4,
+        initial="clustered",
+        greedy_rounds=1,
+        schedule=ScheduleConfig(
+            lambda_=1.4, max_temperatures=16, freeze_patience=2
+        ),
+        trace=trace,
+    )
+
+
+def comparable_metrics(result) -> dict[str, float]:
+    return {k: v for k, v in result.metrics().items() if k != "wall_time_s"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=32)
+    parser.add_argument(
+        "--outdir", default="trace_smoke",
+        help="directory for the emitted JSONL traces (default trace_smoke/)",
+    )
+    args = parser.parse_args(argv)
+
+    netlist = tiny(seed=4, num_cells=args.cells, depth=4)
+    arch = architecture_for(netlist, tracks_per_channel=10)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for seed in SEEDS:
+        result = SimultaneousAnnealer(
+            netlist, arch, smoke_config(seed, trace=True)
+        ).run()
+        trace = result.trace
+
+        problems = trace.validate()
+        for problem in problems:
+            print(f"FAIL: seed {seed}: schema: {problem}")
+        failures += len(problems)
+
+        path = outdir / f"seed{seed}.jsonl"
+        trace.write_jsonl(path)
+        if read_trace(path).events != trace.events:
+            print(f"FAIL: seed {seed}: JSONL round-trip altered the events")
+            failures += 1
+
+        end = trace.run_end
+        rebuilt = reconstructed_cost(end) if end else None
+        if end is None or rebuilt != end["final_cost"]:
+            print(
+                f"FAIL: seed {seed}: cost reconstruction mismatch: "
+                f"recorded {end and end['final_cost']!r}, rebuilt {rebuilt!r}"
+            )
+            failures += 1
+
+        if seed == SEEDS[0]:
+            control = SimultaneousAnnealer(
+                netlist, arch, smoke_config(seed, trace=False)
+            ).run()
+            left = comparable_metrics(control)
+            right = comparable_metrics(result)
+            for key in sorted(k for k in left if left[k] != right[k]):
+                print(
+                    f"FAIL: seed {seed}: metric {key!r} diverged: "
+                    f"plain={left[key]!r} traced={right[key]!r}"
+                )
+                failures += 1
+
+        print(
+            f"seed {seed}: {len(trace.events)} events, "
+            f"{len(trace.stages)} stages -> {path}"
+        )
+
+    if failures:
+        return 1
+    print("OK: traces valid, costs reconstruct, traced run bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,9 @@ provides the whole stack the paper builds on:
 * :mod:`repro.flows` — end-to-end flows (sequential baseline vs
   simultaneous) scored with the same post-layout STA;
 * :mod:`repro.analysis` — experiment harness helpers (Table-2 sweeps,
-  table formatting).
+  table formatting);
+* :mod:`repro.obs` — structured anneal tracing, a metrics registry,
+  and the ``repro-fpga trace`` run-comparison tooling.
 
 Quickstart::
 
@@ -60,6 +62,14 @@ from .flows import (
     run_simultaneous,
     timing_improvement_percent,
 )
+from .obs import (
+    Instrumentation,
+    MetricsRegistry,
+    RunTrace,
+    Tracer,
+    maybe_tracer,
+    read_trace,
+)
 from .perf import Profiler, RunProfile, maybe_profiler
 from .netlist import (
     CircuitSpec,
@@ -86,10 +96,14 @@ __all__ = [
     "Fabric",
     "FabricSpec",
     "FlowResult",
+    "Instrumentation",
+    "MetricsRegistry",
     "Netlist",
     "PAPER_SPECS",
     "Profiler",
     "RunProfile",
+    "RunTrace",
+    "Tracer",
     "ScheduleConfig",
     "SequentialConfig",
     "SimultaneousAnnealer",
@@ -109,8 +123,10 @@ __all__ = [
     "generate",
     "kway_partition",
     "maybe_profiler",
+    "maybe_tracer",
     "min_tracks_for_routing",
     "paper_benchmark",
+    "read_trace",
     "random_logic",
     "paper_benchmarks",
     "run_sequential",

@@ -12,6 +12,8 @@ Subcommands
     Run both flows and print the Table-1-style comparison row.
 ``lint [paths ...]``
     Run the determinism/invariant static analyzer (``repro.lint``).
+``trace summary|diff|validate ...``
+    Summarize, diff, or validate anneal traces (``repro.obs``).
 """
 
 from __future__ import annotations
@@ -72,18 +74,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     netlist = paper_benchmark(args.design)
     arch = architecture_for(netlist, tracks_per_channel=args.tracks)
     sim_cfg, seq_cfg = _configs(args.effort, args.seed)
+    # The instrumentation flags compose freely: any subset of
+    # --profile / --trace / --sanitize can ride on one run, all wired
+    # through the shared Instrumentation hook point in the annealer.
+    overrides: dict[str, bool] = {}
     if args.sanitize:
-        if args.flow != "simultaneous":
-            print("note: --sanitize only instruments the simultaneous flow",
-                  file=sys.stderr)
-        sim_cfg = dataclasses.replace(sim_cfg, sanitize=True)
+        overrides["sanitize"] = True
+    if args.profile:
+        overrides["profile"] = True
+    if args.trace is not None:
+        overrides["trace"] = True
     if args.flow == "simultaneous":
-        result = run_simultaneous(netlist, arch, sim_cfg,
-                                  profile=args.profile or None)
+        if overrides:
+            sim_cfg = dataclasses.replace(sim_cfg, **overrides)
+        result = run_simultaneous(netlist, arch, sim_cfg)
     else:
-        if args.profile:
-            print("note: --profile only instruments the simultaneous flow",
-                  file=sys.stderr)
+        for flag in ("sanitize", "profile"):
+            if overrides.pop(flag, False):
+                print(f"note: --{flag} only instruments the simultaneous "
+                      f"flow", file=sys.stderr)
+        if overrides:
+            seq_cfg = dataclasses.replace(seq_cfg, **overrides)
         result = run_sequential(netlist, arch, seq_cfg)
     print(result)
     for key, value in result.metrics().items():
@@ -91,6 +102,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     profile = result.extra.get("profile") if result.extra else None
     if profile is not None:
         print(profile.format())
+    trace = result.extra.get("trace") if result.extra else None
+    if trace is not None and args.trace is not None:
+        trace.write_jsonl(args.trace)
+        print(f"trace: {len(trace.events)} events -> {args.trace}",
+              file=sys.stderr)
     return 0 if result.fully_routed else 1
 
 
@@ -126,6 +142,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.cli import main as trace_main
+
+    return trace_main(args.trace_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -159,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check rollback/cache/audit invariants after every "
         "move (slow; results are bit-identical to an unsanitized run)",
     )
+    p_run.add_argument(
+        "--trace", nargs="?", const="trace.jsonl", default=None,
+        metavar="PATH",
+        help="record a structured event trace and write it as JSONL "
+        "(default PATH: trace.jsonl; results are bit-identical to an "
+        "untraced run)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run both flows and compare")
@@ -172,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="summarize, diff, or validate anneal traces",
+        add_help=False,
+    )
+    p_trace.add_argument("trace_args", nargs=argparse.REMAINDER)
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -27,17 +27,18 @@ from typing import Optional
 from ..arch.presets import Architecture
 from ..arch.technology import Technology
 from ..netlist.netlist import Netlist
-from ..perf import RunProfile, maybe_profiler
+from ..obs import Instrumentation, RunTrace, build_manifest
+from ..perf import RunProfile
 from ..place.initial import clustered_placement, random_placement
 from ..place.placement import Placement
 from ..route.channel_router import DEFAULT_SEGMENT_WEIGHT
 from ..route.incremental import IncrementalRouter
-from ..lint.runtime import MoveSanitizer, check_all
+from ..lint.runtime import SanitizerError, check_all
 from ..route.state import RoutingState
 from ..timing.incremental import IncrementalTiming
 from .cost import CostEvaluator, CostTerms, CostWeights, TermAccumulator
 from .dynamics import DynamicsTrace, TemperatureSample
-from .moves import MoveGenerator
+from .moves import MoveGenerator, PinmapMove
 from .schedule import CoolingSchedule, ScheduleConfig
 from .transaction import LayoutContext, apply_move, rollback
 
@@ -81,6 +82,12 @@ class AnnealerConfig:
     #: Thin the full invariant audit to every N-th move when sanitizing
     #: (the cheap rollback digest and cache probes still run every move).
     sanitize_every: int = 1
+    #: Structured event tracing (see :mod:`repro.obs`): per-stage cost
+    #: terms, adaptive weights, move-type accept/reject counts, and
+    #: repair/cache/timing metric deltas into ``AnnealResult.trace``.
+    #: Never affects results: a traced run is bit-identical to an
+    #: untraced run with the same seed.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell <= 0:
@@ -133,6 +140,8 @@ class AnnealResult:
     wall_time_s: float
     #: Per-phase timings/counters; present only when profiling was on.
     profile: Optional[RunProfile] = None
+    #: Structured event trace; present only when tracing was on.
+    trace: Optional[RunTrace] = None
 
     @property
     def fully_routed(self) -> bool:
@@ -174,6 +183,14 @@ class SimultaneousAnnealer:
         self.config = config or AnnealerConfig()
         self.rng = random.Random(self.config.seed)
 
+        # One shared hook point builds every requested observability
+        # facility (--profile / --trace / --sanitize) together.
+        self.instrumentation = Instrumentation.from_config(self.config)
+        self.profiler = self.instrumentation.profiler
+        self.tracer = self.instrumentation.tracer
+        self.sanitizer = self.instrumentation.sanitizer
+        metrics = self.instrumentation.metrics
+
         fabric = architecture.build()
         if self.config.initial == "clustered":
             placement = clustered_placement(netlist, fabric, self.rng)
@@ -183,11 +200,12 @@ class SimultaneousAnnealer:
         router = IncrementalRouter(
             state, self.config.segment_weight, fast_path=self.config.fast_path
         )
+        router.metrics = metrics
         router.route_all_from_scratch()
         timing = IncrementalTiming(state, self.technology)
-        self.profiler = maybe_profiler(self.config.profile)
+        timing.metrics = metrics
         self.ctx = LayoutContext(placement, state, router, timing,
-                                 profiler=self.profiler)
+                                 profiler=self.profiler, metrics=metrics)
         self.weights = CostWeights(
             self.config.importance_global,
             self.config.importance_detail,
@@ -201,10 +219,18 @@ class SimultaneousAnnealer:
         self.dynamics = DynamicsTrace()
         self._attempted = 0
         self._accepted = 0
-        self.sanitizer: Optional[MoveSanitizer] = None
-        if self.config.sanitize:
-            self.sanitizer = MoveSanitizer(self.config.sanitize_every)
-            self.sanitizer.check_initial(self.ctx)
+        if self.sanitizer is not None:
+            self._sanitizer_check(self.sanitizer.check_initial, self.ctx)
+
+    def _sanitizer_check(self, check, *args) -> None:
+        """Run one sanitizer check, tracing the violation before it raises."""
+        try:
+            check(*args)
+        except SanitizerError as exc:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.sanitizer_violation(exc.phase, exc.move, exc.problems)
+            raise
 
     # ------------------------------------------------------------------
     # Pieces of the run
@@ -239,14 +265,25 @@ class SimultaneousAnnealer:
         else:
             exponent = -delta / temperature
             accept = exponent > -60 and self.rng.random() < math.exp(exponent)
+        tracer = self.tracer
         if accept:
             self._accepted += 1
+            if tracer is not None:
+                tracer.count_move(
+                    "pinmap" if isinstance(move, PinmapMove) else "swap", True
+                )
             if sanitizer is not None:
-                sanitizer.check_commit(self.ctx, move)
+                self._sanitizer_check(sanitizer.check_commit, self.ctx, move)
             return True, new_terms, cells_touched
         rollback(self.ctx, record)
+        if tracer is not None:
+            tracer.count_move(
+                "pinmap" if isinstance(move, PinmapMove) else "swap", False
+            )
         if sanitizer is not None:
-            sanitizer.check_rollback(self.ctx, move, before)
+            self._sanitizer_check(
+                sanitizer.check_rollback, self.ctx, move, before
+            )
         return False, current, []
 
     def _random_walk(self, moves: int) -> tuple[list[float], CostTerms]:
@@ -270,12 +307,19 @@ class SimultaneousAnnealer:
     def _greedy_cleanup(self, current: CostTerms) -> CostTerms:
         """Zero-temperature improvement rounds after the freeze."""
         attempts = self.config.attempts_per_cell * self.netlist.num_cells
-        for _ in range(self.config.greedy_rounds):
-            improved = False
+        tracer = self.tracer
+        for round_index in range(self.config.greedy_rounds):
+            accepted_here = 0
             for _ in range(attempts):
                 accepted, current, _ = self._attempt(0.0, current)
-                improved = improved or accepted
-            if not improved:
+                if accepted:
+                    accepted_here += 1
+            if tracer is not None:
+                tracer.emit(
+                    "greedy", round=round_index, attempts=attempts,
+                    accepted=accepted_here,
+                )
+            if not accepted_here:
                 break
         return current
 
@@ -289,8 +333,15 @@ class SimultaneousAnnealer:
         num_nets = max(1, self.netlist.num_nets)
         attempts_per_temp = self.config.attempts_per_cell * num_cells
 
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.run_start(
+                build_manifest(self.config, self.netlist, flow="simultaneous")
+            )
+
         walk_costs, current = self._random_walk(max(24, num_cells // 2))
         temperature = self.schedule.start(walk_costs)
+        stage_index = 0
 
         while not self.schedule.frozen:
             if self.config.critical_bias > 0:
@@ -309,23 +360,39 @@ class SimultaneousAnnealer:
                 accumulator.add(current)
                 costs.append(self.weights.scalar(current))
             acceptance = accepted_here / attempts_per_temp
-            self.dynamics.record(
-                TemperatureSample(
-                    temperature=temperature,
-                    attempts=attempts_per_temp,
-                    accepted=accepted_here,
-                    cells_perturbed_frac=len(perturbed_cells) / num_cells,
-                    global_unrouted_frac=current.global_unrouted / num_nets,
-                    unrouted_frac=current.detail_unrouted / num_nets,
-                    worst_delay=current.worst_delay,
-                    mean_cost=(sum(costs) / len(costs)) if costs else 0.0,
-                )
+            sample = TemperatureSample(
+                temperature=temperature,
+                attempts=attempts_per_temp,
+                accepted=accepted_here,
+                cells_perturbed_frac=len(perturbed_cells) / num_cells,
+                global_unrouted_frac=current.global_unrouted / num_nets,
+                unrouted_frac=current.detail_unrouted / num_nets,
+                worst_delay=current.worst_delay,
+                mean_cost=(sum(costs) / len(costs)) if costs else 0.0,
             )
+            self.dynamics.record(sample)
             self.weights.recalibrate(accumulator.mean_terms())
             current = self.evaluator.terms()  # same raw terms, fresh object
             self._adjust_window(acceptance)
             self.schedule.observe(acceptance, costs)
+            if tracer is not None:
+                # Stage-end terms under the *post-recalibration* weights:
+                # the last stage's (terms, weights) pair reconstructs the
+                # run's final cost bit-exactly (greedy never recalibrates).
+                tracer.stage(
+                    index=stage_index,
+                    **sample.as_dict(),
+                    terms={"G": current.global_unrouted,
+                           "D": current.detail_unrouted,
+                           "T": current.worst_delay},
+                    weights={"wg": self.weights.wg,
+                             "wd": self.weights.wd,
+                             "wt": self.weights.wt},
+                    window=self.moves.window,
+                    calm_streak=self.schedule.calm_streak,
+                )
             temperature = self.schedule.next_temperature(costs)
+            stage_index += 1
 
         current = self._greedy_cleanup(current)
 
@@ -335,6 +402,22 @@ class SimultaneousAnnealer:
             profile = self.profiler.finish(
                 wall_time, self._attempted, self._accepted
             )
+        trace = None
+        if tracer is not None:
+            tracer.run_end(
+                moves_attempted=self._attempted,
+                moves_accepted=self._accepted,
+                temperatures=self.schedule.temperatures_done,
+                terms={"G": current.global_unrouted,
+                       "D": current.detail_unrouted,
+                       "T": current.worst_delay},
+                weights={"wg": self.weights.wg,
+                         "wd": self.weights.wd,
+                         "wt": self.weights.wt},
+                final_cost=self.weights.scalar(current),
+                state=self.ctx.state.summary(),
+            )
+            trace = tracer.finish()
         return AnnealResult(
             placement=self.ctx.placement,
             state=self.ctx.state,
@@ -346,6 +429,7 @@ class SimultaneousAnnealer:
             temperatures=self.schedule.temperatures_done,
             wall_time_s=wall_time,
             profile=profile,
+            trace=trace,
         )
 
     def _refocus_moves(self) -> None:

@@ -37,6 +37,20 @@ class TemperatureSample:
         """Globally routed but detail-unrouted (the Figure-6 gap)."""
         return max(0.0, self.unrouted_frac - self.global_unrouted_frac)
 
+    def as_dict(self) -> dict[str, float]:
+        """Fields plus derived acceptance, for trace ``stage`` events."""
+        return {
+            "temperature": self.temperature,
+            "attempts": self.attempts,
+            "accepted": self.accepted,
+            "acceptance": self.acceptance,
+            "cells_perturbed_frac": self.cells_perturbed_frac,
+            "global_unrouted_frac": self.global_unrouted_frac,
+            "unrouted_frac": self.unrouted_frac,
+            "worst_delay": self.worst_delay,
+            "mean_cost": self.mean_cost,
+        }
+
 
 @dataclass
 class DynamicsTrace:

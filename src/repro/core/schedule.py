@@ -104,6 +104,11 @@ class CoolingSchedule:
         self._calm_streak = self._calm_streak + 1 if calm else 0
 
     @property
+    def calm_streak(self) -> int:
+        """Consecutive calm temperatures toward the freeze criterion."""
+        return self._calm_streak
+
+    @property
     def frozen(self) -> bool:
         """Whether the termination criterion has been met."""
         return (

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Optional
 
+from ..obs.metrics import MetricsRegistry
 from ..perf import Profiler
 from ..place.placement import Placement
 from ..route.incremental import IncrementalRouter, NetJournal
@@ -46,6 +47,8 @@ class LayoutContext:
     router: IncrementalRouter
     timing: IncrementalTiming
     profiler: Optional[Profiler] = None
+    #: Trace metrics registry; None unless tracing was requested.
+    metrics: Optional[MetricsRegistry] = None
 
 
 @dataclass
@@ -82,6 +85,9 @@ def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
         if prof is not None:
             prof.count("moves", 1)
             prof.count("moves_zero_net", 1)
+        mx = ctx.metrics
+        if mx is not None:
+            mx.count("transaction.zero_net")
         return TransactionRecord(move, journal, TimingDelta(), 0)
 
     ordered_nets = sorted(affected_nets)
@@ -106,6 +112,9 @@ def apply_move(ctx: LayoutContext, move: Move) -> TransactionRecord:
         prof.count("moves", 1)
         prof.count("nets_ripped", len(affected_nets))
         prof.count("nets_journaled", len(touched))
+    mx = ctx.metrics
+    if mx is not None:
+        mx.observe("transaction.nets_journaled", len(touched))
     return TransactionRecord(move, journal, timing_delta, len(touched))
 
 

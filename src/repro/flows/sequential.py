@@ -31,6 +31,7 @@ from typing import Optional
 
 from ..arch.presets import Architecture
 from ..netlist.netlist import Netlist
+from ..obs import build_manifest, maybe_tracer
 from ..place.initial import clustered_placement, random_placement
 from ..place.placement import Placement
 from ..route.channel_router import DEFAULT_SEGMENT_WEIGHT, detail_route_all
@@ -63,6 +64,10 @@ class SequentialConfig:
     target_acceptance: float = 0.44
     timing_driven: bool = False
     criticality_alpha: float = 2.0
+    #: Structured event tracing (see :mod:`repro.obs`).  Sequential
+    #: stages carry a scalar placement cost instead of the simultaneous
+    #: flow's G/D/T terms; the trace tooling handles both shapes.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell <= 0:
@@ -99,6 +104,7 @@ class SequentialPlacer:
         self.placement = placement
         self.config = config
         self.rng = random.Random(config.seed)
+        self.tracer = maybe_tracer(config.trace)
         # Sequential placers do not reassign pinmaps (the palette
         # belongs to the layout-aware flow), so pinmap_probability=0.
         self.moves = MoveGenerator(placement, self.rng, pinmap_probability=0.0)
@@ -187,12 +193,20 @@ class SequentialPlacer:
         """Execute to completion and return the result."""
         num_cells = self.netlist.num_cells
         attempts_per_temp = self.config.attempts_per_cell * num_cells
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.run_start(
+                build_manifest(self.config, self.netlist, flow="sequential")
+            )
         current = self.cost()
         walk = []
         for _ in range(max(24, num_cells // 2)):
             current = self._attempt(float("inf"), current)
             walk.append(current)
         temperature = self.schedule.start(walk)
+        total_attempts = len(walk)
+        total_accepted = 0
+        stage_index = 0
         while not self.schedule.frozen:
             costs = []
             accepted = 0
@@ -208,10 +222,39 @@ class SequentialPlacer:
             elif acceptance < self.config.target_acceptance - 0.1:
                 self.moves.set_window(self.moves.window * 1.1)
             self.schedule.observe(acceptance, costs)
+            if tracer is not None:
+                tracer.stage(
+                    index=stage_index,
+                    temperature=temperature,
+                    attempts=attempts_per_temp,
+                    accepted=accepted,
+                    acceptance=acceptance,
+                    cost=current,
+                    window=self.moves.window,
+                    calm_streak=self.schedule.calm_streak,
+                )
             temperature = self.schedule.next_temperature(costs)
+            stage_index += 1
+            total_attempts += attempts_per_temp
+            total_accepted += accepted
         # Greedy clean-up at zero temperature.
+        greedy_accepted = 0
         for _ in range(attempts_per_temp):
-            current = self._attempt(0.0, current)
+            new = self._attempt(0.0, current)
+            if new != current:
+                greedy_accepted += 1
+            current = new
+        total_attempts += attempts_per_temp
+        total_accepted += greedy_accepted
+        if tracer is not None:
+            tracer.emit("greedy", round=0, attempts=attempts_per_temp,
+                        accepted=greedy_accepted)
+            tracer.run_end(
+                moves_attempted=total_attempts,
+                moves_accepted=total_accepted,
+                temperatures=self.schedule.temperatures_done,
+                final_cost=current,
+            )
         return self.placement
 
 
@@ -249,5 +292,7 @@ def run_sequential(
             "failed_global": len(failed_global),
             "failed_detail_channels": len(failures),
             "placement_hpwl": placer._total_hpwl,
+            "trace": (placer.tracer.finish()
+                      if placer.tracer is not None else None),
         },
     )

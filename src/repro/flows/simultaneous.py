@@ -23,18 +23,25 @@ def run_simultaneous(
     architecture: Architecture,
     config: Optional[AnnealerConfig] = None,
     profile: Optional[bool] = None,
+    trace: Optional[bool] = None,
 ) -> FlowResult:
     """Run the simultaneous flow end to end.
 
-    ``profile`` overrides ``config.profile`` when given — this is the
-    one profiling entry point the CLI and the benchmark harnesses
-    share.  The run's :class:`~repro.perf.RunProfile` (or None) rides
-    in ``extra["profile"]``.
+    ``profile`` / ``trace`` override the matching config flags when
+    given — this is the instrumentation entry point the CLI and the
+    benchmark harnesses share.  The run's
+    :class:`~repro.perf.RunProfile` rides in ``extra["profile"]`` and
+    its :class:`~repro.obs.RunTrace` in ``extra["trace"]`` (None when
+    the facility is off).
     """
     started = time.perf_counter()
+    overrides = {}
     if profile is not None:
-        config = dataclasses.replace(config or AnnealerConfig(),
-                                     profile=profile)
+        overrides["profile"] = profile
+    if trace is not None:
+        overrides["trace"] = trace
+    if overrides:
+        config = dataclasses.replace(config or AnnealerConfig(), **overrides)
     annealer = SimultaneousAnnealer(netlist, architecture, config)
     result = annealer.run()
     report = analyze(result.state, architecture.technology)
@@ -52,5 +59,6 @@ def run_simultaneous(
             "temperatures": result.temperatures,
             "internal_worst_delay": result.worst_delay,
             "profile": result.profile,
+            "trace": result.trace,
         },
     )

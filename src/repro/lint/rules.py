@@ -37,6 +37,15 @@ incremental caches that move transactions depend on:
     mutates one of its arguments must say so with a ``Mutates:`` line
     in its docstring.  The rollback machinery is only auditable if
     every in-place effect is declared at the call boundary.
+
+``no-print-in-library``
+    Library code must not ``print()``: bare writes to stdout interleave
+    with machine-readable output, cannot be captured or silenced by
+    harnesses, and hide run data that belongs in the structured trace.
+    Emit a :mod:`repro.obs` trace event (for run data) or go through
+    :class:`repro.obs.console.Console` (for human notices).  CLI
+    modules (``cli.py``, ``__main__.py``) are exempt — stdout is their
+    job.
 """
 
 from __future__ import annotations
@@ -739,6 +748,38 @@ class UndocumentedMutationRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# no-print-in-library
+# ----------------------------------------------------------------------
+class NoPrintInLibraryRule(Rule):
+    name = "no-print-in-library"
+    summary = (
+        "print() in library code (emit a trace event or use "
+        "repro.obs.console; CLI modules exempt)"
+    )
+
+    #: Module basenames whose whole job is terminal output.
+    EXEMPT_BASENAMES = frozenset({"cli.py", "__main__.py"})
+
+    def check(self, tree, source, path):
+        basename = path.replace("\\", "/").rsplit("/", 1)[-1]
+        if basename in self.EXEMPT_BASENAMES:
+            return
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Diagnostic(
+                    path, node.lineno, node.col_offset, self.name,
+                    "print() in library code writes uncapturable text "
+                    "straight to stdout; emit a repro.obs trace event for "
+                    "run data, or route human notices through "
+                    "repro.obs.console.Console",
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 def default_rules() -> tuple[Rule, ...]:
@@ -749,6 +790,7 @@ def default_rules() -> tuple[Rule, ...]:
         FloatEqualityRule(),
         MutableDefaultRule(),
         UndocumentedMutationRule(),
+        NoPrintInLibraryRule(),
     )
 
 

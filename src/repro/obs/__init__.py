@@ -1,0 +1,72 @@
+"""repro.obs — structured observability for anneal runs.
+
+Three cooperating pieces (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.tracer` — the event tracer the annealer, transaction
+  layer, routers, and timing engine emit structured events into, plus
+  :class:`Instrumentation`, the single hook point that builds the
+  profiler/tracer/sanitizer bundle from a config;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with explicit
+  snapshots, safe to probe from hot loops under an ``is not None``
+  guard;
+* :mod:`repro.obs.events` / :mod:`repro.obs.summary` — the
+  schema-versioned JSONL trace format and the offline analysis behind
+  ``repro-fpga trace``.
+
+Everything is off by default and free when off: disabled tracing costs
+the hot loop one ``is not None`` test per probe site, and an enabled
+tracer never reads clocks or RNG, so traced runs are bit-identical to
+untraced ones.
+
+This package must stay importable without :mod:`repro.core` — the core
+imports *us*.  Analysis-side modules (summary, cli) are therefore not
+imported here; load them explicitly.
+"""
+
+from .console import Console, DEFAULT_CONSOLE, get_console
+from .events import (
+    EVENT_REQUIRED,
+    TRACE_SCHEMA_VERSION,
+    RunTrace,
+    read_trace,
+    reconstructed_cost,
+    schema_descriptor,
+    validate_events,
+)
+from .metrics import (
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    counter_delta,
+    maybe_metrics,
+)
+from .tracer import (
+    Instrumentation,
+    Tracer,
+    build_manifest,
+    config_digest,
+    maybe_tracer,
+)
+
+__all__ = [
+    "Console",
+    "DEFAULT_CONSOLE",
+    "get_console",
+    "EVENT_REQUIRED",
+    "TRACE_SCHEMA_VERSION",
+    "RunTrace",
+    "read_trace",
+    "reconstructed_cost",
+    "schema_descriptor",
+    "validate_events",
+    "HISTOGRAM_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_delta",
+    "maybe_metrics",
+    "Instrumentation",
+    "Tracer",
+    "build_manifest",
+    "config_digest",
+    "maybe_tracer",
+]

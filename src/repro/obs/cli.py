@@ -1,0 +1,115 @@
+"""Command line for trace tooling: ``python -m repro.obs <cmd>``.
+
+Also reachable as ``repro-fpga trace <cmd>`` from the main CLI.
+Exit codes: 0 = ok, 1 = problems found (invalid trace / cost-
+reconstruction mismatch), 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .events import RunTrace, read_trace, reconstructed_cost
+from .summary import diff_traces, find_anomalies, summarize
+
+
+def _load(path: str) -> RunTrace:
+    trace = read_trace(Path(path))
+    problems = trace.validate()
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        raise SystemExit(1)
+    return trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the trace CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga trace",
+        description="Summarize, diff, and validate anneal traces "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser(
+        "summary", help="render one trace as tables and sparklines"
+    )
+    p_summary.add_argument("trace", help="JSONL trace file")
+    p_summary.add_argument(
+        "--max-rows", type=int, default=12,
+        help="max rows in the per-stage table (default: 12)",
+    )
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two traces stage by stage"
+    )
+    p_diff.add_argument("trace_a", help="first JSONL trace file")
+    p_diff.add_argument("trace_b", help="second JSONL trace file")
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="check a trace against the event schema and the "
+        "cost-reconstruction invariant",
+    )
+    p_validate.add_argument("trace", help="JSONL trace file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Trace CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "summary":
+            trace = _load(args.trace)
+            print(summarize(trace, max_rows=args.max_rows))
+            return 0
+
+        if args.command == "diff":
+            a = _load(args.trace_a)
+            b = _load(args.trace_b)
+            print(f"A: {args.trace_a}")
+            print(f"B: {args.trace_b}")
+            print(diff_traces(a, b))
+            return 0
+
+        if args.command == "validate":
+            trace = _load(args.trace)  # exits 1 on schema problems
+            failures = 0
+            end = trace.run_end
+            if end is not None and end.get("final_cost") is not None:
+                rebuilt = reconstructed_cost(end)
+                if rebuilt is not None and rebuilt != end["final_cost"]:
+                    print(
+                        f"{args.trace}: cost reconstruction mismatch: "
+                        f"recorded {end['final_cost']!r}, rebuilt {rebuilt!r}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+            anomalies = find_anomalies(trace)
+            for anomaly in anomalies:
+                print(f"{args.trace}: anomaly: {anomaly}")
+            stages = len(trace.stages)
+            status = "ok" if not failures else "INVALID"
+            print(
+                f"{args.trace}: {status} "
+                f"({len(trace.events)} events, {stages} stages, "
+                f"{len(anomalies)} anomalies)"
+            )
+            return 1 if failures else 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Console reporter: the one sanctioned way library code talks to users.
+
+Library modules (flows, analysis, routers) must not ``print()`` — the
+``no-print-in-library`` lint rule enforces it.  Anything user-facing
+they have to say goes through a :class:`Console`, which callers can
+redirect (tests capture it, harnesses silence it, the CLI points it at
+stderr so machine-readable stdout stays clean).
+
+The module-level default console writes to ``sys.stderr``.  Code holds
+no global state beyond that default: pass an explicit ``Console`` where
+a component should be independently redirectable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+class Console:
+    """A destination for human-facing notices from library code."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        #: Target stream; None means "whatever sys.stderr is right now",
+        #: so pytest's capture and CLI redirection both keep working.
+        self._stream = stream
+
+    @property
+    def stream(self) -> IO[str]:
+        """The stream notices are written to."""
+        return self._stream if self._stream is not None else sys.stderr
+
+    def note(self, message: str) -> None:
+        """Emit one informational line."""
+        self.stream.write(message + "\n")
+
+    def warn(self, message: str) -> None:
+        """Emit one warning line."""
+        self.stream.write(f"warning: {message}\n")
+
+
+#: Default console for library code with no injected destination.
+DEFAULT_CONSOLE = Console()
+
+
+def get_console() -> Console:
+    """The default console (late-bound to the current ``sys.stderr``)."""
+    return DEFAULT_CONSOLE

@@ -1,0 +1,335 @@
+"""Trace analysis: run summaries, run-to-run diffs, anomaly flags.
+
+Everything here is a pure function from :class:`~repro.obs.events.RunTrace`
+records to strings/records — no layout state, no re-running.  The CLI
+(``repro-fpga trace``) is a thin argparse shell over these.
+
+The summary renders the run the way the paper's Figure 6 reads: a
+cooling curve, the routability-convergence series ``G``/``D``, the
+critical-path estimate ``T``, and the adaptive-weight trajectories —
+as aligned tables plus unicode sparklines for the at-a-glance shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..analysis.report import format_table
+from .events import RunTrace, reconstructed_cost
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """A unicode sparkline of one series (min-max scaled).
+
+    Series longer than ``width`` are bucketed by mean so the line stays
+    terminal-sized; constant series render flat at the lowest level.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed = []
+        per = len(values) / width
+        for i in range(width):
+            chunk = values[int(i * per): max(int((i + 1) * per), int(i * per) + 1)]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int((value - lo) / span * top)] for value in values
+    )
+
+
+def _fmt(value: Optional[float], decimals: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{decimals}g}"
+
+
+# ----------------------------------------------------------------------
+# Anomaly detection
+# ----------------------------------------------------------------------
+def find_anomalies(trace: RunTrace) -> list[str]:
+    """Heuristic red flags in one run's dynamics (empty list = none).
+
+    Three detectors, each tied to a failure mode the annealer has
+    actually exhibited during tuning:
+
+    * **stalled acceptance** — acceptance pinned near zero for far
+      longer than the schedule's freeze patience: the run is burning
+      temperatures doing nothing (mis-seeded T0 or a frozen window);
+    * **weight oscillation** — an adaptive weight whose trajectory
+      flips direction on most stages with large amplitude: the
+      normalization is chasing its own tail instead of converging;
+    * **repair-rate collapse** — the detailed repair success rate
+      falling to near zero after being healthy: the layout dug itself
+      into a congestion hole the router cannot climb out of.
+    """
+    anomalies: list[str] = []
+    stages = trace.stages
+    if len(stages) < 4:
+        return anomalies
+
+    patience = (
+        trace.manifest.get("config", {})
+        .get("schedule", {})
+        .get("freeze_patience", 3)
+    ) or 3
+
+    # Stalled acceptance: the longest streak of ~zero acceptance.
+    streak = best_streak = 0
+    for stage in stages:
+        if stage["acceptance"] < 0.02:
+            streak += 1
+            best_streak = max(best_streak, streak)
+        else:
+            streak = 0
+    if best_streak > 2 * patience:
+        anomalies.append(
+            f"stalled acceptance: {best_streak} consecutive stages below "
+            f"2% acceptance (freeze patience is {patience}); the schedule "
+            f"is burning temperatures without making progress"
+        )
+
+    # Weight oscillation: direction flips with non-trivial amplitude.
+    for key, label in (("wg", "Wg"), ("wd", "Wd"), ("wt", "Wt")):
+        series = trace.series("weights", key)
+        if len(series) < 4:
+            continue
+        deltas = [b - a for a, b in zip(series, series[1:])]
+        moves = [d for d in deltas if abs(d) > 1e-12]
+        if len(moves) < 4:
+            continue
+        flips = sum(
+            1 for a, b in zip(moves, moves[1:]) if (a > 0) != (b > 0)
+        )
+        mean = sum(abs(v) for v in series) / len(series)
+        amplitude = (max(series) - min(series)) / mean if mean > 0 else 0.0
+        if flips >= 0.6 * (len(moves) - 1) and amplitude > 0.5:
+            anomalies.append(
+                f"weight oscillation: {label} flips direction on "
+                f"{flips}/{len(moves) - 1} stages with "
+                f"{100 * amplitude:.0f}% relative amplitude; the adaptive "
+                f"normalization is not converging"
+            )
+
+    # Repair-rate collapse (needs per-stage metrics deltas).
+    rates: list[Optional[float]] = []
+    for stage in stages:
+        metrics = stage.get("metrics", {})
+        ok = metrics.get("repair.detail_ok", 0)
+        fail = metrics.get("repair.detail_fail", 0)
+        rates.append(ok / (ok + fail) if ok + fail >= 20 else None)
+    observed = [r for r in rates if r is not None]
+    if observed and max(observed) > 0.5:
+        peak_at = rates.index(max(observed))
+        collapsed = [
+            i for i, r in enumerate(rates) if i > peak_at and r is not None
+            and r < 0.05
+        ]
+        if collapsed:
+            anomalies.append(
+                f"repair-rate collapse: detailed repair success fell from "
+                f"{100 * max(observed):.0f}% (stage {peak_at}) to under 5% "
+                f"(stage {collapsed[0]}); the placement has routed itself "
+                f"into congestion the router cannot repair"
+            )
+    return anomalies
+
+
+# ----------------------------------------------------------------------
+# Summary
+# ----------------------------------------------------------------------
+def summarize(trace: RunTrace, max_rows: int = 12) -> str:
+    """Human-readable multi-section summary of one trace."""
+    parts: list[str] = []
+    manifest = trace.manifest
+    if manifest:
+        netlist = manifest.get("netlist", {})
+        parts.append(
+            f"run: flow={manifest.get('flow', '?')} "
+            f"seed={manifest.get('seed', '?')} "
+            f"design={netlist.get('name', '?')} "
+            f"({netlist.get('cells', '?')} cells / "
+            f"{netlist.get('nets', '?')} nets)  "
+            f"config={manifest.get('config_digest', '?')} "
+            f"v{manifest.get('package_version', '?')} "
+            f"schema={trace.schema_version}"
+        )
+
+    stages = trace.stages
+    if stages:
+        parts.append(f"stages: {len(stages)}")
+        for label, series in (
+            ("temperature", trace.series("temperature")),
+            ("acceptance", trace.series("acceptance")),
+            ("G (global unrouted)", trace.series("terms", "G")),
+            ("D (detail unrouted)", trace.series("terms", "D")),
+            ("T (worst delay)", trace.series("terms", "T")),
+            ("Wg", trace.series("weights", "wg")),
+            ("Wd", trace.series("weights", "wd")),
+            ("Wt", trace.series("weights", "wt")),
+            ("cost", trace.series("cost")),
+        ):
+            if series:
+                parts.append(
+                    f"  {label:>20}  {sparkline(series)}  "
+                    f"[{_fmt(min(series))}, {_fmt(max(series))}]"
+                )
+
+        # Stage table, thinned to at most max_rows evenly-spaced rows.
+        step = max(1, math.ceil(len(stages) / max_rows))
+        picked = list(stages[::step])
+        if picked[-1] is not stages[-1]:
+            picked.append(stages[-1])
+        has_terms = any("terms" in stage for stage in picked)
+        headers = ["stage", "temperature", "accept"]
+        if has_terms:
+            headers += ["G", "D", "T", "Wg", "Wd", "Wt"]
+        else:
+            headers += ["cost"]
+        rows = []
+        for stage in picked:
+            row: list = [stage["index"], stage["temperature"],
+                         stage["acceptance"]]
+            if has_terms:
+                terms = stage.get("terms", {})
+                weights = stage.get("weights", {})
+                row += [terms.get("G"), terms.get("D"), terms.get("T"),
+                        weights.get("wg"), weights.get("wd"),
+                        weights.get("wt")]
+            else:
+                row += [stage.get("cost")]
+            rows.append(row)
+        parts.append(format_table(headers, rows, title="per-stage dynamics",
+                                  decimals=4))
+
+    end = trace.run_end
+    if end is not None:
+        parts.append(
+            f"final: moves {end.get('moves_accepted')}/"
+            f"{end.get('moves_attempted')} accepted over "
+            f"{end.get('temperatures')} temperatures"
+        )
+        final_cost = end.get("final_cost")
+        rebuilt = reconstructed_cost(end)
+        if final_cost is not None and rebuilt is not None:
+            ok = "ok" if final_cost == rebuilt else "MISMATCH"
+            parts.append(
+                f"cost reconstruction: recorded {final_cost!r} vs "
+                f"Wg*G+Wd*D+Wt*T {rebuilt!r} [{ok}]"
+            )
+    else:
+        parts.append("final: (no run_end event — run aborted?)")
+
+    violations = trace.of_type("sanitizer_violation")
+    for violation in violations:
+        parts.append(
+            f"SANITIZER VIOLATION at {violation.get('phase')}: "
+            f"{'; '.join(violation.get('problems', []))}"
+        )
+
+    anomalies = find_anomalies(trace)
+    if anomalies:
+        parts.append("anomalies:")
+        parts.extend(f"  ! {anomaly}" for anomaly in anomalies)
+    else:
+        parts.append("anomalies: none")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+def _stage_key_values(stage: dict) -> dict[str, Optional[float]]:
+    terms = stage.get("terms", {})
+    return {
+        "acceptance": stage.get("acceptance"),
+        "G": terms.get("G"),
+        "D": terms.get("D"),
+        "T": terms.get("T"),
+        "cost": stage.get("cost"),
+    }
+
+
+def diff_traces(a: RunTrace, b: RunTrace, rel_tol: float = 1e-9) -> str:
+    """Stage-by-stage comparison of two traces.
+
+    Reports manifest-level differences (seed/config/design), the first
+    stage where the runs' dynamics diverge, and a side-by-side table of
+    ``G``/``D``/``T``/acceptance around and after the divergence.
+    """
+    parts: list[str] = []
+    ma, mb = a.manifest, b.manifest
+    for field in ("flow", "seed", "config_digest", "package_version"):
+        va, vb = ma.get(field), mb.get(field)
+        if va != vb:
+            parts.append(f"manifest: {field} differs: {va!r} vs {vb!r}")
+    na = ma.get("netlist", {}).get("name")
+    nb = mb.get("netlist", {}).get("name")
+    if na != nb:
+        parts.append(f"manifest: design differs: {na!r} vs {nb!r}")
+    if not parts:
+        parts.append("manifest: identical")
+
+    sa, sb = a.stages, b.stages
+    shared = min(len(sa), len(sb))
+    if len(sa) != len(sb):
+        parts.append(f"stage count differs: {len(sa)} vs {len(sb)}")
+
+    first_divergence: Optional[int] = None
+    for index in range(shared):
+        va, vb = _stage_key_values(sa[index]), _stage_key_values(sb[index])
+        for key in va:
+            x, y = va[key], vb[key]
+            if x is None or y is None:
+                continue
+            if not math.isclose(x, y, rel_tol=rel_tol, abs_tol=rel_tol):
+                first_divergence = index
+                break
+        if first_divergence is not None:
+            break
+
+    if shared and first_divergence is None:
+        parts.append(f"dynamics: identical across all {shared} shared stages")
+    elif first_divergence is not None:
+        parts.append(f"dynamics: first divergence at stage {first_divergence}")
+        rows = []
+        lo = max(0, first_divergence - 1)
+        indices = list(range(lo, min(shared, lo + 6)))
+        if shared - 1 not in indices and shared > 0:
+            indices.append(shared - 1)
+        for index in indices:
+            va, vb = _stage_key_values(sa[index]), _stage_key_values(sb[index])
+            marker = "<-" if index == first_divergence else ""
+            rows.append([
+                index,
+                va["acceptance"], vb["acceptance"],
+                va["G"], vb["G"], va["D"], vb["D"],
+                va["T"], vb["T"], marker,
+            ])
+        parts.append(format_table(
+            ["stage", "accept A", "accept B", "G A", "G B", "D A", "D B",
+             "T A", "T B", ""],
+            rows,
+            title="diverging stages (A vs B)",
+            decimals=4,
+        ))
+
+    ea, eb = a.run_end, b.run_end
+    if ea is not None and eb is not None:
+        ta, tb = ea.get("terms", {}), eb.get("terms", {})
+        rows = [
+            [name, ta.get(key), tb.get(key)]
+            for name, key in (("G", "G"), ("D", "D"), ("T (ns)", "T"))
+        ]
+        rows.append(["final cost", ea.get("final_cost"), eb.get("final_cost")])
+        parts.append(format_table(["metric", "run A", "run B"], rows,
+                                  title="final metrics", decimals=4))
+    return "\n".join(parts)

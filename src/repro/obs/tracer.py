@@ -1,0 +1,194 @@
+"""The event tracer and the shared instrumentation hook point.
+
+:class:`Tracer` is the event half of the observability layer.  It
+follows the same guarded-probe discipline as :class:`repro.perf.Profiler`:
+when tracing is off the hot loop pays one ``is not None`` test per
+probe site and nothing else; when it is on, recording is append-only
+accumulation of already-computed values — no wall-clock reads, no RNG,
+no layout state — so a traced run is bit-identical to an untraced run
+with the same seed (``tests/test_obs.py`` guards this).
+
+:class:`Instrumentation` is the one place the three observability
+facilities (``--profile``, ``--trace``, ``--sanitize``) are
+constructed from an :class:`~repro.core.AnnealerConfig`-shaped config.
+The annealer asks it for everything instead of growing three
+independent wiring paths; anything new (a future ``--debug``?) plugs
+in here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Optional
+
+from ..perf import Profiler, maybe_profiler
+from .events import TRACE_SCHEMA_VERSION, RunTrace
+from .metrics import MetricsRegistry, counter_delta
+
+
+def config_digest(config: Any) -> str:
+    """Short, stable digest of a (possibly nested) config dataclass.
+
+    Two runs with equal digests ran under identical knobs; trace
+    diffing uses this to tell "same config, different seed" apart from
+    "different experiment".  The seed is part of the digest input —
+    callers that want a seed-independent identity compare the
+    ``config`` dict in the manifest minus its ``seed`` key.
+    """
+    record = dataclasses.asdict(config) if dataclasses.is_dataclass(config) else dict(config)
+    canonical = json.dumps(record, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def build_manifest(
+    config: Any,
+    netlist: Any = None,
+    flow: str = "simultaneous",
+    extra: Optional[dict] = None,
+) -> dict:
+    """The run manifest carried by the opening ``run_start`` event.
+
+    Everything needed to interpret (and re-run) the trace: package
+    version, flow, seed, the full config with its digest, and the
+    netlist's summary statistics.
+    """
+    from .. import __version__
+
+    record = (
+        dataclasses.asdict(config) if dataclasses.is_dataclass(config) else {}
+    )
+    manifest: dict = {
+        "package_version": __version__,
+        "flow": flow,
+        "seed": getattr(config, "seed", None),
+        "config_digest": config_digest(config),
+        "config": record,
+    }
+    if netlist is not None:
+        manifest["netlist"] = {"name": netlist.name, **netlist.stats()}
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+class Tracer:
+    """Mutable event accumulator for one run (see module docstring)."""
+
+    __slots__ = ("events", "metrics", "_move_counts", "_metrics_mark")
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.metrics = MetricsRegistry()
+        # Per-stage move-kind accept/reject counts, reset every stage.
+        self._move_counts: dict[str, list[int]] = {}
+        self._metrics_mark: dict = self.metrics.snapshot()
+
+    # -- hot-path probe (call only under an ``is not None`` guard) -----
+    def count_move(self, kind: str, accepted: bool) -> None:
+        """Tally one proposed move of ``kind`` into the current stage."""
+        counts = self._move_counts.get(kind)
+        if counts is None:
+            counts = self._move_counts[kind] = [0, 0]
+        counts[0 if accepted else 1] += 1
+
+    # -- stage-boundary emission ---------------------------------------
+    def emit(self, kind: str, **fields: Any) -> dict:
+        """Append one event (cool path: once per stage / run phase)."""
+        event = {"type": kind, **fields}
+        self.events.append(event)
+        return event
+
+    def run_start(self, manifest: dict) -> None:
+        """Open the trace with the schema version and run manifest."""
+        self.emit(
+            "run_start",
+            schema_version=TRACE_SCHEMA_VERSION,
+            manifest=manifest,
+        )
+
+    def stage(self, **fields: Any) -> None:
+        """Emit one per-temperature stage event.
+
+        Attaches (and resets) the stage's move-kind tallies and the
+        metric counter deltas since the previous stage boundary.
+        """
+        if self._move_counts:
+            fields["moves"] = {
+                kind: {"accepted": counts[0], "rejected": counts[1]}
+                for kind, counts in sorted(self._move_counts.items())
+            }
+            self._move_counts = {}
+        mark = self.metrics.snapshot()
+        delta = counter_delta(self._metrics_mark, mark)
+        if delta:
+            fields["metrics"] = delta
+        self._metrics_mark = mark
+        self.emit("stage", **fields)
+
+    def sanitizer_violation(self, phase: str, move: Any,
+                            problems: list[str]) -> None:
+        """Record a sanitizer violation (emitted just before it raises)."""
+        self.emit(
+            "sanitizer_violation",
+            phase=phase,
+            move=repr(move),
+            problems=list(problems),
+        )
+
+    def run_end(self, **fields: Any) -> None:
+        """Close the trace with final terms and the full metrics snapshot."""
+        fields["metrics_snapshot"] = self.metrics.snapshot()
+        self.emit("run_end", **fields)
+
+    def finish(self) -> RunTrace:
+        """Freeze the accumulated events into a :class:`RunTrace`."""
+        return RunTrace(list(self.events))
+
+
+def maybe_tracer(enabled: bool) -> Optional[Tracer]:
+    """Tracer when enabled, None otherwise (guarded-probe pattern)."""
+    return Tracer() if enabled else None
+
+
+@dataclasses.dataclass
+class Instrumentation:
+    """The bundle of per-run observability hooks, built in one place.
+
+    ``profiler`` times hot-loop sections (:mod:`repro.perf`);
+    ``tracer`` records structured events and owns the metrics registry;
+    ``sanitizer`` cross-checks move-transaction invariants
+    (:mod:`repro.lint.runtime`).  All three are optional and mutually
+    composable — any subset can be on, and none of them may perturb
+    the run's results.
+    """
+
+    profiler: Optional[Profiler] = None
+    tracer: Optional[Tracer] = None
+    sanitizer: Optional[Any] = None
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The tracer's metrics registry (None when tracing is off)."""
+        return self.tracer.metrics if self.tracer is not None else None
+
+    @classmethod
+    def from_config(cls, config: Any) -> "Instrumentation":
+        """Build every requested hook from one annealer-style config.
+
+        Reads ``config.profile``, ``config.trace``, ``config.sanitize``
+        and ``config.sanitize_every`` (each optional, default off) —
+        the single shared wiring point behind ``--profile``,
+        ``--trace``, and ``--sanitize``.
+        """
+        sanitizer = None
+        if getattr(config, "sanitize", False):
+            from ..lint.runtime import MoveSanitizer
+
+            sanitizer = MoveSanitizer(getattr(config, "sanitize_every", 1))
+        return cls(
+            profiler=maybe_profiler(getattr(config, "profile", False)),
+            tracer=maybe_tracer(getattr(config, "trace", False)),
+            sanitizer=sanitizer,
+        )

@@ -102,6 +102,11 @@ class IncrementalRouter:
         #: are bit-identical either way; the flag exists so the golden
         #: determinism test can compare against the exhaustive path.
         self.fast_path = fast_path
+        #: Trace metrics registry (repair success/failure and negative-
+        #: cache hit counters); None unless tracing was requested.
+        #: Recording mutates no routing state and reads no RNG, so a
+        #: metered run stays bit-identical.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Rip-up
@@ -157,15 +162,20 @@ class IncrementalRouter:
         state = self.state
         touched: set[int] = set()
         fast = self.fast_path
+        mx = self.metrics
 
         pending_global = ripup_order(state, sorted(state.unrouted_global))
         for net_index in pending_global:
             if fast and state.global_attempt_is_hopeless(net_index):
+                if mx is not None:
+                    mx.count("cache.global_hit")
                 continue
             if journal is not None:
                 journal.snapshot(net_index)
             touched.add(net_index)
-            route_net_global(state, net_index)
+            ok = route_net_global(state, net_index)
+            if mx is not None:
+                mx.count("repair.global_ok" if ok else "repair.global_fail")
 
         if fast:
             channels: Iterable[int] = sorted(state.dirty_channels)
@@ -175,13 +185,17 @@ class IncrementalRouter:
             pending = ripup_order(state, sorted(state.unrouted_detail[channel]))
             for net_index in pending:
                 if fast and state.detail_attempt_is_hopeless(net_index, channel):
+                    if mx is not None:
+                        mx.count("cache.detail_hit")
                     continue
                 if journal is not None:
                     journal.snapshot(net_index)
                 touched.add(net_index)
-                route_net_in_channel(
+                ok = route_net_in_channel(
                     state, net_index, channel, self.segment_weight
                 )
+                if mx is not None:
+                    mx.count("repair.detail_ok" if ok else "repair.detail_fail")
         return touched
 
     def route_all_from_scratch(self) -> None:

@@ -465,6 +465,16 @@ class RoutingState:
             and all(not pending for pending in self.unrouted_detail)
         )
 
+    def summary(self) -> dict:
+        """Compact JSON-ready digest (carried by trace ``run_end`` events)."""
+        return {
+            "nets": len(self.routes),
+            "global_unrouted": self.count_global_unrouted(),
+            "detail_unrouted": self.count_detail_unrouted(),
+            "fully_routed": self.is_complete(),
+            "total_antifuses": self.total_antifuses(),
+        }
+
     def total_antifuses(self) -> int:
         """All programmed antifuses in the layout."""
         return sum(

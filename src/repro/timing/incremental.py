@@ -67,6 +67,10 @@ class IncrementalTiming:
         self.state = state
         self.tech = tech
         self.netlist = state.netlist
+        #: Trace metrics registry (frontier-propagation counters); None
+        #: unless tracing was requested.  Recording never perturbs the
+        #: incremental trajectory.
+        self.metrics = None
         self.levels = levelize(self.netlist)
         self._positions = sink_positions(state)
         self._delay_cache: list[Optional[list[float]]] = [None] * self.netlist.num_nets
@@ -219,6 +223,10 @@ class IncrementalTiming:
             self.arrival[cell_index] = new_arrival
             for fanout in self.netlist.fanout_cells(cell_index):
                 consider(fanout)
+        mx = self.metrics
+        if mx is not None:
+            mx.count("timing.updates")
+            mx.count("timing.cells_propagated", len(delta.arrival))
         return delta
 
     def restore(self, delta: TimingDelta) -> None:

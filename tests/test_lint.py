@@ -377,6 +377,66 @@ class TestUndocumentedMutationRule:
         )
 
 
+class TestNoPrintInLibraryRule:
+    def test_print_in_library_fires(self):
+        assert fired(
+            """
+            def report(value):
+                print(f"value is {value}")
+            """,
+            "no-print-in-library",
+            path="src/repro/flows/fake.py",
+        )
+
+    def test_cli_module_is_exempt(self):
+        assert not fired(
+            "print('usage: ...')\n",
+            "no-print-in-library",
+            path="src/repro/cli.py",
+        )
+
+    def test_dunder_main_is_exempt(self):
+        assert not fired(
+            "print('running')\n",
+            "no-print-in-library",
+            path="src/repro/obs/__main__.py",
+        )
+
+    def test_console_usage_is_clean(self):
+        assert not fired(
+            """
+            from repro.obs.console import get_console
+
+            def report(value):
+                get_console().note(f"value is {value}")
+            """,
+            "no-print-in-library",
+            path="src/repro/flows/fake.py",
+        )
+
+    def test_suppression_comment(self):
+        assert not fired(
+            """
+            def report(value):
+                print(value)  # repro-lint: disable=no-print-in-library
+            """,
+            "no-print-in-library",
+            path="src/repro/flows/fake.py",
+        )
+
+    def test_library_tree_is_print_free(self):
+        from pathlib import Path
+
+        from repro.lint.engine import lint_paths
+        from repro.lint.rules import NoPrintInLibraryRule
+
+        findings = lint_paths(
+            [Path(__file__).resolve().parent.parent / "src" / "repro"],
+            rules=(NoPrintInLibraryRule(),),
+        )
+        assert findings == []
+
+
 # ----------------------------------------------------------------------
 # Engine mechanics
 # ----------------------------------------------------------------------
@@ -459,7 +519,7 @@ class TestEngine:
         names = [p.name for p in iter_python_files([tmp_path])]
         assert names == ["a.py", "b.py", "c.py"]
 
-    def test_rules_by_name_covers_all_five(self):
+    def test_rules_by_name_covers_all_shipped_rules(self):
         names = set(rules_by_name())
         assert names == {
             "set-iteration",
@@ -467,6 +527,7 @@ class TestEngine:
             "float-equality",
             "mutable-default",
             "undocumented-mutation",
+            "no-print-in-library",
         }
 
 
