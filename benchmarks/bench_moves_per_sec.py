@@ -30,6 +30,13 @@ overhead, and the run fails if tracing slows the hot loop by more than
 (traced and untraced runs must be bit-identical).  ``--no-trace`` skips
 the comparison runs.
 
+A further pair of runs gates periodic layout snapshots
+(``--snapshot-every``, default every 5 stages): snapshotting must cost
+at most ``--max-snapshot-overhead`` (default 5%) *relative to a plain
+traced run* — snapshots ride on the tracer, so that is the marginal
+cost a user opting in actually pays — and must likewise leave the
+anneal bit-identical.  ``--no-snapshot`` skips it.
+
 Exit status is non-zero if any design fails to anneal, the regression
 gate trips, or the tracing overhead gate trips.
 """
@@ -65,7 +72,10 @@ def _schedule(max_temperatures: int) -> ScheduleConfig:
     )
 
 
-def _config(case: BenchCase, profile: bool, trace: bool = False) -> AnnealerConfig:
+def _config(
+    case: BenchCase, profile: bool, trace: bool = False,
+    snapshot_every: int = 0,
+) -> AnnealerConfig:
     return AnnealerConfig(
         seed=1,
         attempts_per_cell=4,
@@ -73,6 +83,7 @@ def _config(case: BenchCase, profile: bool, trace: bool = False) -> AnnealerConf
         greedy_rounds=1,
         profile=profile,
         trace=trace,
+        snapshot_every=snapshot_every,
         schedule=_schedule(case.max_temperatures),
     )
 
@@ -110,13 +121,14 @@ def calibrate(reps: int = 3, iters: int = 200_000) -> float:
 
 
 def run_case(
-    case: BenchCase, calibration_s: float, profile: bool, trace: bool = False
+    case: BenchCase, calibration_s: float, profile: bool,
+    trace: bool = False, snapshot_every: int = 0,
 ) -> dict:
     """Run one benchmark case and return its result record."""
     netlist = generate(case.spec)
     arch = architecture_for(netlist, tracks_per_channel=case.tracks)
     annealer = SimultaneousAnnealer(
-        netlist, arch, _config(case, profile, trace)
+        netlist, arch, _config(case, profile, trace, snapshot_every)
     )
     t0 = perf_counter()
     result = annealer.run()
@@ -187,6 +199,48 @@ def measure_trace_overhead(
     }
 
 
+def measure_snapshot_overhead(
+    case: BenchCase, calibration_s: float, baseline: dict,
+    every: int = 5, reps: int = 3,
+) -> dict:
+    """Re-run one case traced + snapshotting and compare to plain tracing.
+
+    Snapshots ride on the tracer, so the honest cost of
+    ``snapshot_every`` is measured against a *traced* run, not an
+    uninstrumented one — the same paired best-of-``reps`` scheme as
+    :func:`measure_trace_overhead`.  ``baseline`` (the uninstrumented
+    record) is only used for the bit-identity check: snapshot capture
+    must consume no RNG and read no wall clock.
+    """
+    best_traced: Optional[dict] = None
+    best_snap: Optional[dict] = None
+    for _ in range(reps):
+        traced = run_case(case, calibration_s, profile=False, trace=True)
+        if (best_traced is None
+                or traced["normalized_score"] > best_traced["normalized_score"]):
+            best_traced = traced
+        snapped = run_case(
+            case, calibration_s, profile=False, trace=True,
+            snapshot_every=every,
+        )
+        if (best_snap is None
+                or snapped["normalized_score"] > best_snap["normalized_score"]):
+            best_snap = snapped
+    assert best_traced is not None and best_snap is not None
+    base_score = best_traced["normalized_score"] or 1e-12
+    overhead = 1.0 - best_snap["normalized_score"] / base_score
+    return {
+        "snapshot_every": every,
+        "moves_per_sec": best_snap["moves_per_sec"],
+        "normalized_score": best_snap["normalized_score"],
+        "trace_events": best_snap["trace_events"],
+        "overhead_frac": round(overhead, 4),
+        "metrics_identical": all(
+            best_snap[key] == baseline[key] for key in _DETERMINISM_KEYS
+        ),
+    }
+
+
 def check_regression(
     current: dict, baseline: dict, max_regression: float
 ) -> list[str]:
@@ -249,6 +303,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-trace", action="store_true",
         help="skip the tracing-enabled comparison runs",
     )
+    parser.add_argument(
+        "--max-snapshot-overhead", type=float, default=0.05,
+        help="maximum tolerated slowdown of periodic layout snapshots "
+        "relative to a plain traced run (default 0.05)",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=5,
+        help="snapshot cadence (in stages) for the overhead runs "
+        "(default 5)",
+    )
+    parser.add_argument(
+        "--no-snapshot", action="store_true",
+        help="skip the snapshot-overhead comparison runs",
+    )
     args = parser.parse_args(argv)
 
     names = args.designs or (["smoke"] if args.smoke else ["small", "medium"])
@@ -291,6 +359,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"FAIL: {name}: trace overhead "
                     f"{tracing['overhead_frac']:.1%} exceeds limit "
                     f"{args.max_trace_overhead:.0%}",
+                    file=sys.stderr,
+                )
+                ok = False
+        if not args.no_trace and not args.no_snapshot:
+            snapshotting = measure_snapshot_overhead(
+                case, calibration_s, record, every=args.snapshot_every
+            )
+            record["snapshotting"] = snapshotting
+            print(
+                f"{name} (snapshot every {snapshotting['snapshot_every']}): "
+                f"{snapshotting['moves_per_sec']:.1f} moves/s, "
+                f"{snapshotting['trace_events']} events, overhead "
+                f"{snapshotting['overhead_frac']:+.1%} vs traced"
+            )
+            if not snapshotting["metrics_identical"]:
+                print(
+                    f"FAIL: {name}: snapshotted run diverged from plain run",
+                    file=sys.stderr,
+                )
+                ok = False
+            if snapshotting["overhead_frac"] > args.max_snapshot_overhead:
+                print(
+                    f"FAIL: {name}: snapshot overhead "
+                    f"{snapshotting['overhead_frac']:.1%} exceeds limit "
+                    f"{args.max_snapshot_overhead:.0%}",
                     file=sys.stderr,
                 )
                 ok = False

@@ -1,18 +1,29 @@
 """Trace smoke check: a traced anneal must be valid and invisible.
 
 Runs a short simultaneous anneal on a small generated benchmark under
-two seeds, with tracing on, plus one untraced control run, and asserts:
+two seeds, with tracing *and* periodic layout snapshots on, plus one
+plain control run, and asserts:
 
 1. both traces pass the structural schema validation
    (:func:`repro.obs.validate_events`) and round-trip through JSONL;
 2. each trace's recorded terms and weights reconstruct the run's final
    scalar cost **bit-exactly** (:func:`repro.obs.reconstructed_cost`);
-3. the traced run lands on bit-identical metrics to the untraced
-   control (tracing consumes no RNG and reads no wall clock).
+3. every in-trace ``snapshot`` event passes
+   :func:`repro.obs.validate_snapshot` — the critical-path attribution
+   entries re-sum to ``T`` bit-exactly and the channel occupancy books
+   balance;
+4. the traced + snapshotted run lands on bit-identical metrics to the
+   plain control (tracing and snapshot capture consume no RNG and read
+   no wall clock);
+5. the sequential and simultaneous flows both yield valid flow-end
+   snapshots whose ``xray``-style diff reports nonempty congestion
+   deltas *and* critical-path membership churn.
 
-The traces are written as JSONL into ``--outdir`` (default
-``trace_smoke/``) so CI can exercise the ``repro-fpga trace``
-summary/diff/validate tooling on real artifacts and upload them.
+Artifacts land in ``--outdir`` (default ``trace_smoke/``): JSONL
+traces, the two flow-end snapshots (``seq_snapshot.json`` /
+``sim_snapshot.json``), and an SVG floorplan, so CI can exercise the
+``repro-fpga trace`` and ``repro-fpga xray`` tooling on real files and
+upload them.
 
 Exit code 0 on success, 1 on any violation.  CI runs this as the
 ``trace-smoke`` job.
@@ -26,10 +37,14 @@ from pathlib import Path
 
 from repro import architecture_for
 from repro.core import AnnealerConfig, ScheduleConfig, SimultaneousAnnealer
+from repro.flows import SequentialConfig, capture_flow_snapshot, run_sequential, run_simultaneous
 from repro.obs import read_trace, reconstructed_cost
+from repro.obs.snapshot import diff_snapshots, validate_snapshot, write_snapshot
+from repro.obs.xray import render_svg
 from repro.netlist import tiny
 
 SEEDS = (3, 5)
+SNAPSHOT_EVERY = 5
 
 
 def smoke_config(seed: int, trace: bool) -> AnnealerConfig:
@@ -42,6 +57,7 @@ def smoke_config(seed: int, trace: bool) -> AnnealerConfig:
             lambda_=1.4, max_temperatures=16, freeze_patience=2
         ),
         trace=trace,
+        snapshot_every=SNAPSHOT_EVERY if trace else 0,
     )
 
 
@@ -90,6 +106,18 @@ def main(argv=None) -> int:
             )
             failures += 1
 
+        snapshots = trace.of_type("snapshot")
+        if not snapshots:
+            print(f"FAIL: seed {seed}: trace carries no snapshot events")
+            failures += 1
+        for position, event in enumerate(snapshots):
+            for problem in validate_snapshot(event.get("snapshot")):
+                print(
+                    f"FAIL: seed {seed}: snapshot event {position}: "
+                    f"{problem}"
+                )
+                failures += 1
+
         if seed == SEEDS[0]:
             control = SimultaneousAnnealer(
                 netlist, arch, smoke_config(seed, trace=False)
@@ -105,13 +133,67 @@ def main(argv=None) -> int:
 
         print(
             f"seed {seed}: {len(trace.events)} events, "
-            f"{len(trace.stages)} stages -> {path}"
+            f"{len(trace.stages)} stages, "
+            f"{len(snapshots)} snapshots -> {path}"
         )
+
+    failures += flow_snapshot_check(args.cells, outdir)
 
     if failures:
         return 1
-    print("OK: traces valid, costs reconstruct, traced run bit-identical")
+    print(
+        "OK: traces valid, costs reconstruct, snapshots invariant-clean, "
+        "instrumented run bit-identical, flow diff reports deltas"
+    )
     return 0
+
+
+def flow_snapshot_check(cells: int, outdir: Path) -> int:
+    """Flow-end snapshots from both flows, plus their spatial diff.
+
+    Uses its own generated design (netlist seed 5): one where the two
+    flows land on *different* critical paths, so the diff's
+    path-membership churn check is meaningful, not vacuous.
+    """
+    failures = 0
+    netlist = tiny(seed=5, num_cells=cells, depth=4)
+    arch = architecture_for(netlist, tracks_per_channel=10)
+    seq = run_sequential(
+        netlist, arch, SequentialConfig(seed=SEEDS[0], attempts_per_cell=4)
+    )
+    sim = run_simultaneous(netlist, arch, smoke_config(SEEDS[0], trace=False))
+
+    payloads = {}
+    for name, result in (("seq", seq), ("sim", sim)):
+        payload = capture_flow_snapshot(result, arch)
+        for problem in validate_snapshot(payload):
+            print(f"FAIL: {name} flow snapshot: {problem}")
+            failures += 1
+        path = outdir / f"{name}_snapshot.json"
+        write_snapshot(payload, path)
+        payloads[name] = payload
+        print(
+            f"{name} flow: T={payload['timing']['T']:.4f} -> {path}"
+        )
+
+    svg_path = outdir / "sim_floorplan.svg"
+    svg_path.write_text(render_svg(payloads["sim"]) + "\n", encoding="utf-8")
+    print(f"sim floorplan -> {svg_path}")
+
+    report = diff_snapshots(payloads["seq"], payloads["sim"])
+    churn = report["timing"]["path"]
+    if not report["congestion"]["changed"]:
+        print("FAIL: seq-vs-sim diff reports no congestion deltas")
+        failures += 1
+    if not (churn["added"] or churn["removed"]):
+        print("FAIL: seq-vs-sim diff reports no critical-path churn")
+        failures += 1
+    print(
+        f"seq vs sim: {len(report['congestion']['changed'])} channels "
+        f"changed, {len(report['cells']['moved'])} cells moved, "
+        f"path +{churn['added']} -{churn['removed']}"
+    )
+    return failures
 
 
 if __name__ == "__main__":

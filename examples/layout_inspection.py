@@ -1,9 +1,14 @@
-"""Post-layout inspection: slacks, critical cells, save/reload.
+"""Post-layout inspection with the layout X-ray: snapshots + attribution.
 
-After a layout run, downstream users typically want to know *where*
-the timing pressure is (slack analysis), and to persist the layout so
-analysis doesn't require re-running the annealer.  This example shows
-both.
+After a layout run, downstream users typically want to know *where* the
+congestion and the timing pressure live.  The snapshot subsystem
+(``repro.obs.snapshot``) freezes the final layout into a plain JSON
+payload — per-channel track density, feedthrough usage, per-net route
+geometry, and a critical-path attribution table whose entries re-sum to
+the reported ``T`` bit-exactly — and ``repro.obs.xray`` renders it as
+terminal heatmaps, path breakdowns, and an SVG floorplan.  Diffing two
+snapshots shows what the simultaneous flow actually moved relative to
+the sequential baseline.
 
 Run:  python examples/layout_inspection.py
 """
@@ -11,44 +16,81 @@ Run:  python examples/layout_inspection.py
 import tempfile
 from pathlib import Path
 
-from repro import architecture_for, fast_config, run_simultaneous, tiny
-from repro.flows import load_layout, save_layout
-from repro.timing import analyze, compute_slacks, critical_cells, slack_histogram
+from repro import (
+    AnnealerConfig,
+    ScheduleConfig,
+    SequentialConfig,
+    architecture_for,
+    run_sequential,
+    run_simultaneous,
+    tiny,
+)
+from repro.flows import capture_flow_snapshot
+from repro.obs.snapshot import (
+    diff_snapshots,
+    read_snapshot,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs.xray import render_critical_path, render_diff, render_svg
+from repro.timing import resummed_path_delay
+
+
+def small_config(seed: int) -> AnnealerConfig:
+    """A deliberately tiny anneal so the example runs in seconds."""
+    return AnnealerConfig(
+        seed=seed,
+        attempts_per_cell=4,
+        initial="clustered",
+        greedy_rounds=1,
+        schedule=ScheduleConfig(lambda_=1.4, max_temperatures=12,
+                                freeze_patience=2),
+    )
 
 
 def main() -> None:
-    netlist = tiny(seed=61, num_cells=50, depth=5)
-    arch = architecture_for(netlist, tracks_per_channel=14)
-    result = run_simultaneous(netlist, arch, fast_config(seed=4))
-    print(f"laid out {netlist.name}: T = {result.worst_delay:.2f} ns, "
-          f"routed = {result.fully_routed}\n")
+    netlist = tiny(seed=61, num_cells=32, depth=4)
+    arch = architecture_for(netlist, tracks_per_channel=10)
+    seq = run_sequential(netlist, arch,
+                         SequentialConfig(seed=4, attempts_per_cell=4))
+    sim = run_simultaneous(netlist, arch, small_config(seed=4))
+    print(f"laid out {netlist.name}: sequential T = {seq.worst_delay:.2f}, "
+          f"simultaneous T = {sim.worst_delay:.2f} ns\n")
 
-    # --- Slack analysis ------------------------------------------------
-    report = result.timing
-    slacks = compute_slacks(result.state, arch.technology, report)
-    critical = critical_cells(result.state, arch.technology, report)
-    print(f"slack range: {min(slacks):.2f} .. {max(slacks):.2f} ns")
-    print(f"critical cells ({len(critical)} of {netlist.num_cells}): "
-          f"{', '.join(critical[:10])}{' ...' if len(critical) > 10 else ''}")
+    # --- Snapshot: freeze the final layout into plain data --------------
+    snapshot = capture_flow_snapshot(sim, arch)
+    problems = validate_snapshot(snapshot)
+    print(f"snapshot '{snapshot['label']}': "
+          f"{len(snapshot['channels'])} channels, "
+          f"{len(snapshot['nets'])} nets, "
+          f"invariant problems: {problems or 'none'}")
 
-    print("\nslack histogram (ns -> #cells):")
-    for lo, hi, count in slack_histogram(result.state, arch.technology,
-                                         report, bins=6):
-        bar = "#" * count
-        print(f"  [{lo:6.2f}, {hi:6.2f})  {count:3d}  {bar}")
+    # The attribution table decomposes T into launch / interconnect /
+    # cell contributions; re-summing them reproduces T bit-exactly.
+    timing = snapshot["timing"]
+    resummed = resummed_path_delay(timing["entries"])
+    print(f"T = {timing['T']} ns, re-summed = {resummed} "
+          f"(bit-exact: {resummed == timing['T']})\n")
+    print(render_critical_path(snapshot, max_segments=5))
 
-    # --- Save / reload ---------------------------------------------------
+    # --- X-ray diff: what did simultaneous layout actually change? ------
+    report = diff_snapshots(capture_flow_snapshot(seq, arch), snapshot)
+    print()
+    print(render_diff(report))
+
+    # --- Persist: snapshots round-trip through JSON on disk --------------
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "layout.json"
-        save_layout(result.placement, result.state, path)
-        print(f"\nsaved layout to {path.name} "
-              f"({path.stat().st_size} bytes)")
+        path = Path(tmp) / "layout_snapshot.json"
+        write_snapshot(snapshot, path)
+        reloaded = read_snapshot(path)
+        print(f"\nsaved snapshot to {path.name} "
+              f"({path.stat().st_size} bytes); "
+              f"round-trip identical: {reloaded == snapshot}")
 
-        placement2, state2 = load_layout(netlist, arch, path)
-        report2 = analyze(state2, arch.technology)
-        print(f"reloaded: T = {report2.worst_delay:.2f} ns "
-              f"(identical: {abs(report2.worst_delay - report.worst_delay) < 1e-9})")
-        print(f"occupancy consistent: {state2.check_consistency() == []}")
+        svg_path = Path(tmp) / "floorplan.svg"
+        svg_path.write_text(render_svg(snapshot))
+        print(f"wrote SVG floorplan: {svg_path.name} "
+              f"({svg_path.stat().st_size} bytes)")
 
 
 if __name__ == "__main__":

@@ -227,6 +227,23 @@ class Channel:
             1 for track in self._owner for owner in track if owner is not None
         )
 
+    def column_occupancy(self) -> list[int]:
+        """Per-column count of tracks blocked by an owned segment.
+
+        A claimed segment blocks its whole span (overhang beyond the
+        needed interval included — wastage is real occupancy), so the
+        count at a column is how many of the channel's tracks are
+        unavailable there; the density ceiling is :attr:`num_tracks`.
+        """
+        occupancy = [0] * self.width
+        for t, track in enumerate(self.segmentation.tracks):
+            owner = self._owner[t]
+            for s, (start, end) in enumerate(track):
+                if owner[s] is not None:
+                    for col in range(start, end):
+                        occupancy[col] += 1
+        return occupancy
+
     def utilization(self) -> float:
         """Fraction of total segment *length* currently owned."""
         total = 0

@@ -136,6 +136,10 @@ class VerticalColumn:
         """Count of currently owned segments."""
         return self._channel.segments_used()
 
+    def channel_occupancy(self) -> list[int]:
+        """Per-channel count of vertical tracks blocked by an owned segment."""
+        return self._channel.column_occupancy()
+
 
 def uniform_vertical_segmentation(
     num_channels: int, num_tracks: int, span: int

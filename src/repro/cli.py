@@ -14,6 +14,8 @@ Subcommands
     Run the determinism/invariant static analyzer (``repro.lint``).
 ``trace summary|diff|validate ...``
     Summarize, diff, or validate anneal traces (``repro.obs``).
+``xray show|svg|diff ...``
+    Render and compare layout snapshots (``repro.obs.snapshot``).
 """
 
 from __future__ import annotations
@@ -77,21 +79,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # The instrumentation flags compose freely: any subset of
     # --profile / --trace / --sanitize can ride on one run, all wired
     # through the shared Instrumentation hook point in the annealer.
-    overrides: dict[str, bool] = {}
+    overrides: dict = {}
     if args.sanitize:
         overrides["sanitize"] = True
     if args.profile:
         overrides["profile"] = True
     if args.trace is not None:
         overrides["trace"] = True
+    if args.snapshot_every:
+        if args.trace is None:
+            print("error: --snapshot-every requires --trace (snapshots "
+                  "ride in the trace event stream)", file=sys.stderr)
+            return 2
+        overrides["snapshot_every"] = args.snapshot_every
     if args.flow == "simultaneous":
         if overrides:
             sim_cfg = dataclasses.replace(sim_cfg, **overrides)
         result = run_simultaneous(netlist, arch, sim_cfg)
     else:
-        for flag in ("sanitize", "profile"):
+        for flag in ("sanitize", "profile", "snapshot_every"):
             if overrides.pop(flag, False):
-                print(f"note: --{flag} only instruments the simultaneous "
+                name = flag.replace("_", "-")
+                print(f"note: --{name} only instruments the simultaneous "
                       f"flow", file=sys.stderr)
         if overrides:
             seq_cfg = dataclasses.replace(seq_cfg, **overrides)
@@ -106,6 +115,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if trace is not None and args.trace is not None:
         trace.write_jsonl(args.trace)
         print(f"trace: {len(trace.events)} events -> {args.trace}",
+              file=sys.stderr)
+    if args.snapshot is not None:
+        from .flows import capture_flow_snapshot
+        from .obs.snapshot import write_snapshot
+
+        payload = capture_flow_snapshot(result, arch)
+        write_snapshot(payload, args.snapshot)
+        print(f"snapshot: T={payload['timing']['T']:.4f} -> {args.snapshot}",
               file=sys.stderr)
     return 0 if result.fully_routed else 1
 
@@ -148,6 +165,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return trace_main(args.trace_args)
 
 
+def _cmd_xray(args: argparse.Namespace) -> int:
+    from .obs.cli import xray_main
+
+    return xray_main(args.xray_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -188,6 +211,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(default PATH: trace.jsonl; results are bit-identical to an "
         "untraced run)",
     )
+    p_run.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="write a flow-end layout snapshot (spatial occupancy + "
+        "critical-path attribution) as JSON; inspect it with "
+        "'repro-fpga xray'",
+    )
+    p_run.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="with --trace, also embed a layout snapshot event every N "
+        "anneal stages (simultaneous flow only; results stay "
+        "bit-identical)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run both flows and compare")
@@ -209,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("trace_args", nargs=argparse.REMAINDER)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_xray = sub.add_parser(
+        "xray",
+        help="render and compare layout snapshots",
+        add_help=False,
+    )
+    p_xray.add_argument("xray_args", nargs=argparse.REMAINDER)
+    p_xray.set_defaults(func=_cmd_xray)
     return parser
 
 

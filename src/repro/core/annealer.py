@@ -88,6 +88,13 @@ class AnnealerConfig:
     #: Never affects results: a traced run is bit-identical to an
     #: untraced run with the same seed.
     trace: bool = False
+    #: With tracing on, emit a layout ``snapshot`` event (channel
+    #: occupancy, per-net routes, critical-path attribution; see
+    #: :mod:`repro.obs.snapshot`) every N temperatures, plus one final
+    #: snapshot before ``run_end``.  0 disables.  Capture is a pure
+    #: read — no RNG, no clock, no state mutation — so a snapshotted
+    #: run is bit-identical to a plain run with the same seed.
+    snapshot_every: int = 0
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell <= 0:
@@ -101,6 +108,10 @@ class AnnealerConfig:
         if self.sanitize_every < 1:
             raise ValueError(
                 f"sanitize_every must be >= 1, got {self.sanitize_every}"
+            )
+        if self.snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
             )
 
 
@@ -391,6 +402,20 @@ class SimultaneousAnnealer:
                     window=self.moves.window,
                     calm_streak=self.schedule.calm_streak,
                 )
+                every = self.instrumentation.snapshot_every
+                if every > 0 and stage_index % every == 0:
+                    # Imported lazily: repro.obs.snapshot pulls the
+                    # route/timing layers, which must not load as a side
+                    # effect of importing repro.core.
+                    from ..obs.snapshot import capture_snapshot
+
+                    tracer.snapshot(
+                        capture_snapshot(
+                            self.ctx.state, self.ctx.timing,
+                            label=f"stage {stage_index}",
+                        ),
+                        stage=stage_index,
+                    )
             temperature = self.schedule.next_temperature(costs)
             stage_index += 1
 
@@ -404,6 +429,14 @@ class SimultaneousAnnealer:
             )
         trace = None
         if tracer is not None:
+            if self.instrumentation.snapshot_every > 0:
+                from ..obs.snapshot import capture_snapshot
+
+                tracer.snapshot(
+                    capture_snapshot(
+                        self.ctx.state, self.ctx.timing, label="final"
+                    ),
+                )
             tracer.run_end(
                 moves_attempted=self._attempted,
                 moves_accepted=self._accepted,

@@ -1,6 +1,6 @@
 """End-to-end layout flows: the sequential baseline and the paper's flow."""
 
-from .common import FlowResult, timing_improvement_percent
+from .common import FlowResult, capture_flow_snapshot, timing_improvement_percent
 from .sequential import (
     SequentialConfig,
     SequentialPlacer,
@@ -18,6 +18,7 @@ from .simultaneous import run_simultaneous
 
 __all__ = [
     "FlowResult",
+    "capture_flow_snapshot",
     "LayoutFormatError",
     "layout_from_dict",
     "layout_to_dict",

@@ -66,6 +66,30 @@ class FlowResult:
         )
 
 
+def capture_flow_snapshot(
+    result: FlowResult, technology, label: str = ""
+) -> dict:
+    """Flow-end layout snapshot (see :mod:`repro.obs.snapshot`).
+
+    Builds a fresh timing engine over the result's final routing state
+    (deterministic, RNG-free), so the snapshot's from-scratch ``T`` and
+    the engine's ``T`` agree bit-exactly.  ``technology`` may be a
+    :class:`~repro.arch.technology.Technology` or anything carrying one
+    as ``.technology`` (e.g. an ``Architecture``); both flows' results
+    snapshot identically, giving ``repro-fpga xray diff`` its
+    sequential-vs-simultaneous comparison.
+    """
+    from ..obs.snapshot import capture_snapshot
+    from ..timing.incremental import IncrementalTiming
+
+    tech = getattr(technology, "technology", technology)
+    timing = IncrementalTiming(result.state, tech)
+    return capture_snapshot(
+        result.state, timing,
+        label=label or f"{result.flow} flow end: {result.design}",
+    )
+
+
 def timing_improvement_percent(
     sequential: FlowResult, simultaneous: FlowResult
 ) -> Optional[float]:

@@ -19,8 +19,11 @@ tracer never reads clocks or RNG, so traced runs are bit-identical to
 untraced ones.
 
 This package must stay importable without :mod:`repro.core` — the core
-imports *us*.  Analysis-side modules (summary, cli) are therefore not
-imported here; load them explicitly.
+imports *us*.  Analysis-side modules (summary, cli, xray) are therefore
+not imported here; load them explicitly.  The snapshot API
+(:mod:`repro.obs.snapshot`), which depends on the route/timing layers
+but not on core, is re-exported lazily via module ``__getattr__`` so
+that plain ``import repro.obs`` stays as light as before.
 """
 
 from .console import Console, DEFAULT_CONSOLE, get_console
@@ -48,6 +51,24 @@ from .tracer import (
     maybe_tracer,
 )
 
+_SNAPSHOT_EXPORTS = (
+    "SNAPSHOT_SCHEMA_VERSION",
+    "capture_snapshot",
+    "diff_snapshots",
+    "read_snapshot",
+    "validate_snapshot",
+    "write_snapshot",
+)
+
+
+def __getattr__(name: str):
+    if name in _SNAPSHOT_EXPORTS:
+        from . import snapshot as _snapshot
+
+        return getattr(_snapshot, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Console",
     "DEFAULT_CONSOLE",
@@ -69,4 +90,5 @@ __all__ = [
     "build_manifest",
     "config_digest",
     "maybe_tracer",
+    *_SNAPSHOT_EXPORTS,
 ]

@@ -13,7 +13,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .events import RunTrace, read_trace, reconstructed_cost
+from .snapshot import diff_snapshots, validate_snapshot
 from .summary import diff_traces, find_anomalies, summarize
+from .xray import render_diff, render_snapshot, render_svg
 
 
 def _load(path: str) -> RunTrace:
@@ -91,6 +93,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         file=sys.stderr,
                     )
                     failures += 1
+            snapshots = trace.of_type("snapshot")
+            for position, event in enumerate(snapshots):
+                for problem in validate_snapshot(event.get("snapshot")):
+                    print(
+                        f"{args.trace}: snapshot event {position}: {problem}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+            if snapshots:
+                print(
+                    f"{args.trace}: {len(snapshots)} snapshot events "
+                    "deep-checked (schema + attribution/occupancy invariants)"
+                )
             anomalies = find_anomalies(trace)
             for anomaly in anomalies:
                 print(f"{args.trace}: anomaly: {anomaly}")
@@ -102,6 +117,147 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{len(anomalies)} anomalies)"
             )
             return 1 if failures else 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2
+
+
+# ----------------------------------------------------------------------
+# Layout x-ray CLI (``repro-fpga xray``)
+# ----------------------------------------------------------------------
+def _load_snapshot(path: str, stage: Optional[int] = None) -> dict:
+    """Load a snapshot from a JSON file or from a JSONL trace.
+
+    A snapshot file is one JSON object; a trace is JSONL whose
+    ``snapshot`` events carry payloads.  ``stage`` selects a specific
+    in-trace snapshot by its ``stage`` field (default: the last one).
+    Raises ``ValueError`` when no usable snapshot is found; the caller
+    validates the payload.
+    """
+    import json
+
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict):
+        if "channels" not in payload:
+            raise ValueError(
+                f"{path}: JSON object is not a layout snapshot "
+                "(no 'channels' field)"
+            )
+        return payload
+
+    trace = read_trace(Path(path))
+    events = trace.of_type("snapshot")
+    if not events:
+        raise ValueError(f"{path}: trace contains no snapshot events")
+    if stage is not None:
+        for event in events:
+            if event.get("stage") == stage:
+                return event.get("snapshot", {})
+        stages = [event.get("stage") for event in events]
+        raise ValueError(
+            f"{path}: no snapshot at stage {stage} (available: {stages})"
+        )
+    return events[-1].get("snapshot", {})
+
+
+def _checked_snapshot(path: str, stage: Optional[int]) -> dict:
+    payload = _load_snapshot(path, stage)
+    problems = validate_snapshot(payload)
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        raise SystemExit(1)
+    return payload
+
+
+def build_xray_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the xray CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga xray",
+        description="Render and compare layout snapshots: channel-density "
+        "heatmaps, critical-path attribution, SVG floorplans "
+        "(see docs/OBSERVABILITY.md, 'Spatial observability')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_show = sub.add_parser(
+        "show", help="terminal report: summary, heatmap, critical path"
+    )
+    p_show.add_argument(
+        "snapshot", help="snapshot JSON file, or a JSONL trace with "
+        "snapshot events",
+    )
+    p_show.add_argument(
+        "--stage", type=int, default=None,
+        help="pick the in-trace snapshot with this stage index "
+        "(default: the last snapshot)",
+    )
+    p_show.add_argument(
+        "--width", type=int, default=72,
+        help="heatmap width in characters (default: 72)",
+    )
+
+    p_svg = sub.add_parser("svg", help="export an SVG floorplan view")
+    p_svg.add_argument("snapshot", help="snapshot JSON file or JSONL trace")
+    p_svg.add_argument(
+        "--stage", type=int, default=None,
+        help="pick the in-trace snapshot with this stage index",
+    )
+    p_svg.add_argument(
+        "--out", default=None,
+        help="output file (default: <snapshot>.svg; '-' for stdout)",
+    )
+
+    p_diff = sub.add_parser(
+        "diff", help="align two snapshots by net/cell name and report "
+        "congestion, path, and placement deltas",
+    )
+    p_diff.add_argument("snapshot_a", help="first snapshot (JSON or trace)")
+    p_diff.add_argument("snapshot_b", help="second snapshot (JSON or trace)")
+    p_diff.add_argument("--stage-a", type=int, default=None)
+    p_diff.add_argument("--stage-b", type=int, default=None)
+    return parser
+
+
+def xray_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Xray CLI entry point; returns a process exit code."""
+    parser = build_xray_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "show":
+            payload = _checked_snapshot(args.snapshot, args.stage)
+            print(render_snapshot(payload, width=args.width))
+            return 0
+
+        if args.command == "svg":
+            payload = _checked_snapshot(args.snapshot, args.stage)
+            svg = render_svg(payload)
+            if args.out == "-":
+                print(svg)
+                return 0
+            out = Path(args.out) if args.out else Path(
+                args.snapshot
+            ).with_suffix(".svg")
+            out.write_text(svg + "\n", encoding="utf-8")
+            print(f"wrote {out}")
+            return 0
+
+        if args.command == "diff":
+            a = _checked_snapshot(args.snapshot_a, args.stage_a)
+            b = _checked_snapshot(args.snapshot_b, args.stage_b)
+            print(f"A: {args.snapshot_a}")
+            print(f"B: {args.snapshot_b}")
+            print(render_diff(diff_snapshots(a, b)))
+            return 0
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -38,6 +38,7 @@ EVENT_REQUIRED: dict[str, tuple[str, ...]] = {
     "greedy": ("round", "attempts", "accepted"),
     "sanitizer_violation": ("phase", "problems"),
     "note": ("message",),
+    "snapshot": ("snapshot",),
     "run_end": ("moves_attempted", "moves_accepted", "temperatures"),
 }
 

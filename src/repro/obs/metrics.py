@@ -28,6 +28,7 @@ loop ever doing subtraction.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Union
 
 Number = Union[int, float]
@@ -64,6 +65,40 @@ class Histogram:
     def mean(self) -> float:
         """Mean of the observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample.
+
+        Fixed buckets make this a conservative (rounded-up) estimate:
+        the true sample lies at or below the returned bound.  Returns
+        ``0.0`` for an empty histogram and ``math.inf`` when the
+        quantile lands in the overflow bucket.  Raises ``ValueError``
+        for ``q`` outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for i, tally in enumerate(self.buckets):
+            cumulative += tally
+            if cumulative >= target:
+                if i < len(HISTOGRAM_BOUNDS):
+                    return float(HISTOGRAM_BOUNDS[i])
+                break
+        return math.inf
+
+    def summary(self) -> dict:
+        """Count/sum/mean plus bucketed p50/p90/p99, JSON-ready."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot of this histogram."""

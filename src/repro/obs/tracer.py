@@ -127,6 +127,15 @@ class Tracer:
         self._metrics_mark = mark
         self.emit("stage", **fields)
 
+    def snapshot(self, payload: dict, **fields: Any) -> None:
+        """Emit one layout ``snapshot`` event.
+
+        ``payload`` is a :mod:`repro.obs.snapshot` capture (its own
+        ``SNAPSHOT_SCHEMA_VERSION`` rides inside); optional fields like
+        ``stage`` mark where in the run it was taken.
+        """
+        self.emit("snapshot", snapshot=payload, **fields)
+
     def sanitizer_violation(self, phase: str, move: Any,
                             problems: list[str]) -> None:
         """Record a sanitizer violation (emitted just before it raises)."""
@@ -167,6 +176,9 @@ class Instrumentation:
     profiler: Optional[Profiler] = None
     tracer: Optional[Tracer] = None
     sanitizer: Optional[Any] = None
+    #: Emit a layout ``snapshot`` event every N stages (0 = never).
+    #: Only meaningful when ``tracer`` is present.
+    snapshot_every: int = 0
 
     @property
     def metrics(self) -> Optional[MetricsRegistry]:
@@ -177,10 +189,11 @@ class Instrumentation:
     def from_config(cls, config: Any) -> "Instrumentation":
         """Build every requested hook from one annealer-style config.
 
-        Reads ``config.profile``, ``config.trace``, ``config.sanitize``
-        and ``config.sanitize_every`` (each optional, default off) —
-        the single shared wiring point behind ``--profile``,
-        ``--trace``, and ``--sanitize``.
+        Reads ``config.profile``, ``config.trace``, ``config.sanitize``,
+        ``config.sanitize_every`` and ``config.snapshot_every`` (each
+        optional, default off) — the single shared wiring point behind
+        ``--profile``, ``--trace``, ``--sanitize`` and
+        ``--snapshot-every``.
         """
         sanitizer = None
         if getattr(config, "sanitize", False):
@@ -191,4 +204,5 @@ class Instrumentation:
             profiler=maybe_profiler(getattr(config, "profile", False)),
             tracer=maybe_tracer(getattr(config, "trace", False)),
             sanitizer=sanitizer,
+            snapshot_every=int(getattr(config, "snapshot_every", 0) or 0),
         )

@@ -1,0 +1,348 @@
+"""Renderers for layout snapshots: terminal heatmaps, tables, SVG.
+
+Every function renders a :mod:`repro.obs.snapshot` payload (a plain
+dict, usually loaded from JSON) into a **string** — library code never
+prints (see "Library output policy" in docs/OBSERVABILITY.md); the
+``repro-fpga xray`` CLI does the writing.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+from ..analysis.report import format_table
+from .metrics import Histogram
+from .snapshot import _critical_nets
+
+_SHADES = " ▁▂▃▄▅▆▇█"
+
+
+def _shade(value: float, capacity: float) -> str:
+    """One heatmap glyph: blank when free, block height by fill fraction."""
+    if value <= 0 or capacity <= 0:
+        return _SHADES[0]
+    frac = min(1.0, value / capacity)
+    return _SHADES[max(1, min(len(_SHADES) - 1, math.ceil(frac * 8)))]
+
+
+def _pooled(occupancy: list, width: int) -> list:
+    """Max-pool an occupancy profile down to at most ``width`` bins."""
+    if len(occupancy) <= width:
+        return list(occupancy)
+    pooled = []
+    for i in range(width):
+        lo = i * len(occupancy) // width
+        hi = max(lo + 1, (i + 1) * len(occupancy) // width)
+        pooled.append(max(occupancy[lo:hi]))
+    return pooled
+
+
+def render_heatmap(snapshot: dict, width: int = 72) -> str:
+    """Per-channel density heatmap, top channel first.
+
+    One row per channel: a column-by-column fill glyph (max-pooled to
+    ``width`` characters), plus peak density vs. track capacity,
+    segments used, and utilization.
+    """
+    lines = ["channel density (top channel first; capacity = tracks)"]
+    for entry in sorted(
+        snapshot.get("channels", []),
+        key=lambda e: e.get("index", 0),
+        reverse=True,
+    ):
+        profile = _pooled(entry.get("occupancy", []), width)
+        bar = "".join(_shade(v, entry.get("tracks", 0)) for v in profile)
+        lines.append(
+            f"ch{entry.get('index', '?'):>3} |{bar}| "
+            f"max {entry.get('max_density', 0)}/{entry.get('tracks', 0)}  "
+            f"segs {entry.get('segments_used', 0)}  "
+            f"util {entry.get('utilization', 0.0):.2f}"
+        )
+    rows = snapshot.get("rows", [])
+    if rows:
+        feed = [entry.get("feedthroughs", 0) for entry in rows]
+        peak = max(feed) if feed else 0
+        bar = "".join(_shade(v, peak or 1) for v in feed)
+        lines.append(
+            f"feedthroughs per row (row 0 first): |{bar}| "
+            f"peak {peak}, total {sum(feed)}"
+        )
+    return "\n".join(lines)
+
+
+def render_critical_path(snapshot: dict, max_segments: int = 8) -> str:
+    """The critical-path attribution as tables.
+
+    An entry table (launch / interconnect / cell with running
+    cumulative delay, which reaches ``T`` on the last row), then the
+    ``max_segments`` largest per-segment Elmore contributors across the
+    path's routed interconnect entries.
+    """
+    timing = snapshot.get("timing", {})
+    entries = timing.get("entries", [])
+    header = (
+        f"critical path: T = {timing.get('T', 0.0):.4f} "
+        f"-> endpoint {timing.get('endpoint')!r} "
+        f"({len(timing.get('path', []))} cells)"
+    )
+    if not entries:
+        return header + "\nno attribution entries (empty or trivial path)"
+
+    rows = []
+    cumulative = 0.0
+    for entry in entries:
+        cumulative += entry.get("delay", 0.0)
+        kind = entry.get("kind", "?")
+        if kind == "interconnect":
+            element = (
+                f"{entry.get('net')} "
+                f"({entry.get('from')} -> {entry.get('to')})"
+            )
+            if not entry.get("routed", False):
+                element += " [unrouted: estimate]"
+        else:
+            element = entry.get("cell", "?")
+        rows.append((kind, element, entry.get("delay", 0.0), cumulative))
+    table = format_table(
+        ("kind", "element", "delay", "cumulative"), rows, decimals=4
+    )
+
+    segments = []
+    for entry in entries:
+        if entry.get("kind") != "interconnect" or not entry.get("routed"):
+            continue
+        for segment in entry.get("segments", []):
+            segments.append((
+                entry.get("net"),
+                segment.get("label", ""),
+                segment.get("resistance", 0.0),
+                segment.get("downstream_cap", 0.0),
+                segment.get("delay", 0.0),
+            ))
+    parts = [header, table]
+    if segments:
+        segments.sort(key=lambda row: row[4], reverse=True)
+        parts.append(format_table(
+            ("net", "segment", "R", "C_down", "delay"),
+            segments[:max_segments],
+            title=f"top {min(max_segments, len(segments))} "
+            "segment contributors",
+            decimals=4,
+        ))
+    return "\n".join(parts)
+
+
+def render_summary(snapshot: dict) -> str:
+    """One-paragraph digest: design, routing totals, density quantiles."""
+    design = snapshot.get("design", {})
+    totals = snapshot.get("totals", {})
+    timing = snapshot.get("timing", {})
+    densities = Histogram()
+    for entry in snapshot.get("channels", []):
+        for value in entry.get("occupancy", []):
+            densities.observe(value)
+    stats = densities.summary()
+    label = snapshot.get("label") or "(unlabeled)"
+    lines = [
+        f"snapshot: {label}  design={design.get('name')} "
+        f"({design.get('cells', '?')} cells / {design.get('nets', '?')} nets)"
+        f"  schema={snapshot.get('schema_version')}",
+        f"routing: fully_routed={totals.get('fully_routed')}  "
+        f"G={totals.get('global_unrouted')}  "
+        f"D={totals.get('detail_unrouted')}  "
+        f"antifuses={totals.get('antifuses')}",
+        f"timing: T={timing.get('T', 0.0):.4f}  "
+        f"endpoint={timing.get('endpoint')!r}",
+        f"density: p50={stats['p50']:.0f}  p90={stats['p90']:.0f}  "
+        f"p99={stats['p99']:.0f}  mean={stats['mean']:.2f} "
+        f"(over {stats['count']} channel columns)",
+    ]
+    return "\n".join(lines)
+
+
+def render_snapshot(snapshot: dict, width: int = 72) -> str:
+    """Full terminal report: summary, heatmap, critical-path tables."""
+    return "\n\n".join([
+        render_summary(snapshot),
+        render_heatmap(snapshot, width=width),
+        render_critical_path(snapshot),
+    ])
+
+
+def render_diff(diff: dict) -> str:
+    """Render a :func:`repro.obs.snapshot.diff_snapshots` report."""
+    labels = diff.get("labels", ["A", "B"])
+    lines = [f"A: {labels[0] or '(unlabeled)'}  B: {labels[1] or '(unlabeled)'}"]
+    if not diff.get("fabric_match", True):
+        lines.append("WARNING: fabrics differ; spatial alignment is nominal")
+
+    timing = diff.get("timing", {})
+    t_pair = timing.get("T", [None, None])
+    lines.append(
+        f"T: {t_pair[0]!r} -> {t_pair[1]!r}  "
+        f"endpoint: {timing.get('endpoint', [None, None])[0]!r} -> "
+        f"{timing.get('endpoint', [None, None])[1]!r}"
+    )
+    path = timing.get("path", {})
+    lines.append(
+        f"critical-path nets: {len(path.get('common', []))} shared, "
+        f"{len(path.get('removed', []))} only in A "
+        f"{path.get('removed', [])}, "
+        f"{len(path.get('added', []))} only in B {path.get('added', [])}"
+    )
+
+    congestion = diff.get("congestion", {})
+    changed = congestion.get("changed", [])
+    h_pair = congestion.get("horizontal_segments_used", [None, None])
+    v_pair = congestion.get("vertical_segments_used", [None, None])
+    lines.append(
+        f"congestion: {len(changed)} channels changed; horizontal segments "
+        f"{h_pair[0]} -> {h_pair[1]}, vertical {v_pair[0]} -> {v_pair[1]}"
+    )
+    if changed:
+        lines.append(format_table(
+            ("channel", "segs A", "segs B", "max A", "max B"),
+            [
+                (
+                    entry.get("channel"),
+                    entry.get("segments_used", [None, None])[0],
+                    entry.get("segments_used", [None, None])[1],
+                    entry.get("max_density", [None, None])[0],
+                    entry.get("max_density", [None, None])[1],
+                )
+                for entry in changed
+            ],
+        ))
+
+    rows = diff.get("rows", {}).get("changed", [])
+    if rows:
+        lines.append(f"feedthroughs changed on {len(rows)} rows")
+
+    cells = diff.get("cells", {})
+    moved = cells.get("moved", [])
+    lines.append(
+        f"cells: {len(moved)} moved of {cells.get('aligned', 0)} aligned"
+    )
+    for entry in moved[:10]:
+        lines.append(
+            f"  {entry['name']}: ({entry['a'][0]},{entry['a'][1]}) -> "
+            f"({entry['b'][0]},{entry['b'][1]})"
+        )
+    if len(moved) > 10:
+        lines.append(f"  ... and {len(moved) - 10} more")
+
+    nets = diff.get("nets", {})
+    lines.append(
+        f"nets: {len(nets.get('rerouted', []))} rerouted, "
+        f"{len(nets.get('routing_state_changed', []))} changed "
+        f"routed-state, of {nets.get('aligned', 0)} aligned"
+    )
+    return "\n".join(lines)
+
+
+def render_svg(snapshot: dict) -> str:
+    """An SVG floorplan: rows of cells, channel fill, critical path.
+
+    Channels are horizontal bands shaded per column by density; placed
+    cells are rectangles in the row bands (critical-path cells
+    highlighted); the critical path's committed claims are drawn as
+    thick overlay lines (horizontal runs in their channels, the trunk
+    vertically).
+    """
+    fabric = snapshot.get("fabric", {})
+    rows = int(fabric.get("rows", 0))
+    cols = int(fabric.get("cols", 1))
+    num_channels = int(fabric.get("num_channels", rows + 1))
+
+    cell_w, cell_h, chan_h, margin = 14, 12, 10, 24
+    width = 2 * margin + cols * cell_w
+    height = 2 * margin + num_channels * chan_h + rows * cell_h
+
+    def x_of(col: int) -> float:
+        return margin + col * cell_w
+
+    def y_channel(channel: int) -> float:
+        return margin + (num_channels - 1 - channel) * (chan_h + cell_h)
+
+    def y_row(row: int) -> float:
+        return y_channel(row + 1) + chan_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    design = snapshot.get("design", {})
+    timing = snapshot.get("timing", {})
+    title = (
+        f"{design.get('name', '?')} — {snapshot.get('label') or 'snapshot'} "
+        f"— T={timing.get('T', 0.0):.4f}"
+    )
+    parts.append(
+        f'<text x="{margin}" y="{margin - 8}" font-family="monospace" '
+        f'font-size="11">{escape(title)}</text>'
+    )
+
+    for entry in snapshot.get("channels", []):
+        channel = entry.get("index", 0)
+        y = y_channel(channel)
+        tracks = entry.get("tracks", 1) or 1
+        parts.append(
+            f'<rect x="{margin}" y="{y}" width="{cols * cell_w}" '
+            f'height="{chan_h}" fill="#f2f2f2" stroke="#cccccc" '
+            f'stroke-width="0.5"/>'
+        )
+        for col, value in enumerate(entry.get("occupancy", [])):
+            if value <= 0:
+                continue
+            opacity = min(1.0, value / tracks)
+            parts.append(
+                f'<rect x="{x_of(col)}" y="{y}" width="{cell_w}" '
+                f'height="{chan_h}" fill="#d62728" '
+                f'fill-opacity="{opacity:.3f}"><title>'
+                f'ch{channel} col{col}: {value}/{tracks}</title></rect>'
+            )
+
+    critical_cells = set(timing.get("path", []))
+    for entry in snapshot.get("cells", []):
+        row, col = entry.get("row", 0), entry.get("col", 0)
+        name = entry.get("name", "")
+        fill = "#ff9f1c" if name in critical_cells else "#dce6f2"
+        parts.append(
+            f'<rect x="{x_of(col) + 1}" y="{y_row(row) + 1}" '
+            f'width="{cell_w - 2}" height="{cell_h - 2}" fill="{fill}" '
+            f'stroke="#8899aa" stroke-width="0.5">'
+            f'<title>{escape(name)} @ ({row},{col})</title></rect>'
+        )
+
+    nets_by_name = {
+        entry.get("name"): entry for entry in snapshot.get("nets", [])
+    }
+    for net_name in _critical_nets(snapshot):
+        net = nets_by_name.get(net_name)
+        if net is None:
+            continue
+        for claim in net.get("claims", []):
+            y = y_channel(claim.get("channel", 0)) + chan_h / 2
+            x1 = x_of(claim.get("lo", 0)) + cell_w / 2
+            x2 = x_of(claim.get("hi", 0)) + cell_w / 2
+            parts.append(
+                f'<line x1="{x1}" y1="{y}" x2="{x2}" y2="{y}" '
+                f'stroke="#b30000" stroke-width="2" stroke-opacity="0.85">'
+                f'<title>{escape(str(net_name))} ch{claim.get("channel")}'
+                f'</title></line>'
+            )
+        trunk = net.get("vertical")
+        if trunk is not None:
+            x = x_of(trunk.get("column", 0)) + cell_w / 2
+            y1 = y_channel(trunk.get("cmax", 0)) + chan_h / 2
+            y2 = y_channel(trunk.get("cmin", 0)) + chan_h / 2
+            parts.append(
+                f'<line x1="{x}" y1="{y1}" x2="{x}" y2="{y2}" '
+                f'stroke="#b30000" stroke-width="2" stroke-opacity="0.85">'
+                f'<title>{escape(str(net_name))} trunk</title></line>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -475,6 +475,27 @@ class RoutingState:
             "total_antifuses": self.total_antifuses(),
         }
 
+    def used_track_segments(self) -> dict:
+        """Claim-side used-segment totals, for occupancy cross-checks.
+
+        Counts segments from the per-net :class:`NetRoute` records (the
+        claim side of the books); the fabric's per-channel
+        ``segments_used()`` counts the same wire from the owner arrays.
+        The two must agree — snapshot tests assert it.
+        """
+        horizontal = [0] * self.fabric.num_channels
+        vertical = 0
+        for route in self.routes:
+            for channel, claim in route.claims.items():
+                horizontal[channel] += claim.num_segments
+            if route.vertical is not None:
+                vertical += route.vertical.num_segments
+        return {
+            "horizontal": horizontal,
+            "horizontal_total": sum(horizontal),
+            "vertical": vertical,
+        }
+
     def total_antifuses(self) -> int:
         """All programmed antifuses in the layout."""
         return sum(

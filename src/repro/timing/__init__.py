@@ -1,6 +1,12 @@
 """Timing substrate: levelization, Elmore RC trees, estimation, STA."""
 
 from .analyzer import TimingReport, analyze, net_sink_delays, path_depth, sink_positions
+from .attribution import (
+    critical_path_attribution,
+    elmore_segment_breakdown,
+    resummed_path_delay,
+    resummed_segment_delay,
+)
 from .elmore import RCTree, build_rc_tree, routed_sink_delays
 from .estimator import estimate_by_position, estimate_net_delay
 from .incremental import EPSILON, IncrementalTiming, TimingDelta
@@ -19,12 +25,16 @@ __all__ = [
     "cells_in_level_order",
     "compute_slacks",
     "critical_cells",
+    "critical_path_attribution",
+    "elmore_segment_breakdown",
     "estimate_by_position",
     "estimate_net_delay",
     "levelize",
     "max_level",
     "net_sink_delays",
     "path_depth",
+    "resummed_path_delay",
+    "resummed_segment_delay",
     "routed_sink_delays",
     "slack_histogram",
     "sink_positions",

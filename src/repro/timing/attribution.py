@@ -1,0 +1,189 @@
+"""Bit-exact critical-path attribution: decompose ``T`` into its parts.
+
+The incremental timing engine folds the worst-case delay left to right:
+a boundary launch, then alternating interconnect hops and cell delays —
+``arrival[c] = (arrival[driver] + d_net) + t_comb`` — ending at a
+boundary input whose arrival is ``T``.  Because every step is a left
+fold over already-computed floats, replaying the same floats in the
+same order reproduces ``T`` **bit-exactly**; no tolerance is needed.
+
+:func:`critical_path_attribution` extracts that fold as a table: one
+``launch`` entry, then ``interconnect`` / ``cell`` entries whose
+``delay`` fields re-sum (left to right, starting from ``0.0``) to the
+endpoint's arrival.  For fully routed hops the interconnect delay is
+further decomposed into per-RC-node Elmore contributions
+(``resistance * downstream_cap`` along the driver->sink chain of the
+labeled RC tree, see :func:`repro.timing.elmore.build_rc_tree`), which
+likewise re-sum to the hop delay bit-exactly — the Elmore forward pass
+is itself a left fold along that chain.
+
+The attribution is computed from a pure from-scratch recompute
+(:meth:`IncrementalTiming._recompute`), so calling it never perturbs
+the engine's incremental fields or its delay cache; mid-anneal, the
+live (incrementally maintained) ``T`` may differ from the recomputed
+one by sub-``EPSILON`` float noise, so both are reported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.technology import Technology
+from ..route.state import RoutingState
+from .analyzer import net_sink_delays
+from .elmore import build_rc_tree
+
+
+def elmore_segment_breakdown(
+    state: RoutingState, tech: Technology, net_index: int, position: int
+) -> list[dict]:
+    """Per-RC-node delay contributions, root to sink, of a routed net.
+
+    ``position`` is the sink's index in the net's sink order.  Each
+    entry carries the node ``label``, its series ``resistance``, the
+    ``downstream_cap`` it drives, and ``delay = resistance *
+    downstream_cap``; summed left to right the delays rebuild the
+    driver->sink Elmore delay bit-exactly.
+    """
+    tree, sink_nodes = build_rc_tree(state, tech, net_index, labeled=True)
+    totals = tree.subtree_caps()
+    chain: list[int] = []
+    node = sink_nodes[position]
+    while node > 0:
+        chain.append(node)
+        node = tree.parent[node]
+    chain.reverse()
+    return [
+        {
+            "label": tree.labels[n],
+            "resistance": tree.resistance[n],
+            "downstream_cap": totals[n],
+            "delay": tree.resistance[n] * totals[n],
+        }
+        for n in chain
+    ]
+
+
+def critical_path_attribution(timing) -> dict:
+    """Decompose the worst-case delay of an :class:`IncrementalTiming`.
+
+    Returns a JSON-serializable dict:
+
+    * ``T`` — the from-scratch worst-case delay the entries re-sum to;
+    * ``engine_T`` — the engine's live (incremental) worst-case delay,
+      equal to ``T`` for a freshly built or fully updated engine;
+    * ``endpoint`` — name of the boundary cell whose input arrives last;
+    * ``path`` — cell names along the critical path, launch to endpoint;
+    * ``entries`` — the attribution table (``launch`` /
+      ``interconnect`` / ``cell`` entries; see module docstring).
+
+    Non-mutating: works on a pure recompute, never the engine's state.
+    """
+    netlist = timing.netlist
+    state = timing.state
+    arrival, boundary_in, cache = timing._recompute()
+    engine_t = timing.worst_delay()
+    if not boundary_in:
+        return {
+            "T": 0.0,
+            "engine_T": engine_t,
+            "endpoint": None,
+            "path": [],
+            "entries": [],
+        }
+    endpoint = max(boundary_in, key=boundary_in.__getitem__)
+    worst = boundary_in[endpoint]
+
+    def delays_for(net_index: int) -> list[float]:
+        cached = cache[net_index]
+        if cached is None:
+            cached = net_sink_delays(state, timing.tech, net_index)
+            cache[net_index] = cached
+        return cached
+
+    # Walk back from the endpoint through each cell's max-arrival input,
+    # mirroring the engine's ``value > best`` scan over the same
+    # ``_cell_inputs`` tuples so the chosen hop's value is the exact
+    # float the fold consumed.  Terminates at a boundary cell or a cell
+    # with no connected inputs; the range bound is a cycle guard.
+    hops: list[tuple[int, int, int]] = []  # (net, sink position, driver)
+    cells = [endpoint]
+    current = endpoint
+    for _ in range(netlist.num_cells + 1):
+        best: Optional[tuple[int, int, int]] = None
+        best_value = float("-inf")
+        for net_index, driver, position in timing._cell_inputs[current]:
+            value = arrival[driver] + delays_for(net_index)[position]
+            if value > best_value:
+                best_value = value
+                best = (net_index, position, driver)
+        if best is None:
+            break
+        hops.append(best)
+        cells.append(best[2])
+        if netlist.cells[best[2]].is_boundary:
+            break
+        current = best[2]
+
+    cells.reverse()
+    hops.reverse()
+    entries: list[dict] = []
+    if hops:
+        start = cells[0]
+        entries.append({
+            "kind": "launch",
+            "cell": netlist.cells[start].name,
+            "delay": arrival[start],
+        })
+        for i, (net_index, position, driver) in enumerate(hops):
+            delay = delays_for(net_index)[position]
+            route = state.routes[net_index]
+            entry = {
+                "kind": "interconnect",
+                "net": netlist.nets[net_index].name,
+                "from": netlist.cells[driver].name,
+                "to": netlist.cells[cells[i + 1]].name,
+                "routed": route.fully_routed,
+                "delay": delay,
+            }
+            if route.fully_routed:
+                entry["segments"] = elmore_segment_breakdown(
+                    state, timing.tech, net_index, position
+                )
+            else:
+                entry["segments"] = [{
+                    "label": "estimate",
+                    "resistance": 0.0,
+                    "downstream_cap": 0.0,
+                    "delay": delay,
+                }]
+            entries.append(entry)
+            if i + 1 < len(hops):
+                entries.append({
+                    "kind": "cell",
+                    "cell": netlist.cells[cells[i + 1]].name,
+                    "delay": timing.tech.t_comb,
+                })
+    return {
+        "T": worst,
+        "engine_T": engine_t,
+        "endpoint": netlist.cells[endpoint].name,
+        "path": [netlist.cells[c].name for c in cells],
+        "entries": entries,
+    }
+
+
+def resummed_path_delay(entries: list[dict]) -> float:
+    """Left fold of the entries' delays — must rebuild ``T`` bit-exactly."""
+    total = 0.0
+    for entry in entries:
+        total += entry["delay"]
+    return total
+
+
+def resummed_segment_delay(entry: dict) -> float:
+    """Left fold of one interconnect entry's per-segment delays."""
+    total = 0.0
+    for segment in entry.get("segments", ()):
+        total += segment["delay"]
+    return total

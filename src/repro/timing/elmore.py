@@ -49,8 +49,15 @@ class RCTree:
     cap: list[float] = field(default_factory=list)
     parent: list[int] = field(default_factory=list)
     resistance: list[float] = field(default_factory=list)  # edge to parent
+    labels: list[str] = field(default_factory=list)  # "" when unlabeled
 
-    def add_node(self, cap: float, parent: int = -1, resistance: float = 0.0) -> int:
+    def add_node(
+        self,
+        cap: float,
+        parent: int = -1,
+        resistance: float = 0.0,
+        label: str = "",
+    ) -> int:
         """Append a node; returns its id."""
         node = len(self.cap)
         if node > 0:
@@ -61,6 +68,7 @@ class RCTree:
         self.cap.append(cap)
         self.parent.append(parent)
         self.resistance.append(resistance)
+        self.labels.append(label)
         return node
 
     def add_cap(self, node: int, cap: float) -> None:
@@ -139,15 +147,21 @@ def _build_chain(
     root_resistance: float,
     root_cap: float,
     edge_fn,
+    prefix: str = "",
 ) -> dict[int, int]:
     """Build a two-arm RC chain rooted at ``root_point``.
 
     ``points`` must contain ``root_point``.  ``edge_fn(a, b)`` returns
     ``(series_r, wire_c, fuse_c)`` for a < b.  Returns point -> node.
+    When ``prefix`` is non-empty, each chain node is labeled
+    ``f"{prefix}{point}"``.
     """
     nodes: dict[int, int] = {}
     nodes[root_point] = tree.add_node(
-        root_cap, parent=root_parent, resistance=root_resistance
+        root_cap,
+        parent=root_parent,
+        resistance=root_resistance,
+        label=f"{prefix}{root_point}" if prefix else "",
     )
     for arm in (
         sorted(p for p in points if p > root_point),
@@ -162,18 +176,25 @@ def _build_chain(
                 wire_c / 2 + fuse_c,
                 parent=nodes[previous],
                 resistance=series_r,
+                label=f"{prefix}{point}" if prefix else "",
             )
             previous = point
     return nodes
 
 
 def build_rc_tree(
-    state: RoutingState, tech: Technology, net_index: int
+    state: RoutingState, tech: Technology, net_index: int,
+    labeled: bool = False,
 ) -> tuple[RCTree, list[int]]:
     """The RC tree of a fully routed net, plus one tree node per sink.
 
     Node 0 is the driver output; the driver's output resistance is the
     first edge.  Returned sink nodes follow the net's sink order.
+
+    With ``labeled=True`` every node carries a human-readable label
+    (``driver``, ``ch<channel>@<col>``, ``v<col>@ch<channel>``,
+    ``<cell>.<port>``) in :attr:`RCTree.labels`; construction is
+    otherwise identical, so delays match the unlabeled tree bit-exactly.
     """
     route = state.routes[net_index]
     if not route.fully_routed:
@@ -182,7 +203,7 @@ def build_rc_tree(
     net = state.netlist.nets[net_index]
 
     tree = RCTree()
-    root = tree.add_node(0.0)
+    root = tree.add_node(0.0, label="driver" if labeled else "")
 
     driver_cell = state.netlist.cell(net.driver[0])
     drv_chan, drv_col = placement.pin_position(driver_cell.index, net.driver[1])
@@ -201,6 +222,7 @@ def build_rc_tree(
             resistance,
             extra_cap,
             lambda a, b: _edge_between(tech, breaks, a, b),
+            prefix=f"ch{channel}@" if labeled else "",
         )
         c_per_col = tech.c_segment_per_col + tech.c_unprogrammed
         left_over = max(0, claim.lo - segments[claim.first_seg][0])
@@ -232,6 +254,7 @@ def build_rc_tree(
             2 * tech.r_cross,
             2 * tech.c_cross,
             lambda a, b: _vertical_edge_between(tech, vbreaks, a, b),
+            prefix=f"v{vclaim.column}@ch" if labeled else "",
         )
         v_low_over = max(0, vclaim.cmin - vsegments[vclaim.first_seg][0])
         v_high_over = max(0, vsegments[vclaim.last_seg][1] - (vclaim.cmax + 1))
@@ -256,7 +279,10 @@ def build_rc_tree(
         tap = chain_nodes[chan][col]
         sink_nodes.append(
             tree.add_node(
-                tech.c_cross + tech.c_pin, parent=tap, resistance=tech.r_cross
+                tech.c_cross + tech.c_pin,
+                parent=tap,
+                resistance=tech.r_cross,
+                label=f"{cell_name}.{port}" if labeled else "",
             )
         )
     return tree, sink_nodes

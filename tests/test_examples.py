@@ -46,3 +46,12 @@ class TestRunnable:
         out = capsys.readouterr().out
         assert "UNROUTABLE" in out
         assert "routable" in out
+
+    def test_layout_inspection_runs(self, capsys):
+        load_example("layout_inspection").main()
+        out = capsys.readouterr().out
+        assert "invariant problems: none" in out
+        assert "bit-exact: True" in out
+        assert "critical path: T =" in out
+        assert "round-trip identical: True" in out
+        assert "wrote SVG floorplan" in out

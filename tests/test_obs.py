@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from pathlib import Path
 
 import pytest
@@ -128,6 +129,51 @@ class TestHistogram:
     def test_empty_mean_is_zero(self):
         assert Histogram().mean == 0.0
 
+    def test_quantile_returns_bucket_bounds(self):
+        h = Histogram()
+        for value in (1, 2, 3, 4):
+            h.observe(value)
+        # 3 and 4 share the (2, 4] bucket, so quantiles snap to its
+        # upper bound: a conservative, rounded-up estimate.
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(0.75) == 4.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_is_inf(self):
+        h = Histogram()
+        h.observe(HISTOGRAM_BOUNDS[-1] + 1)
+        assert h.quantile(0.5) == math.inf
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram().quantile(0.9) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().quantile(-0.1)
+
+    def test_summary_is_json_ready(self):
+        h = Histogram()
+        for value in (1, 2, 3, 4):
+            h.observe(value)
+        summary = h.summary()
+        assert summary == json.loads(json.dumps(summary))
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == 2.0
+        assert summary["p90"] == 4.0
+        assert summary["p99"] == 4.0
+
+    def test_summary_of_empty_histogram(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0
+        assert summary["p99"] == 0.0
+
     def test_registry_observe_round_trips_as_dict(self):
         mx = MetricsRegistry()
         mx.observe("transaction.nets_journaled", 3)
@@ -239,6 +285,18 @@ class TestValidation:
 
     def test_empty_trace_invalid(self):
         assert validate_events([]) == ["trace is empty (no events)"]
+
+    def test_snapshot_event_in_vocabulary(self):
+        events = valid_events()
+        events.insert(2, {"type": "snapshot", "snapshot": {}, "stage": 0})
+        assert validate_events(events) == []
+
+    def test_snapshot_event_requires_payload(self):
+        events = valid_events()
+        events.insert(2, {"type": "snapshot", "stage": 0})
+        problems = validate_events(events)
+        assert any("missing required field 'snapshot'" in p
+                   for p in problems)
 
     def test_golden_schema_descriptor(self):
         """Any vocabulary change must be an explicit versioning decision.
@@ -446,6 +504,114 @@ class TestTraceCli:
 
     def test_missing_file_is_an_error(self, capsys):
         assert trace_main(["summary", "/nonexistent/trace.jsonl"]) == 2
+
+
+class TestTraceDiffEdgeCases:
+    """diff must not crash on degenerate but schema-valid traces."""
+
+    @staticmethod
+    def _write(tmp_path, name, events):
+        trace = RunTrace(events=events)
+        assert trace.validate() == []
+        path = tmp_path / name
+        trace.write_jsonl(path)
+        return str(path)
+
+    def test_diff_of_stageless_traces(self, tmp_path, capsys):
+        events = [
+            {"type": "run_start", "schema_version": TRACE_SCHEMA_VERSION,
+             "manifest": {"seed": 1}},
+            {"type": "run_end", "moves_attempted": 0, "moves_accepted": 0,
+             "temperatures": 0},
+        ]
+        path = self._write(tmp_path, "empty.jsonl", events)
+        assert trace_main(["diff", path, path]) == 0
+        out = capsys.readouterr().out
+        assert "manifest: identical" in out
+        assert "divergence" not in out
+
+    def test_diff_of_single_stage_traces(self, tmp_path, capsys):
+        def events(cost):
+            return [
+                {"type": "run_start",
+                 "schema_version": TRACE_SCHEMA_VERSION,
+                 "manifest": {"seed": 1}},
+                {"type": "stage", "index": 0, "temperature": 1.0,
+                 "attempts": 4, "accepted": 2, "acceptance": 0.5,
+                 "cost": cost},
+                {"type": "run_end", "moves_attempted": 4,
+                 "moves_accepted": 2, "temperatures": 1},
+            ]
+
+        a = self._write(tmp_path, "a.jsonl", events(10.0))
+        b = self._write(tmp_path, "b.jsonl", events(11.0))
+        assert trace_main(["diff", a, a]) == 0
+        assert "identical across all 1 shared stages" in (
+            capsys.readouterr().out
+        )
+        assert trace_main(["diff", a, b]) == 0
+        assert "first divergence at stage 0" in capsys.readouterr().out
+
+    def test_diff_of_mismatched_stage_counts(self, tmp_path, capsys):
+        base = [
+            {"type": "run_start", "schema_version": TRACE_SCHEMA_VERSION,
+             "manifest": {"seed": 1}},
+            {"type": "stage", "index": 0, "temperature": 1.0,
+             "attempts": 4, "accepted": 2, "acceptance": 0.5},
+        ]
+        a = self._write(tmp_path, "one.jsonl", base + [
+            {"type": "run_end", "moves_attempted": 4, "moves_accepted": 2,
+             "temperatures": 1},
+        ])
+        b = self._write(tmp_path, "two.jsonl", base + [
+            {"type": "stage", "index": 1, "temperature": 0.9,
+             "attempts": 4, "accepted": 1, "acceptance": 0.25},
+            {"type": "run_end", "moves_attempted": 8, "moves_accepted": 3,
+             "temperatures": 2},
+        ])
+        assert trace_main(["diff", a, b]) == 0
+        assert "stage count differs: 1 vs 2" in capsys.readouterr().out
+
+
+class TestValidateSnapshotEvents:
+    """trace validate deep-checks in-trace snapshot payloads."""
+
+    @pytest.fixture(scope="class")
+    def snapshot_trace(self, tmp_path_factory):
+        _, result = run_anneal(trace=True, snapshot_every=3)
+        path = tmp_path_factory.mktemp("snaptrace") / "run.jsonl"
+        result.trace.write_jsonl(path)
+        return str(path)
+
+    def test_validate_deep_checks_snapshots(self, snapshot_trace, capsys):
+        assert trace_main(["validate", snapshot_trace]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot events deep-checked" in out
+        assert "ok" in out
+
+    def test_validate_rejects_tampered_snapshot(self, snapshot_trace,
+                                                tmp_path, capsys):
+        trace = read_trace(snapshot_trace)
+        event = trace.of_type("snapshot")[0]
+        event["snapshot"]["timing"]["T"] += 1.0
+        bad = tmp_path / "tampered.jsonl"
+        trace.write_jsonl(bad)
+        assert trace_main(["validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "snapshot event 0" in err
+        assert "re-sum" in err
+
+    def test_validate_rejects_snapshot_missing_payload_fields(
+            self, snapshot_trace, tmp_path, capsys):
+        trace = read_trace(snapshot_trace)
+        event = trace.of_type("snapshot")[0]
+        del event["snapshot"]["channels"]
+        bad = tmp_path / "clipped.jsonl"
+        trace.write_jsonl(bad)
+        assert trace_main(["validate", str(bad)]) == 1
+        assert "missing top-level field 'channels'" in (
+            capsys.readouterr().err
+        )
 
 
 class TestRunCliTrace:

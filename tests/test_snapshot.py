@@ -1,0 +1,437 @@
+"""Tests for the layout snapshot subsystem (repro.obs.snapshot + xray).
+
+Five layers:
+
+1. capture: payload structure, schema version, JSON round-trip;
+2. the acceptance invariants — the critical-path attribution table
+   re-sums to ``T`` bit-exactly and the channel occupancy books balance
+   against the router state's own used-track totals;
+3. determinism: a run traced with ``snapshot_every`` is bit-identical
+   to the same seed without snapshots;
+4. diff: sequential vs simultaneous snapshots report congestion deltas,
+   path churn, and moved cells;
+5. renderers and the ``repro-fpga xray`` CLI end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.flows import (
+    SequentialConfig,
+    capture_flow_snapshot,
+    run_sequential,
+    run_simultaneous,
+)
+from repro.netlist import tiny
+from repro.obs.cli import xray_main
+from repro.obs.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    capture_snapshot,
+    diff_snapshots,
+    read_snapshot,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs.xray import (
+    render_critical_path,
+    render_diff,
+    render_heatmap,
+    render_snapshot,
+    render_summary,
+    render_svg,
+)
+from repro.timing import (
+    critical_path_attribution,
+    elmore_segment_breakdown,
+    resummed_path_delay,
+    resummed_segment_delay,
+)
+
+from conftest import architecture_for
+from test_obs import comparable_metrics, micro_config, run_anneal
+
+
+@pytest.fixture(scope="module")
+def annealed():
+    """One annealed layout shared by the capture/invariant tests."""
+    annealer, result = run_anneal()
+    return annealer, result
+
+
+@pytest.fixture(scope="module")
+def snapshot(annealed):
+    annealer, _ = annealed
+    return capture_snapshot(
+        annealer.ctx.state, annealer.ctx.timing, label="test"
+    )
+
+
+@pytest.fixture(scope="module")
+def flow_results():
+    """Sequential + simultaneous flow results on one tiny design."""
+    netlist = tiny(seed=5, num_cells=32, depth=4)
+    arch = architecture_for(netlist, tracks=10, vtracks=5)
+    seq = run_sequential(
+        netlist, arch, SequentialConfig(seed=4, attempts_per_cell=4)
+    )
+    sim = run_simultaneous(netlist, arch, micro_config(seed=4))
+    return arch, seq, sim
+
+
+class TestCapture:
+    def test_schema_and_structure(self, snapshot):
+        assert snapshot["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+        assert snapshot["label"] == "test"
+        assert snapshot["design"]["name"] == "tiny4"
+        assert len(snapshot["channels"]) == snapshot["fabric"]["num_channels"]
+        assert len(snapshot["rows"]) == snapshot["fabric"]["rows"]
+        assert snapshot["cells"]
+        assert snapshot["nets"]
+
+    def test_validates_clean(self, snapshot):
+        assert validate_snapshot(snapshot) == []
+
+    def test_channel_profile_shape(self, snapshot):
+        for channel in snapshot["channels"]:
+            assert len(channel["occupancy"]) == channel["width"]
+            assert channel["max_density"] == max(channel["occupancy"])
+            assert channel["max_density"] <= channel["tracks"]
+
+    def test_json_round_trip(self, snapshot, tmp_path):
+        path = tmp_path / "snap.json"
+        write_snapshot(snapshot, path)
+        assert read_snapshot(path) == snapshot
+        # and it really is plain data: a plain json cycle is identity
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_read_snapshot_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            read_snapshot(path)
+
+    def test_capture_does_not_mutate_the_run(self, annealed):
+        annealer, _ = annealed
+        before = annealer.ctx.state.check_consistency()
+        first = capture_snapshot(annealer.ctx.state, annealer.ctx.timing)
+        second = capture_snapshot(annealer.ctx.state, annealer.ctx.timing)
+        assert first == second
+        assert annealer.ctx.state.check_consistency() == before
+
+    def test_validate_flags_tampering(self, snapshot):
+        broken = json.loads(json.dumps(snapshot))
+        broken["channels"][0]["max_density"] += 1
+        problems = validate_snapshot(broken)
+        assert any("max_density" in p for p in problems)
+
+        cooked = json.loads(json.dumps(snapshot))
+        cooked["channels"][0]["segments_used"] += 1
+        problems = validate_snapshot(cooked)
+        assert any("claim-side" in p for p in problems)
+
+        wrong_version = json.loads(json.dumps(snapshot))
+        wrong_version["schema_version"] = 99
+        assert any(
+            "schema_version" in p
+            for p in validate_snapshot(wrong_version)
+        )
+        assert validate_snapshot([1]) == ["snapshot is not a JSON object"]
+
+
+class TestAttributionInvariant:
+    """The acceptance criterion: attribution re-sums to T bit-exactly."""
+
+    def test_path_resums_to_T_bit_exactly(self, snapshot):
+        timing = snapshot["timing"]
+        assert resummed_path_delay(timing["entries"]) == timing["T"]
+
+    def test_fresh_engine_agrees_with_attribution(self, flow_results):
+        arch, _, sim = flow_results
+        payload = capture_flow_snapshot(sim, arch)
+        timing = payload["timing"]
+        # flow-end snapshots rebuild the engine from scratch, so the
+        # attribution T and the engine T agree bit-exactly
+        assert timing["T"] == timing["engine_T"]
+        assert timing["T"] == sim.worst_delay
+
+    def test_each_routed_entry_resums_from_segments(self, snapshot):
+        entries = [
+            e for e in snapshot["timing"]["entries"]
+            if e["kind"] == "interconnect"
+        ]
+        assert entries
+        routed = [e for e in entries if e["routed"]]
+        assert routed, "expected at least one routed critical net"
+        for entry in routed:
+            assert resummed_segment_delay(entry) == entry["delay"]
+            assert len(entry["segments"]) > 1
+            for segment in entry["segments"]:
+                assert segment["delay"] == (
+                    segment["resistance"] * segment["downstream_cap"]
+                )
+
+    def test_path_alternates_cells_and_nets(self, snapshot):
+        timing = snapshot["timing"]
+        kinds = [entry["kind"] for entry in timing["entries"]]
+        assert kinds[0] == "launch"
+        assert kinds[1::2] == ["interconnect"] * (len(kinds) // 2)
+        assert timing["endpoint"] == timing["path"][-1]
+        assert timing["path"][0] == timing["entries"][0]["cell"]
+
+    def test_attribution_matches_engine_direct(self, annealed):
+        annealer, _ = annealed
+        attribution = critical_path_attribution(annealer.ctx.timing)
+        assert resummed_path_delay(attribution["entries"]) == attribution["T"]
+        assert math.isclose(
+            attribution["T"], attribution["engine_T"],
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+
+    def test_segment_breakdown_labels_chain(self, annealed):
+        annealer, _ = annealed
+        state = annealer.ctx.state
+        tech = annealer.ctx.timing.tech
+        route = next(r for r in state.routes if r.fully_routed and r.claims)
+        net = state.netlist.nets[route.net_index]
+        for position in range(len(net.sinks)):
+            segments = elmore_segment_breakdown(
+                state, tech, route.net_index, position
+            )
+            assert segments
+            assert all(s["delay"] >= 0.0 for s in segments)
+            labels = [s["label"] for s in segments]
+            assert any(label.startswith("ch") for label in labels)
+
+
+class TestOccupancyInvariant:
+    """The books balance: claim-side totals == fabric-side occupancy."""
+
+    def test_totals_match_router_state(self, annealed, snapshot):
+        annealer, _ = annealed
+        used = annealer.ctx.state.used_track_segments()
+        assert snapshot["totals"]["claimed_segments"] == used
+        fabric_side = snapshot["totals"]["fabric_segments_used"]
+        assert fabric_side["horizontal"] == used["horizontal_total"]
+        assert fabric_side["vertical"] == used["vertical"]
+
+    def test_per_channel_books_balance(self, snapshot):
+        per_channel = snapshot["totals"]["claimed_segments"]["horizontal"]
+        for channel in snapshot["channels"]:
+            assert channel["segments_used"] == per_channel[channel["index"]]
+
+    def test_feedthroughs_match_trunks(self, annealed, snapshot):
+        annealer, _ = annealed
+        expected = [0] * snapshot["fabric"]["rows"]
+        for route in annealer.ctx.state.routes:
+            if route.vertical is not None:
+                for row in range(route.vertical.cmin, route.vertical.cmax):
+                    expected[row] += 1
+        assert [r["feedthroughs"] for r in snapshot["rows"]] == expected
+
+
+class TestSnapshotDeterminism:
+    """The acceptance criterion: snapshotting never perturbs the run."""
+
+    def test_snapshot_every_is_bit_identical(self):
+        _, plain = run_anneal()
+        _, probed = run_anneal(trace=True, snapshot_every=2)
+        assert comparable_metrics(plain) == comparable_metrics(probed)
+
+    def test_trace_carries_valid_snapshots(self):
+        _, result = run_anneal(trace=True, snapshot_every=2)
+        events = result.trace.of_type("snapshot")
+        assert result.trace.validate() == []
+        stages = len(result.trace.stages)
+        # one per matching stage boundary plus the final capture
+        expected = len(range(0, stages, 2)) + 1
+        assert len(events) == expected
+        for event in events:
+            assert validate_snapshot(event["snapshot"]) == []
+        assert events[-1]["snapshot"]["label"] == "final"
+        assert "stage" not in events[-1]
+        assert events[0]["stage"] == 0
+
+    def test_snapshot_every_requires_no_trace_silently_off(self):
+        _, result = run_anneal(snapshot_every=2)
+        assert result.trace is None
+
+    def test_negative_snapshot_every_rejected(self):
+        with pytest.raises(ValueError):
+            micro_config(snapshot_every=-1)
+
+
+class TestFlowSnapshots:
+    def test_both_flows_snapshot_clean(self, flow_results):
+        arch, seq, sim = flow_results
+        for result in (seq, sim):
+            payload = capture_flow_snapshot(result, arch)
+            assert validate_snapshot(payload) == []
+            assert payload["label"].startswith(result.flow)
+            assert payload["timing"]["T"] == result.worst_delay
+
+    def test_accepts_technology_directly(self, flow_results):
+        arch, _, sim = flow_results
+        via_arch = capture_flow_snapshot(sim, arch)
+        via_tech = capture_flow_snapshot(sim, arch.technology)
+        assert via_arch == via_tech
+
+    def test_diff_reports_spatial_deltas(self, flow_results):
+        arch, seq, sim = flow_results
+        report = diff_snapshots(
+            capture_flow_snapshot(seq, arch), capture_flow_snapshot(sim, arch)
+        )
+        assert report["fabric_match"]
+        assert report["congestion"]["changed"]
+        path = report["timing"]["path"]
+        assert path["added"] and path["removed"]
+        assert report["cells"]["moved"]
+        assert not report["cells"]["only_a"]
+        assert not report["nets"]["only_b"]
+        assert json.loads(json.dumps(report)) == report
+
+    def test_diff_of_identical_snapshots_is_empty(self, flow_results):
+        arch, _, sim = flow_results
+        payload = capture_flow_snapshot(sim, arch)
+        report = diff_snapshots(payload, payload)
+        assert report["congestion"]["changed"] == []
+        assert report["rows"]["changed"] == []
+        assert report["cells"]["moved"] == []
+        assert report["nets"]["rerouted"] == []
+        assert report["timing"]["path"]["added"] == []
+        assert report["timing"]["path"]["removed"] == []
+
+
+class TestRenderers:
+    def test_heatmap_mentions_every_channel(self, snapshot):
+        out = render_heatmap(snapshot)
+        for channel in snapshot["channels"]:
+            assert f"ch{channel['index']:3d}" in out
+        assert "feedthroughs per row" in out
+
+    def test_critical_path_table(self, snapshot):
+        out = render_critical_path(snapshot)
+        assert "critical path" in out
+        assert snapshot["timing"]["endpoint"] in out
+        assert "segment contributors" in out
+
+    def test_summary_line(self, snapshot):
+        out = render_summary(snapshot)
+        assert "density:" in out
+        assert snapshot["design"]["name"] in out
+
+    def test_render_snapshot_composes_all(self, snapshot):
+        out = render_snapshot(snapshot)
+        for piece in ("density:", "channel density", "critical path"):
+            assert piece in out
+
+    def test_render_diff_is_text(self, flow_results):
+        arch, seq, sim = flow_results
+        report = diff_snapshots(
+            capture_flow_snapshot(seq, arch), capture_flow_snapshot(sim, arch)
+        )
+        out = render_diff(report)
+        assert "T:" in out
+        assert "congestion:" in out
+        assert "cells:" in out
+
+    def test_svg_is_well_formed(self, snapshot):
+        svg = render_svg(snapshot)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        # at least one rect per placed cell plus the channel bands
+        assert len(rects) >= len(snapshot["cells"])
+
+
+class TestXrayCli:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        """A snapshot file and a snapshot-bearing trace, on disk."""
+        root = tmp_path_factory.mktemp("xray")
+        annealer, result = run_anneal(trace=True, snapshot_every=3)
+        trace_path = root / "run.jsonl"
+        result.trace.write_jsonl(trace_path)
+        snap_path = root / "snap.json"
+        write_snapshot(
+            capture_snapshot(annealer.ctx.state, annealer.ctx.timing,
+                             label="standalone"),
+            snap_path,
+        )
+        return str(snap_path), str(trace_path)
+
+    def test_show_snapshot_file(self, artifacts, capsys):
+        snap_path, _ = artifacts
+        assert xray_main(["show", snap_path]) == 0
+        out = capsys.readouterr().out
+        assert "channel density" in out
+        assert "critical path" in out
+
+    def test_show_reads_traces_too(self, artifacts, capsys):
+        _, trace_path = artifacts
+        assert xray_main(["show", trace_path]) == 0
+        assert "final" in capsys.readouterr().out
+
+    def test_show_selects_stage(self, artifacts, capsys):
+        _, trace_path = artifacts
+        assert xray_main(["show", trace_path, "--stage", "3"]) == 0
+        assert "stage 3" in capsys.readouterr().out
+
+    def test_show_unknown_stage_fails(self, artifacts, capsys):
+        _, trace_path = artifacts
+        assert xray_main(["show", trace_path, "--stage", "999"]) == 1
+        assert "no snapshot at stage" in capsys.readouterr().err
+
+    def test_svg_export(self, artifacts, tmp_path, capsys):
+        snap_path, _ = artifacts
+        out_path = tmp_path / "plan.svg"
+        assert xray_main(["svg", snap_path, "--out", str(out_path)]) == 0
+        ET.parse(out_path)
+
+    def test_svg_default_output_path(self, artifacts, capsys):
+        snap_path, _ = artifacts
+        assert xray_main(["svg", snap_path]) == 0
+        from pathlib import Path
+
+        default = Path(snap_path).with_suffix(".svg")
+        assert default.exists()
+
+    def test_diff(self, artifacts, capsys):
+        snap_path, trace_path = artifacts
+        code = xray_main(
+            ["diff", trace_path, snap_path, "--stage-a", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T:" in out
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert xray_main(["show", "/nonexistent/snap.json"]) == 2
+
+    def test_non_snapshot_json_is_rejected(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}\n')
+        assert xray_main(["show", str(path)]) == 1
+        assert "not a layout snapshot" in capsys.readouterr().err
+
+    def test_trace_without_snapshots_is_rejected(self, tmp_path, capsys):
+        _, result = run_anneal(trace=True)
+        path = tmp_path / "plain.jsonl"
+        result.trace.write_jsonl(path)
+        assert xray_main(["show", str(path)]) == 1
+        assert "no snapshot events" in capsys.readouterr().err
+
+    def test_invalid_snapshot_exits_one(self, artifacts, tmp_path, capsys):
+        snap_path, _ = artifacts
+        payload = read_snapshot(snap_path)
+        payload["timing"]["T"] += 1.0
+        bad = tmp_path / "tampered.json"
+        write_snapshot(payload, bad)
+        with pytest.raises(SystemExit) as excinfo:
+            xray_main(["show", str(bad)])
+        assert excinfo.value.code == 1
+        assert "re-sum" in capsys.readouterr().err
