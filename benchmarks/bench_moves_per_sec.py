@@ -37,6 +37,12 @@ traced run* — snapshots ride on the tracer, so that is the marginal
 cost a user opting in actually pays — and must likewise leave the
 anneal bit-identical.  ``--no-snapshot`` skips it.
 
+Periodic crash-safe checkpoints (``--checkpoint-every``, default every
+5 stages) are gated the same way against a *plain* run — checkpointing
+is independent of the tracer — with ``--max-checkpoint-overhead``
+(default 5%), and the checkpointed anneal must stay bit-identical.
+``--no-checkpoint`` skips it.
+
 Exit status is non-zero if any design fails to anneal, the regression
 gate trips, or the tracing overhead gate trips.
 """
@@ -74,7 +80,8 @@ def _schedule(max_temperatures: int) -> ScheduleConfig:
 
 def _config(
     case: BenchCase, profile: bool, trace: bool = False,
-    snapshot_every: int = 0,
+    snapshot_every: int = 0, checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> AnnealerConfig:
     return AnnealerConfig(
         seed=1,
@@ -84,6 +91,8 @@ def _config(
         profile=profile,
         trace=trace,
         snapshot_every=snapshot_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
         schedule=_schedule(case.max_temperatures),
     )
 
@@ -123,12 +132,15 @@ def calibrate(reps: int = 3, iters: int = 200_000) -> float:
 def run_case(
     case: BenchCase, calibration_s: float, profile: bool,
     trace: bool = False, snapshot_every: int = 0,
+    checkpoint_path: Optional[str] = None, checkpoint_every: int = 0,
 ) -> dict:
     """Run one benchmark case and return its result record."""
     netlist = generate(case.spec)
     arch = architecture_for(netlist, tracks_per_channel=case.tracks)
     annealer = SimultaneousAnnealer(
-        netlist, arch, _config(case, profile, trace, snapshot_every)
+        netlist, arch,
+        _config(case, profile, trace, snapshot_every,
+                checkpoint_path, checkpoint_every),
     )
     t0 = perf_counter()
     result = annealer.run()
@@ -241,6 +253,50 @@ def measure_snapshot_overhead(
     }
 
 
+def measure_checkpoint_overhead(
+    case: BenchCase, calibration_s: float, baseline: dict,
+    every: int = 5, reps: int = 3,
+) -> dict:
+    """Re-run one case with periodic checkpointing and compare to plain.
+
+    Checkpoints are independent of the tracer, so the honest cost of
+    ``checkpoint_every`` is measured against an *uninstrumented* run —
+    the same paired best-of-``reps`` scheme as
+    :func:`measure_trace_overhead`.  The bit-identity check enforces the
+    resilience contract: serializing the full anneal state (layout, RNG,
+    schedule, timing arrays) must consume no RNG and read no wall clock.
+    """
+    import tempfile
+
+    best_base = baseline
+    best_ck: Optional[dict] = None
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as tmp:
+        path = str(Path(tmp) / f"{case.name}.ckpt")
+        for _ in range(reps):
+            again = run_case(case, calibration_s, profile=False)
+            if again["normalized_score"] > best_base["normalized_score"]:
+                best_base = again
+            checked = run_case(
+                case, calibration_s, profile=False,
+                checkpoint_path=path, checkpoint_every=every,
+            )
+            if (best_ck is None
+                    or checked["normalized_score"] > best_ck["normalized_score"]):
+                best_ck = checked
+    assert best_ck is not None
+    base_score = best_base["normalized_score"] or 1e-12
+    overhead = 1.0 - best_ck["normalized_score"] / base_score
+    return {
+        "checkpoint_every": every,
+        "moves_per_sec": best_ck["moves_per_sec"],
+        "normalized_score": best_ck["normalized_score"],
+        "overhead_frac": round(overhead, 4),
+        "metrics_identical": all(
+            best_ck[key] == baseline[key] for key in _DETERMINISM_KEYS
+        ),
+    }
+
+
 def check_regression(
     current: dict, baseline: dict, max_regression: float
 ) -> list[str]:
@@ -317,6 +373,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-snapshot", action="store_true",
         help="skip the snapshot-overhead comparison runs",
     )
+    parser.add_argument(
+        "--max-checkpoint-overhead", type=float, default=0.05,
+        help="maximum tolerated slowdown of periodic checkpointing "
+        "relative to a plain run (default 0.05)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=5,
+        help="checkpoint cadence (in stages) for the overhead runs "
+        "(default 5)",
+    )
+    parser.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="skip the checkpoint-overhead comparison runs",
+    )
     args = parser.parse_args(argv)
 
     names = args.designs or (["smoke"] if args.smoke else ["small", "medium"])
@@ -384,6 +454,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"FAIL: {name}: snapshot overhead "
                     f"{snapshotting['overhead_frac']:.1%} exceeds limit "
                     f"{args.max_snapshot_overhead:.0%}",
+                    file=sys.stderr,
+                )
+                ok = False
+        if not args.no_checkpoint:
+            checkpointing = measure_checkpoint_overhead(
+                case, calibration_s, record, every=args.checkpoint_every
+            )
+            record["checkpointing"] = checkpointing
+            print(
+                f"{name} (checkpoint every "
+                f"{checkpointing['checkpoint_every']}): "
+                f"{checkpointing['moves_per_sec']:.1f} moves/s, overhead "
+                f"{checkpointing['overhead_frac']:+.1%} vs plain"
+            )
+            if not checkpointing["metrics_identical"]:
+                print(
+                    f"FAIL: {name}: checkpointed run diverged from plain run",
+                    file=sys.stderr,
+                )
+                ok = False
+            if checkpointing["overhead_frac"] > args.max_checkpoint_overhead:
+                print(
+                    f"FAIL: {name}: checkpoint overhead "
+                    f"{checkpointing['overhead_frac']:.1%} exceeds limit "
+                    f"{args.max_checkpoint_overhead:.0%}",
                     file=sys.stderr,
                 )
                 ok = False

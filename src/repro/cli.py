@@ -92,22 +92,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   "ride in the trace event stream)", file=sys.stderr)
             return 2
         overrides["snapshot_every"] = args.snapshot_every
+    if args.checkpoint_every and args.checkpoint is None:
+        print("error: --checkpoint-every requires --checkpoint PATH",
+              file=sys.stderr)
+        return 2
+    if args.checkpoint is not None:
+        overrides["checkpoint_path"] = args.checkpoint
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if args.max_seconds:
+        overrides["max_seconds"] = args.max_seconds
+    if args.max_stages:
+        overrides["max_stages"] = args.max_stages
+    if args.max_moves:
+        overrides["max_moves"] = args.max_moves
+    if args.checkpoint is not None or args.resume is not None or any(
+        (args.max_seconds, args.max_stages, args.max_moves)
+    ):
+        # A run the user expects to interrupt and resume should stop
+        # cleanly on the first Ctrl-C instead of dying mid-stage.
+        overrides["handle_signals"] = True
+    resume_payload = None
+    if args.resume is not None:
+        if args.flow != "simultaneous":
+            print("error: --resume applies only to the simultaneous flow",
+                  file=sys.stderr)
+            return 2
+        from .resilience import read_checkpoint
+
+        resume_payload = read_checkpoint(args.resume)
+        if args.checkpoint is None:
+            # Keep checkpointing to the file being resumed from, so an
+            # interrupt-resume-interrupt chain needs no extra flags.
+            overrides["checkpoint_path"] = args.resume
+            overrides["checkpoint_every"] = args.checkpoint_every
     if args.flow == "simultaneous":
         if overrides:
             sim_cfg = dataclasses.replace(sim_cfg, **overrides)
-        result = run_simultaneous(netlist, arch, sim_cfg)
+        result = run_simultaneous(
+            netlist, arch, sim_cfg, resume_from=resume_payload
+        )
     else:
+        resilience_flags = (
+            "checkpoint_path", "checkpoint_every", "max_seconds",
+            "max_stages", "max_moves", "handle_signals",
+        )
         for flag in ("sanitize", "profile", "snapshot_every"):
             if overrides.pop(flag, False):
                 name = flag.replace("_", "-")
                 print(f"note: --{name} only instruments the simultaneous "
                       f"flow", file=sys.stderr)
+        for flag in resilience_flags:
+            if overrides.pop(flag, False):
+                print("note: checkpointing and run budgets apply only to "
+                      "the simultaneous flow", file=sys.stderr)
+                break
+        for flag in resilience_flags:
+            overrides.pop(flag, None)
         if overrides:
             seq_cfg = dataclasses.replace(seq_cfg, **overrides)
         result = run_sequential(netlist, arch, seq_cfg)
     print(result)
     for key, value in result.metrics().items():
         print(f"  {key:>24}: {value}")
+    interrupted = result.extra.get("interrupted") if result.extra else None
+    if interrupted:
+        checkpoint = result.extra.get("checkpoint")
+        print(f"interrupted: {interrupted} (best-so-far layout returned)",
+              file=sys.stderr)
+        if checkpoint:
+            print(f"resume with: repro-fpga run {args.design} "
+                  f"--resume {checkpoint}", file=sys.stderr)
     profile = result.extra.get("profile") if result.extra else None
     if profile is not None:
         print(profile.format())
@@ -124,6 +178,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         write_snapshot(payload, args.snapshot)
         print(f"snapshot: T={payload['timing']['T']:.4f} -> {args.snapshot}",
               file=sys.stderr)
+    if interrupted and str(interrupted).startswith("signal"):
+        return 130
     return 0 if result.fully_routed else 1
 
 
@@ -223,6 +279,39 @@ def build_parser() -> argparse.ArgumentParser:
         "anneal stages (simultaneous flow only; results stay "
         "bit-identical)",
     )
+    p_run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write an atomic, digest-protected, resumable checkpoint "
+        "to PATH at the end of the run and (with --checkpoint-every) "
+        "periodically; results stay bit-identical",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="with --checkpoint, also checkpoint every N anneal stages "
+        "(0 = final checkpoint only)",
+    )
+    p_run.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume an interrupted run from a checkpoint; the combined "
+        "runs are bit-identical to one that was never interrupted "
+        "(same design/seed/effort flags required)",
+    )
+    p_run.add_argument(
+        "--max-seconds", type=float, default=0.0, metavar="S",
+        help="stop cleanly at a stage boundary after S seconds of "
+        "wall-clock time and return the best-so-far layout "
+        "(0 = unlimited)",
+    )
+    p_run.add_argument(
+        "--max-stages", type=int, default=0, metavar="N",
+        help="stop cleanly before anneal stage N (counted across "
+        "resumes; 0 = unlimited)",
+    )
+    p_run.add_argument(
+        "--max-moves", type=int, default=0, metavar="N",
+        help="stop cleanly at the next stage boundary after N total "
+        "move attempts (0 = unlimited)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run both flows and compare")
@@ -255,11 +344,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Domain error -> exit code.  Each failure family gets its own code so
+#: scripts can tell "bad layout file" from "bad checkpoint" without
+#: parsing messages; 2 stays argparse's bad-usage code and 130 the
+#: conventional SIGINT code.
+EXIT_LAYOUT_ERROR = 3
+EXIT_CHECKPOINT_ERROR = 4
+EXIT_NETLIST_ERROR = 5
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Domain errors (malformed layout files, rejected checkpoints,
+    invalid netlists) become one-line ``error:`` messages with distinct
+    exit codes instead of tracebacks; genuine bugs still traceback.
+    """
+    from .flows.layout_io import LayoutFormatError
+    from .netlist import NetlistFormatError
+    from .resilience import CheckpointError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_ERROR
+    except LayoutFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_LAYOUT_ERROR
+    except NetlistFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_NETLIST_ERROR
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -95,6 +95,31 @@ class AnnealerConfig:
     #: read — no RNG, no clock, no state mutation — so a snapshotted
     #: run is bit-identical to a plain run with the same seed.
     snapshot_every: int = 0
+    #: Write a digest-protected, resumable checkpoint (see
+    #: :mod:`repro.resilience`) to this path: every ``checkpoint_every``
+    #: stages and always once at the end of the run (completed or
+    #: interrupted).  Writing is a pure read of annealer state — no RNG,
+    #: no clock — so a checkpointed run is bit-identical to a plain run.
+    checkpoint_path: Optional[str] = None
+    #: Periodic checkpoint cadence in temperature stages; 0 means only
+    #: the final checkpoint is written.  Requires ``checkpoint_path``.
+    checkpoint_every: int = 0
+    #: Stop cleanly at the next stage boundary once this much wall-clock
+    #: time has elapsed (0 = unlimited).  Budgets do not change the
+    #: trajectory up to the stop point: a resumed run is bit-identical
+    #: to one that never stopped.
+    max_seconds: float = 0.0
+    #: Stop before running global stage index N (0 = unlimited).  The
+    #: index is global, so a resumed run continues the original count.
+    max_stages: int = 0
+    #: Stop at the next stage boundary after N total move attempts
+    #: (0 = unlimited); like ``max_stages``, counted across resumes.
+    max_moves: int = 0
+    #: Install SIGINT/SIGTERM handlers for the duration of :meth:`run`
+    #: so the first signal stops the run cleanly at a stage boundary
+    #: (a second SIGINT raises KeyboardInterrupt as usual).  Opt-in so
+    #: library embedders keep their own handlers.
+    handle_signals: bool = False
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell <= 0:
@@ -113,6 +138,14 @@ class AnnealerConfig:
             raise ValueError(
                 f"snapshot_every must be >= 0, got {self.snapshot_every}"
             )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        if self.max_seconds < 0 or self.max_stages < 0 or self.max_moves < 0:
+            raise ValueError("run budgets must be >= 0 (0 = unlimited)")
 
 
 def fast_config(seed: int = 0) -> AnnealerConfig:
@@ -153,6 +186,13 @@ class AnnealResult:
     profile: Optional[RunProfile] = None
     #: Structured event trace; present only when tracing was on.
     trace: Optional[RunTrace] = None
+    #: Why the run stopped early ("signal SIGINT", "stage budget (40)",
+    #: ...), or None when the schedule ran to completion.  Interrupted
+    #: results hold the *best-so-far* layout, not the last one visited.
+    interrupted: Optional[str] = None
+    #: Path of the last checkpoint written, when checkpointing was on;
+    #: resume from it to continue the interrupted trajectory.
+    checkpoint_path: Optional[str] = None
 
     @property
     def fully_routed(self) -> bool:
@@ -187,6 +227,7 @@ class SimultaneousAnnealer:
         netlist: Netlist,
         architecture: Architecture,
         config: Optional[AnnealerConfig] = None,
+        resume_from: Optional[dict] = None,
     ) -> None:
         self.netlist = netlist.freeze()
         self.architecture = architecture
@@ -230,8 +271,65 @@ class SimultaneousAnnealer:
         self.dynamics = DynamicsTrace()
         self._attempted = 0
         self._accepted = 0
+        # Trajectory cursor for checkpoint/resume (see
+        # :mod:`repro.resilience`): which phase the run is in, the
+        # global stage index, and the greedy round already completed.
+        self._phase = "walk"
+        self._stage_index = 0
+        self._greedy_round = 0
+        self._resumed = False
+        self._last_checkpoint: Optional[str] = None
+        # Best-so-far tracking: noted at stage boundaries with a pure
+        # structural capture (no RNG, no clock), so plain runs remain
+        # bit-identical.  Interrupted runs return this layout.
+        self.best_snapshot = None
+        self.best_terms: Optional[CostTerms] = None
+        self._best_key: Optional[tuple] = None
+        # Imported lazily: keeps repro.core importable without loading
+        # the resilience package (mirrors the snapshot imports below).
+        from ..resilience.interrupt import InterruptController
+
+        self.interrupt = InterruptController(
+            max_seconds=self.config.max_seconds,
+            max_stages=self.config.max_stages,
+            max_moves=self.config.max_moves,
+            handle_signals=self.config.handle_signals,
+        )
+        if resume_from is not None:
+            self._restore(resume_from)
         if self.sanitizer is not None:
             self._sanitizer_check(self.sanitizer.check_initial, self.ctx)
+
+    @classmethod
+    def resume(
+        cls,
+        netlist: Netlist,
+        architecture: Architecture,
+        checkpoint,
+        config: Optional[AnnealerConfig] = None,
+    ) -> "SimultaneousAnnealer":
+        """Rebuild an annealer mid-trajectory from a checkpoint.
+
+        ``checkpoint`` is a path (read and digest-verified) or an
+        already-validated payload dict.  ``config`` defaults to the
+        configuration recorded in the checkpoint; a config passed
+        explicitly may change budgets, checkpoint cadence, and
+        instrumentation, but every trajectory-shaping knob must match
+        the writing run (enforced by the config digest) — so calling
+        :meth:`run` afterwards continues exactly the interrupted
+        trajectory: the combined runs are bit-identical to one that
+        was never interrupted.
+        """
+        from ..resilience.checkpoint import config_from_payload, read_checkpoint
+
+        payload = (
+            checkpoint
+            if isinstance(checkpoint, dict)
+            else read_checkpoint(checkpoint)
+        )
+        if config is None:
+            config = config_from_payload(payload)
+        return cls(netlist, architecture, config, resume_from=payload)
 
     def _sanitizer_check(self, check, *args) -> None:
         """Run one sanitizer check, tracing the violation before it raises."""
@@ -242,6 +340,177 @@ class SimultaneousAnnealer:
             if tracer is not None:
                 tracer.sanitizer_violation(exc.phase, exc.move, exc.problems)
             raise
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume / best-so-far
+    # ------------------------------------------------------------------
+    def checkpoint_payload(self) -> dict:
+        """The complete trajectory state, as a checkpoint payload dict.
+
+        A pure read of annealer state — building it consumes no RNG and
+        reads no clock, so writing checkpoints never perturbs the run.
+        """
+        import dataclasses
+
+        from ..flows.layout_io import layout_to_dict
+        from ..resilience.checkpoint import (
+            CHECKPOINT_KIND,
+            CHECKPOINT_SCHEMA_VERSION,
+            encode_rng_state,
+            resume_digest,
+        )
+
+        terms = self.evaluator.terms()
+        best = None
+        if self.best_snapshot is not None and self.best_terms is not None:
+            best = {
+                "layout": self.best_snapshot.to_layout_dict(self.netlist),
+                "terms": {"G": self.best_terms.global_unrouted,
+                          "D": self.best_terms.detail_unrouted,
+                          "T": self.best_terms.worst_delay},
+            }
+        return {
+            "format": CHECKPOINT_SCHEMA_VERSION,
+            "kind": CHECKPOINT_KIND,
+            "circuit": self.netlist.name,
+            "seed": self.config.seed,
+            "config_digest": resume_digest(self.config),
+            "config": dataclasses.asdict(self.config),
+            "phase": self._phase,
+            "stage_index": self._stage_index,
+            "greedy_round": self._greedy_round,
+            "moves_attempted": self._attempted,
+            "moves_accepted": self._accepted,
+            "rng_state": encode_rng_state(self.rng.getstate()),
+            "schedule": self.schedule.export_state(),
+            "weights": {"wg": self.weights.wg, "wd": self.weights.wd,
+                        "wt": self.weights.wt},
+            "window": self.moves.window,
+            "terms": {"G": terms.global_unrouted,
+                      "D": terms.detail_unrouted,
+                      "T": terms.worst_delay},
+            "layout": layout_to_dict(self.ctx.placement, self.ctx.state),
+            "timing": self.ctx.timing.export_state(),
+            "dynamics": [
+                dataclasses.asdict(sample) for sample in self.dynamics.samples
+            ],
+            "best": best,
+        }
+
+    def _restore(self, payload: dict) -> None:
+        """Adopt a validated checkpoint payload into this annealer.
+
+        Mutates: every layer — placement, routing state, timing arrays,
+        RNG, schedule, weights, window, dynamics, counters, and the
+        phase cursor.  Raises CheckpointError when the payload does not
+        fit this netlist/config.
+        """
+        from ..resilience.checkpoint import (
+            CheckpointError,
+            LayoutSnapshot,
+            decode_rng_state,
+            validate_payload,
+        )
+
+        validate_payload(payload, circuit=self.netlist.name,
+                         config=self.config)
+        snapshot = LayoutSnapshot.from_layout_dict(
+            self.netlist, payload["layout"]
+        )
+        snapshot.restore(self.ctx.placement, self.ctx.state)
+        try:
+            self.ctx.timing.adopt_state(payload["timing"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint timing record is invalid: {exc}"
+            ) from exc
+        self.rng.setstate(decode_rng_state(payload["rng_state"]))
+        try:
+            self.schedule.adopt_state(payload["schedule"])
+            weights = payload["weights"]
+            self.weights.wg = float(weights["wg"])
+            self.weights.wd = float(weights["wd"])
+            self.weights.wt = float(weights["wt"])
+            self.moves.set_window(float(payload["window"]))
+            for record in payload["dynamics"]:
+                self.dynamics.record(TemperatureSample(**record))
+            self._attempted = int(payload["moves_attempted"])
+            self._accepted = int(payload["moves_accepted"])
+            self._phase = payload["phase"]
+            self._stage_index = int(payload["stage_index"])
+            self._greedy_round = int(payload["greedy_round"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint trajectory record is invalid: {exc}"
+            ) from exc
+        best = payload.get("best")
+        if best is not None:
+            try:
+                self.best_snapshot = LayoutSnapshot.from_layout_dict(
+                    self.netlist, best["layout"]
+                )
+                record = best["terms"]
+                self.best_terms = CostTerms(
+                    float(record["G"]), float(record["D"]), float(record["T"])
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"checkpoint best-layout record is invalid: {exc}"
+                ) from exc
+            self._best_key = (
+                self.best_terms.global_unrouted
+                + self.best_terms.detail_unrouted,
+                self.best_terms.worst_delay,
+            )
+        self._resumed = True
+
+    def _note_best(self, current: CostTerms) -> None:
+        """Keep the best layout seen at any stage boundary.
+
+        Better means strictly fewer unrouted nets, with worst-case
+        delay as the tie-break — lexicographic on ``(G + D, T)``.  The
+        capture is a pure structural read, so plain runs with and
+        without an eventual interruption walk identical trajectories.
+        """
+        key = (
+            current.global_unrouted + current.detail_unrouted,
+            current.worst_delay,
+        )
+        if self._best_key is not None and not key < self._best_key:
+            return
+        from ..resilience.checkpoint import LayoutSnapshot
+
+        self.best_snapshot = LayoutSnapshot.capture(
+            self.ctx.placement, self.ctx.state
+        )
+        self.best_terms = current
+        self._best_key = key
+
+    def _write_checkpoint(self, path) -> None:
+        """Write one atomic, digest-protected checkpoint now."""
+        from ..resilience.checkpoint import write_checkpoint
+
+        digest = write_checkpoint(self.checkpoint_payload(), path)
+        self._last_checkpoint = str(path)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "checkpoint", stage=self._stage_index, phase=self._phase,
+                path=str(path), sha256=digest,
+            )
+
+    def _checkpoint_if_due(self) -> None:
+        """Periodic checkpoint at the cadence the config asked for."""
+        every = self.instrumentation.checkpoint_every
+        path = self.instrumentation.checkpoint_path
+        if every > 0 and path is not None and self._stage_index % every == 0:
+            self._write_checkpoint(path)
+
+    def _should_stop(self, started: float) -> Optional[str]:
+        """Poll the interrupt controller with this run's counters."""
+        return self.interrupt.should_stop(
+            self._stage_index, self._attempted, time.perf_counter() - started
+        )
 
     # ------------------------------------------------------------------
     # Pieces of the run
@@ -315,11 +584,23 @@ class SimultaneousAnnealer:
         self.weights.recalibrate(accumulator.mean_terms())
         return [self.weights.scalar(terms) for terms in samples], current
 
-    def _greedy_cleanup(self, current: CostTerms) -> CostTerms:
-        """Zero-temperature improvement rounds after the freeze."""
+    def _greedy_cleanup(
+        self, current: CostTerms, started: float
+    ) -> tuple[CostTerms, Optional[str]]:
+        """Zero-temperature improvement rounds after the freeze.
+
+        Resumes from ``self._greedy_round`` (nonzero only when restored
+        from a greedy-phase checkpoint) and polls the interrupt
+        controller between rounds; returns the terms plus the stop
+        reason (None when the rounds ran to completion).
+        """
         attempts = self.config.attempts_per_cell * self.netlist.num_cells
         tracer = self.tracer
-        for round_index in range(self.config.greedy_rounds):
+        round_index = self._greedy_round
+        while round_index < self.config.greedy_rounds:
+            stop_reason = self._should_stop(started)
+            if stop_reason is not None:
+                return current, stop_reason
             accepted_here = 0
             for _ in range(attempts):
                 accepted, current, _ = self._attempt(0.0, current)
@@ -330,96 +611,90 @@ class SimultaneousAnnealer:
                     "greedy", round=round_index, attempts=attempts,
                     accepted=accepted_here,
                 )
+            round_index += 1
+            self._greedy_round = round_index
+            self._note_best(current)
             if not accepted_here:
                 break
-        return current
+            if round_index < self.config.greedy_rounds:
+                # Periodic checkpoint only when another round will run:
+                # the early-exit decision above already happened, so a
+                # resume from this checkpoint repeats exactly the rounds
+                # the uninterrupted run would have run.
+                every = self.instrumentation.checkpoint_every
+                path = self.instrumentation.checkpoint_path
+                if every > 0 and path is not None:
+                    self._write_checkpoint(path)
+        return current, None
 
     # ------------------------------------------------------------------
     # The run
     # ------------------------------------------------------------------
     def run(self) -> AnnealResult:
-        """Execute to completion and return the result."""
+        """Execute to completion — or to the first budget/signal stop —
+        and return the result.
+
+        Interrupted runs stop at a stage boundary, write a final
+        checkpoint (when one was configured), and return the
+        best-so-far layout with ``result.interrupted`` set; completed
+        runs return the final layout exactly as before this machinery
+        existed.
+        """
         started = time.perf_counter()
         num_cells = self.netlist.num_cells
-        num_nets = max(1, self.netlist.num_nets)
-        attempts_per_temp = self.config.attempts_per_cell * num_cells
 
         tracer = self.tracer
         if tracer is not None:
+            extra = None
+            if self._resumed:
+                extra = {"resumed_from_stage": self._stage_index,
+                         "resumed_phase": self._phase}
             tracer.run_start(
-                build_manifest(self.config, self.netlist, flow="simultaneous")
+                build_manifest(self.config, self.netlist, flow="simultaneous",
+                               extra=extra)
             )
 
-        walk_costs, current = self._random_walk(max(24, num_cells // 2))
-        temperature = self.schedule.start(walk_costs)
-        stage_index = 0
+        stop_reason: Optional[str] = None
+        with self.interrupt:
+            if self._resumed:
+                current = self.evaluator.terms()
+            else:
+                walk_costs, current = self._random_walk(max(24, num_cells // 2))
+                self.schedule.start(walk_costs)
+                self._phase = "anneal"
+            self._note_best(current)
 
-        while not self.schedule.frozen:
-            if self.config.critical_bias > 0:
-                self._refocus_moves()
-            accumulator = TermAccumulator()
-            costs: list[float] = []
-            perturbed_cells: set[int] = set()
-            accepted_here = 0
-            for _ in range(attempts_per_temp):
-                accepted, current, cells_touched = self._attempt(
-                    temperature, current
-                )
-                if accepted:
-                    accepted_here += 1
-                    perturbed_cells.update(cells_touched)
-                accumulator.add(current)
-                costs.append(self.weights.scalar(current))
-            acceptance = accepted_here / attempts_per_temp
-            sample = TemperatureSample(
-                temperature=temperature,
-                attempts=attempts_per_temp,
-                accepted=accepted_here,
-                cells_perturbed_frac=len(perturbed_cells) / num_cells,
-                global_unrouted_frac=current.global_unrouted / num_nets,
-                unrouted_frac=current.detail_unrouted / num_nets,
-                worst_delay=current.worst_delay,
-                mean_cost=(sum(costs) / len(costs)) if costs else 0.0,
-            )
-            self.dynamics.record(sample)
-            self.weights.recalibrate(accumulator.mean_terms())
-            current = self.evaluator.terms()  # same raw terms, fresh object
-            self._adjust_window(acceptance)
-            self.schedule.observe(acceptance, costs)
-            if tracer is not None:
-                # Stage-end terms under the *post-recalibration* weights:
-                # the last stage's (terms, weights) pair reconstructs the
-                # run's final cost bit-exactly (greedy never recalibrates).
-                tracer.stage(
-                    index=stage_index,
-                    **sample.as_dict(),
-                    terms={"G": current.global_unrouted,
-                           "D": current.detail_unrouted,
-                           "T": current.worst_delay},
-                    weights={"wg": self.weights.wg,
-                             "wd": self.weights.wd,
-                             "wt": self.weights.wt},
-                    window=self.moves.window,
-                    calm_streak=self.schedule.calm_streak,
-                )
-                every = self.instrumentation.snapshot_every
-                if every > 0 and stage_index % every == 0:
-                    # Imported lazily: repro.obs.snapshot pulls the
-                    # route/timing layers, which must not load as a side
-                    # effect of importing repro.core.
-                    from ..obs.snapshot import capture_snapshot
+            if self._phase == "anneal":
+                while not self.schedule.frozen:
+                    stop_reason = self._should_stop(started)
+                    if stop_reason is not None:
+                        break
+                    current = self._run_stage(current)
+                    self._stage_index += 1
+                    self._note_best(current)
+                    self._checkpoint_if_due()
+                if stop_reason is None:
+                    self._phase = "greedy"
 
-                    tracer.snapshot(
-                        capture_snapshot(
-                            self.ctx.state, self.ctx.timing,
-                            label=f"stage {stage_index}",
-                        ),
-                        stage=stage_index,
-                    )
-            temperature = self.schedule.next_temperature(costs)
-            stage_index += 1
+            if self._phase == "greedy":
+                current, stop_reason = self._greedy_cleanup(current, started)
+                if stop_reason is None:
+                    self._phase = "done"
 
-        current = self._greedy_cleanup(current)
+            # The final checkpoint records *trajectory* state, so it
+            # must be written before any best-so-far restore below —
+            # resuming from it continues the interrupted walk
+            # bit-exactly, wherever the best happened to be.
+            final_path = self.instrumentation.checkpoint_path
+            if final_path is not None:
+                self._write_checkpoint(final_path)
+
+            if stop_reason is not None and self.best_snapshot is not None:
+                # Interrupted: hand back the best layout seen at any
+                # stage boundary, not wherever the walk happened to be.
+                self.best_snapshot.restore(self.ctx.placement, self.ctx.state)
+                self.ctx.timing.full_update()
+                current = self.evaluator.terms()
 
         wall_time = time.perf_counter() - started
         profile = None
@@ -437,7 +712,7 @@ class SimultaneousAnnealer:
                         self.ctx.state, self.ctx.timing, label="final"
                     ),
                 )
-            tracer.run_end(
+            end_fields = dict(
                 moves_attempted=self._attempted,
                 moves_accepted=self._accepted,
                 temperatures=self.schedule.temperatures_done,
@@ -450,6 +725,11 @@ class SimultaneousAnnealer:
                 final_cost=self.weights.scalar(current),
                 state=self.ctx.state.summary(),
             )
+            if stop_reason is not None:
+                # Only present on interrupted runs, so plain traces are
+                # byte-identical to what pre-resilience runs emitted.
+                end_fields["interrupted"] = stop_reason
+            tracer.run_end(**end_fields)
             trace = tracer.finish()
         return AnnealResult(
             placement=self.ctx.placement,
@@ -463,7 +743,88 @@ class SimultaneousAnnealer:
             wall_time_s=wall_time,
             profile=profile,
             trace=trace,
+            interrupted=stop_reason,
+            checkpoint_path=self._last_checkpoint,
         )
+
+    def _run_stage(self, current: CostTerms) -> CostTerms:
+        """One temperature stage: attempts, dynamics, adaptation, cooling.
+
+        Mutates: every layer the accepted moves touch, plus the
+        schedule, weights, move window, and dynamics trace — exactly
+        the old inline loop body, extracted so resume and the stage-
+        boundary stop checks share one definition.
+        """
+        num_cells = self.netlist.num_cells
+        num_nets = max(1, self.netlist.num_nets)
+        attempts_per_temp = self.config.attempts_per_cell * num_cells
+        temperature = self.schedule.temperature
+        stage_index = self._stage_index
+        tracer = self.tracer
+
+        if self.config.critical_bias > 0:
+            self._refocus_moves()
+        accumulator = TermAccumulator()
+        costs: list[float] = []
+        perturbed_cells: set[int] = set()
+        accepted_here = 0
+        for _ in range(attempts_per_temp):
+            accepted, current, cells_touched = self._attempt(
+                temperature, current
+            )
+            if accepted:
+                accepted_here += 1
+                perturbed_cells.update(cells_touched)
+            accumulator.add(current)
+            costs.append(self.weights.scalar(current))
+        acceptance = accepted_here / attempts_per_temp
+        sample = TemperatureSample(
+            temperature=temperature,
+            attempts=attempts_per_temp,
+            accepted=accepted_here,
+            cells_perturbed_frac=len(perturbed_cells) / num_cells,
+            global_unrouted_frac=current.global_unrouted / num_nets,
+            unrouted_frac=current.detail_unrouted / num_nets,
+            worst_delay=current.worst_delay,
+            mean_cost=(sum(costs) / len(costs)) if costs else 0.0,
+        )
+        self.dynamics.record(sample)
+        self.weights.recalibrate(accumulator.mean_terms())
+        current = self.evaluator.terms()  # same raw terms, fresh object
+        self._adjust_window(acceptance)
+        self.schedule.observe(acceptance, costs)
+        if tracer is not None:
+            # Stage-end terms under the *post-recalibration* weights:
+            # the last stage's (terms, weights) pair reconstructs the
+            # run's final cost bit-exactly (greedy never recalibrates).
+            tracer.stage(
+                index=stage_index,
+                **sample.as_dict(),
+                terms={"G": current.global_unrouted,
+                       "D": current.detail_unrouted,
+                       "T": current.worst_delay},
+                weights={"wg": self.weights.wg,
+                         "wd": self.weights.wd,
+                         "wt": self.weights.wt},
+                window=self.moves.window,
+                calm_streak=self.schedule.calm_streak,
+            )
+            every = self.instrumentation.snapshot_every
+            if every > 0 and stage_index % every == 0:
+                # Imported lazily: repro.obs.snapshot pulls the
+                # route/timing layers, which must not load as a side
+                # effect of importing repro.core.
+                from ..obs.snapshot import capture_snapshot
+
+                tracer.snapshot(
+                    capture_snapshot(
+                        self.ctx.state, self.ctx.timing,
+                        label=f"stage {stage_index}",
+                    ),
+                    stage=stage_index,
+                )
+        self.schedule.next_temperature(costs)
+        return current
 
     def _refocus_moves(self) -> None:
         """Point the move generator at the current near-critical cells.

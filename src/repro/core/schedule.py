@@ -103,6 +103,24 @@ class CoolingSchedule:
         )
         self._calm_streak = self._calm_streak + 1 if calm else 0
 
+    def export_state(self) -> dict:
+        """The full mutable state, for checkpointing."""
+        return {
+            "temperature": self.temperature,
+            "temperatures_done": self.temperatures_done,
+            "calm_streak": self._calm_streak,
+        }
+
+    def adopt_state(self, record: dict) -> None:
+        """Restore state exported by :meth:`export_state`.
+
+        Mutates: this schedule (temperature, counters, started flag).
+        """
+        self.temperature = float(record["temperature"])
+        self.temperatures_done = int(record["temperatures_done"])
+        self._calm_streak = int(record["calm_streak"])
+        self._started = True
+
     @property
     def calm_streak(self) -> int:
         """Consecutive calm temperatures toward the freeze criterion."""

@@ -72,11 +72,14 @@ def save_layout(
     state: RoutingState,
     destination: Union[str, Path, TextIO],
 ) -> None:
-    """Write a layout to a JSON file or stream."""
+    """Write a layout to a JSON file (atomically) or to a stream."""
     data = layout_to_dict(placement, state)
     if isinstance(destination, (str, Path)):
-        with open(destination, "w", encoding="utf-8") as handle:
-            json.dump(data, handle, indent=1)
+        from ..resilience.atomic import atomic_write_text
+
+        atomic_write_text(
+            destination, json.dumps(data, indent=1), kind="layout"
+        )
         return
     json.dump(data, destination, indent=1)
 
@@ -167,10 +170,22 @@ def load_layout(
     architecture: Architecture,
     source: Union[str, Path, TextIO],
 ) -> tuple[Placement, RoutingState]:
-    """Read and validate a layout from a JSON file or stream."""
-    if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    else:
-        data = json.load(source)
+    """Read and validate a layout from a JSON file or stream.
+
+    Malformed JSON (e.g. a truncated file) raises
+    :class:`LayoutFormatError` like every other rejection path, so
+    callers need exactly one except clause.
+    """
+    try:
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        else:
+            data = json.load(source)
+    except json.JSONDecodeError as exc:
+        raise LayoutFormatError(
+            f"layout is not valid JSON (truncated?): {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise LayoutFormatError("layout is not a JSON object")
     return layout_from_dict(netlist, architecture, data)

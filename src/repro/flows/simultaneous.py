@@ -24,6 +24,7 @@ def run_simultaneous(
     config: Optional[AnnealerConfig] = None,
     profile: Optional[bool] = None,
     trace: Optional[bool] = None,
+    resume_from: Optional[dict] = None,
 ) -> FlowResult:
     """Run the simultaneous flow end to end.
 
@@ -33,6 +34,14 @@ def run_simultaneous(
     :class:`~repro.perf.RunProfile` rides in ``extra["profile"]`` and
     its :class:`~repro.obs.RunTrace` in ``extra["trace"]`` (None when
     the facility is off).
+
+    ``resume_from`` is a verified checkpoint payload (see
+    :func:`repro.resilience.read_checkpoint`): the anneal continues the
+    recorded trajectory instead of starting fresh.  Interrupted runs
+    (signal or budget, see the resilience fields on
+    :class:`~repro.core.AnnealerConfig`) report why in
+    ``extra["interrupted"]`` and the resumable checkpoint in
+    ``extra["checkpoint"]``.
     """
     started = time.perf_counter()
     overrides = {}
@@ -42,7 +51,9 @@ def run_simultaneous(
         overrides["trace"] = trace
     if overrides:
         config = dataclasses.replace(config or AnnealerConfig(), **overrides)
-    annealer = SimultaneousAnnealer(netlist, architecture, config)
+    annealer = SimultaneousAnnealer(
+        netlist, architecture, config, resume_from=resume_from
+    )
     result = annealer.run()
     report = analyze(result.state, architecture.technology)
     return FlowResult(
@@ -60,5 +71,7 @@ def run_simultaneous(
             "internal_worst_delay": result.worst_delay,
             "profile": result.profile,
             "trace": result.trace,
+            "interrupted": result.interrupted,
+            "checkpoint": result.checkpoint_path,
         },
     )

@@ -27,7 +27,14 @@ from pathlib import Path
 from typing import Iterable, Optional, Union
 
 #: Version of the event vocabulary written into every run manifest.
-TRACE_SCHEMA_VERSION = 1
+#: v2 added the ``checkpoint`` event (and the optional ``interrupted``
+#: field on ``run_end``); v1 traces remain readable.
+TRACE_SCHEMA_VERSION = 2
+
+#: Schema versions :func:`validate_events` accepts.  Old traces stay
+#: valid as long as every event type they use is still in the
+#: vocabulary — v2 only added to v1.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 #: Event type -> required fields (beyond ``type`` itself).  Optional
 #: fields may ride on any event; these are the floor a valid trace
@@ -39,6 +46,7 @@ EVENT_REQUIRED: dict[str, tuple[str, ...]] = {
     "sanitizer_violation": ("phase", "problems"),
     "note": ("message",),
     "snapshot": ("snapshot",),
+    "checkpoint": ("stage", "path"),
     "run_end": ("moves_attempted", "moves_accepted", "temperatures"),
 }
 
@@ -77,10 +85,13 @@ def validate_events(events: Iterable[dict]) -> list[str]:
                 )
             else:
                 version = event.get("schema_version")
-                if version != TRACE_SCHEMA_VERSION:
+                if version not in SUPPORTED_SCHEMA_VERSIONS:
+                    supported = ", ".join(
+                        str(v) for v in sorted(SUPPORTED_SCHEMA_VERSIONS)
+                    )
                     problems.append(
                         f"event {position}: unsupported schema_version "
-                        f"{version!r} (supported: {TRACE_SCHEMA_VERSION})"
+                        f"{version!r} (supported: {supported})"
                     )
             first = False
         if kind not in EVENT_REQUIRED:
@@ -165,8 +176,10 @@ class RunTrace:
         )
 
     def write_jsonl(self, path: Union[str, Path]) -> None:
-        """Write the trace to ``path`` as JSONL."""
-        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+        """Write the trace to ``path`` as JSONL, atomically."""
+        from ..resilience.atomic import atomic_write_text
+
+        atomic_write_text(path, self.to_jsonl(), kind="trace")
 
 
 def read_trace(path: Union[str, Path]) -> RunTrace:

@@ -332,10 +332,13 @@ def validate_snapshot(payload: object) -> list[str]:
 
 
 def write_snapshot(payload: dict, path: Union[str, Path]) -> None:
-    """Write one snapshot as indented JSON."""
-    Path(path).write_text(
+    """Write one snapshot as indented JSON, atomically."""
+    from ..resilience.atomic import atomic_write_text
+
+    atomic_write_text(
+        path,
         json.dumps(payload, sort_keys=True, indent=1) + "\n",
-        encoding="utf-8",
+        kind="snapshot",
     )
 
 

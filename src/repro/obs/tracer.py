@@ -179,6 +179,11 @@ class Instrumentation:
     #: Emit a layout ``snapshot`` event every N stages (0 = never).
     #: Only meaningful when ``tracer`` is present.
     snapshot_every: int = 0
+    #: Write a resumable checkpoint every N stages (0 = only the final
+    #: one); requires ``checkpoint_path`` (see :mod:`repro.resilience`).
+    checkpoint_every: int = 0
+    #: Destination for periodic and final checkpoints (None = none).
+    checkpoint_path: Optional[str] = None
 
     @property
     def metrics(self) -> Optional[MetricsRegistry]:
@@ -190,19 +195,25 @@ class Instrumentation:
         """Build every requested hook from one annealer-style config.
 
         Reads ``config.profile``, ``config.trace``, ``config.sanitize``,
-        ``config.sanitize_every`` and ``config.snapshot_every`` (each
-        optional, default off) — the single shared wiring point behind
-        ``--profile``, ``--trace``, ``--sanitize`` and
-        ``--snapshot-every``.
+        ``config.sanitize_every``, ``config.snapshot_every``,
+        ``config.checkpoint_every`` and ``config.checkpoint_path``
+        (each optional, default off) — the single shared wiring point
+        behind ``--profile``, ``--trace``, ``--sanitize``,
+        ``--snapshot-every`` and ``--checkpoint``.
         """
         sanitizer = None
         if getattr(config, "sanitize", False):
             from ..lint.runtime import MoveSanitizer
 
             sanitizer = MoveSanitizer(getattr(config, "sanitize_every", 1))
+        checkpoint_path = getattr(config, "checkpoint_path", None)
         return cls(
             profiler=maybe_profiler(getattr(config, "profile", False)),
             tracer=maybe_tracer(getattr(config, "trace", False)),
             sanitizer=sanitizer,
             snapshot_every=int(getattr(config, "snapshot_every", 0) or 0),
+            checkpoint_every=int(getattr(config, "checkpoint_every", 0) or 0),
+            checkpoint_path=(
+                str(checkpoint_path) if checkpoint_path is not None else None
+            ),
         )

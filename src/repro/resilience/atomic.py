@@ -1,0 +1,69 @@
+"""Atomic text-file writes: tmp + fsync + rename.
+
+Every JSON artifact the package emits (layouts, traces, snapshots,
+checkpoints) goes through :func:`atomic_write_text`, so a crash — power
+loss, OOM kill, an injected fault — can leave behind at worst a stale
+``*.tmp`` sibling, never a truncated artifact under the real name.
+
+The write sequence is the classic one:
+
+1. write the full text to ``<name>.tmp`` in the destination directory
+   (same filesystem, so the rename below is atomic);
+2. flush and ``fsync`` the temp file so its contents are durable before
+   the rename can make them visible;
+3. ``os.replace`` the temp file over the destination (atomic on POSIX
+   and Windows);
+4. best-effort ``fsync`` of the directory so the rename itself is
+   durable.
+
+``CRASH_HOOK`` is the fault-injection probe (see
+:mod:`repro.resilience.faults`): when set, it is called between steps 2
+and 3 with ``(path, kind)`` and may raise to simulate dying at the
+worst possible moment — after the bytes are written but before they
+become visible.  Production runs never set it; the guard is one
+``is not None`` test per artifact write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+#: Fault-injection probe: called as ``CRASH_HOOK(path, kind)`` after the
+#: temp file is durable but before the rename (None in production).
+CRASH_HOOK: Optional[Callable[[Path, str], None]] = None
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    kind: str = "artifact",
+    encoding: str = "utf-8",
+) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + rename).
+
+    ``kind`` labels the artifact class ("layout", "trace", "snapshot",
+    "checkpoint", ...) for the fault-injection hook; it has no effect on
+    the write itself.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding=encoding) as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    hook = CRASH_HOOK
+    if hook is not None:
+        hook(path, kind)
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent if str(path.parent) else ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)

@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the recovery paths.
+
+Crash-safety claims are only as good as the crashes they were tested
+against.  This module scripts three failure families at exact,
+reproducible points:
+
+* **Router faults** — raise :class:`RouterFault` on the Nth incremental
+  route attempt, simulating a bug or resource exhaustion deep inside a
+  move transaction.
+* **Write crashes** — raise :class:`SimulatedCrash` from the atomic
+  writer's ``CRASH_HOOK``, i.e. after the checkpoint's temp file is
+  durable but *before* the rename.  This is the worst crash window: the
+  bytes exist but the real path still holds the previous checkpoint.
+  Recovery must find the old checkpoint intact.
+* **Signal faults** — deliver a real SIGINT to the current process on
+  the Nth route attempt, exercising the
+  :class:`~repro.resilience.interrupt.InterruptController` path
+  mid-anneal rather than at a polite stage boundary.
+
+plus two byte-level corrupters (:func:`corrupt_file`,
+:func:`truncate_file`) for proving the checkpoint digest rejects
+damaged files.
+
+A :class:`FaultPlan` is parsed from a compact spec string
+(``"router@120"``, ``"crash-rename@2"``, ``"sigint@300"``, comma-
+joined) so CI jobs and tests can describe faults declaratively; a
+:class:`FaultInjector` context manager arms the plan by installing the
+two module-global hooks (``route.incremental.FAULT_HOOK``,
+``resilience.atomic.CRASH_HOOK``) and disarms them on exit.  Attempt
+counting is the injector's own — deterministic because the routers are.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+
+class FaultError(RuntimeError):
+    """Base class for injected faults."""
+
+
+class RouterFault(FaultError):
+    """Injected failure inside an incremental route attempt."""
+
+
+class SimulatedCrash(FaultError):
+    """Injected process death between artifact write and rename."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and exactly when.
+
+    All triggers are 1-based counts; 0 disables that fault.
+    ``crash_kind`` selects which artifact class the write-crash applies
+    to (checkpoints by default, so layout/trace writes stay healthy).
+    """
+
+    router_attempt: int = 0
+    crash_write: int = 0
+    crash_kind: str = "checkpoint"
+    sigint_attempt: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"router@N,crash-rename@N,sigint@N"`` specs.
+
+        Raises ValueError on unknown fault names or bad counts.
+        """
+        router_attempt = crash_write = sigint_attempt = 0
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, count_text = part.partition("@")
+            if not sep:
+                raise ValueError(f"fault {part!r} is missing '@N'")
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise ValueError(
+                    f"fault {part!r} has a non-integer trigger"
+                ) from None
+            if count <= 0:
+                raise ValueError(f"fault {part!r} trigger must be positive")
+            if name == "router":
+                router_attempt = count
+            elif name == "crash-rename":
+                crash_write = count
+            elif name == "sigint":
+                sigint_attempt = count
+            else:
+                raise ValueError(
+                    f"unknown fault {name!r} "
+                    "(expected router, crash-rename, or sigint)"
+                )
+        return cls(
+            router_attempt=router_attempt,
+            crash_write=crash_write,
+            sigint_attempt=sigint_attempt,
+        )
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` by installing the global fault hooks.
+
+    Use as a context manager around the run under test::
+
+        with FaultInjector(FaultPlan(router_attempt=120)):
+            annealer.run()   # raises RouterFault at route attempt 120
+
+    Only one injector may be armed at a time; nesting raises
+    RuntimeError rather than silently stacking counters.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.route_attempts = 0
+        self.write_count = 0
+        # Bind the hook methods once: an attribute access creates a
+        # fresh bound-method object each time, so uninstall's identity
+        # check needs these exact objects.
+        self._route_hook = self._on_route
+        self._crash_hook = self._on_write
+
+    # ------------------------------------------------------------------
+    # Hook bodies
+    # ------------------------------------------------------------------
+    def _on_route(self, kind: str, net_index: int) -> None:
+        self.route_attempts += 1
+        if self.route_attempts == self.plan.sigint_attempt:
+            os.kill(os.getpid(), signal.SIGINT)
+        if self.route_attempts == self.plan.router_attempt:
+            raise RouterFault(
+                f"injected router fault at attempt {self.route_attempts} "
+                f"({kind} route of net {net_index})"
+            )
+
+    def _on_write(self, path: Path, kind: str) -> None:
+        if kind != self.plan.crash_kind:
+            return
+        self.write_count += 1
+        if self.write_count == self.plan.crash_write:
+            raise SimulatedCrash(
+                f"injected crash before renaming {path} "
+                f"(write {self.write_count})"
+            )
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        from . import atomic
+        from ..route import incremental
+
+        if incremental.FAULT_HOOK is not None or atomic.CRASH_HOOK is not None:
+            raise RuntimeError("a fault injector is already armed")
+        if self.plan.router_attempt or self.plan.sigint_attempt:
+            incremental.FAULT_HOOK = self._route_hook
+        if self.plan.crash_write:
+            atomic.CRASH_HOOK = self._crash_hook
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        from . import atomic
+        from ..route import incremental
+
+        if incremental.FAULT_HOOK is self._route_hook:
+            incremental.FAULT_HOOK = None
+        if atomic.CRASH_HOOK is self._crash_hook:
+            atomic.CRASH_HOOK = None
+
+
+# ----------------------------------------------------------------------
+# Byte-level corrupters
+# ----------------------------------------------------------------------
+def corrupt_file(
+    path: Union[str, Path],
+    offset: Optional[int] = None,
+    flip: int = 0x01,
+) -> int:
+    """Flip one byte of a file in place; returns the offset corrupted.
+
+    Defaults to the middle byte, which for the compact checkpoint
+    envelope always lands inside semantic JSON, never in ignorable
+    whitespace.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path} is empty; nothing to corrupt")
+    if offset is None:
+        offset = len(data) // 2
+    data[offset] ^= flip
+    path.write_bytes(bytes(data))
+    return offset
+
+
+def truncate_file(path: Union[str, Path], keep_fraction: float = 0.5) -> int:
+    """Cut a file short, as a torn non-atomic write would; returns new size."""
+    path = Path(path)
+    data = path.read_bytes()
+    keep = int(len(data) * keep_fraction)
+    path.write_bytes(data[:keep])
+    return keep

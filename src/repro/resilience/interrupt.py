@@ -1,0 +1,118 @@
+"""Graceful interruption: signal handlers and run budgets.
+
+The annealer polls one :class:`InterruptController` at every stage
+boundary (and greedy-round boundary).  When the controller says stop,
+the run breaks out of its loop cleanly — weights, schedule, timing, and
+routing state are all at a consistent stage boundary — writes a final
+checkpoint, and returns the best-so-far layout.  The controller itself
+is pure bookkeeping: it consumes no RNG, so budget-free runs are
+bit-identical with or without it.
+
+Two stop sources are multiplexed:
+
+* **Signals** — SIGINT/SIGTERM set a flag on first delivery (the run
+  finishes its current stage, checkpoints, and exits); a *second*
+  SIGINT raises :class:`KeyboardInterrupt` so an impatient Ctrl-C
+  Ctrl-C still kills the process the classic way.  Handler installation
+  is opt-in (``handle_signals``) and restored on exit, so library users
+  embedding the annealer keep their own handlers.
+* **Budgets** — wall-clock seconds, total stage count, and total move
+  attempts.  A budget of 0 means unlimited.  Budgets are checked
+  against values the caller passes in; the controller never reads the
+  clock itself, keeping the determinism contract in one place
+  (``run()`` already measures elapsed time for ``wall_time_s``).
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import Optional
+
+
+class InterruptController:
+    """Multiplexes stop requests from signals and run budgets.
+
+    ``max_seconds`` / ``max_stages`` / ``max_moves`` of 0 disable that
+    budget.  ``max_stages`` counts *global* stage indices, so a resumed
+    run continues the count of the run that wrote the checkpoint.
+    """
+
+    def __init__(
+        self,
+        max_seconds: float = 0.0,
+        max_stages: int = 0,
+        max_moves: int = 0,
+        handle_signals: bool = False,
+    ) -> None:
+        self.max_seconds = max_seconds
+        self.max_stages = max_stages
+        self.max_moves = max_moves
+        self.handle_signals = handle_signals
+        self._stop_reason: Optional[str] = None
+        self._signal_count = 0
+        self._saved_handlers: list = []
+
+    # ------------------------------------------------------------------
+    # Stop requests
+    # ------------------------------------------------------------------
+    @property
+    def stop_requested(self) -> Optional[str]:
+        """The pending stop reason, or None."""
+        return self._stop_reason
+
+    def request_stop(self, reason: str) -> None:
+        """Record a stop request (first reason wins)."""
+        if self._stop_reason is None:
+            self._stop_reason = reason
+
+    def should_stop(
+        self, stage_index: int, moves: int, elapsed_s: float
+    ) -> Optional[str]:
+        """The reason to stop now, or None to keep going.
+
+        Checked by the annealer at stage boundaries with its own
+        counters and clock; signal flags win over budgets so the reason
+        reported is the one the user caused.
+        """
+        if self._stop_reason is not None:
+            return self._stop_reason
+        if self.max_seconds > 0 and elapsed_s >= self.max_seconds:
+            self.request_stop(f"wall-clock budget ({self.max_seconds:g}s)")
+        elif self.max_stages > 0 and stage_index >= self.max_stages:
+            self.request_stop(f"stage budget ({self.max_stages})")
+        elif self.max_moves > 0 and moves >= self.max_moves:
+            self.request_stop(f"move budget ({self.max_moves})")
+        return self._stop_reason
+
+    # ------------------------------------------------------------------
+    # Signal handling
+    # ------------------------------------------------------------------
+    def _handle(self, signum, frame) -> None:
+        self._signal_count += 1
+        if self._signal_count >= 2:
+            raise KeyboardInterrupt
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = str(signum)
+        self.request_stop(f"signal {name}")
+
+    def __enter__(self) -> "InterruptController":
+        if self.handle_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous = signal.signal(signum, self._handle)
+                except (ValueError, OSError, AttributeError):
+                    # Not the main thread (or an exotic platform):
+                    # budgets still work, signals stay with the host.
+                    continue
+                self._saved_handlers.append((signum, previous))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        while self._saved_handlers:
+            signum, previous = self._saved_handlers.pop()
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass

@@ -31,6 +31,12 @@ from .channel_router import DEFAULT_SEGMENT_WEIGHT, route_net_in_channel
 from .global_router import ripup_order, route_net_global
 from .state import RoutingState
 
+#: Fault-injection probe (see :mod:`repro.resilience.faults`): when
+#: set, called as ``FAULT_HOOK(kind, net_index)`` before every route
+#: attempt and allowed to raise.  None in production; the guard is one
+#: ``is not None`` test per :meth:`IncrementalRouter.repair` call.
+FAULT_HOOK = None
+
 
 @dataclass(frozen=True)
 class NetSnapshot:
@@ -163,6 +169,7 @@ class IncrementalRouter:
         touched: set[int] = set()
         fast = self.fast_path
         mx = self.metrics
+        fault_hook = FAULT_HOOK
 
         pending_global = ripup_order(state, sorted(state.unrouted_global))
         for net_index in pending_global:
@@ -173,6 +180,8 @@ class IncrementalRouter:
             if journal is not None:
                 journal.snapshot(net_index)
             touched.add(net_index)
+            if fault_hook is not None:
+                fault_hook("global", net_index)
             ok = route_net_global(state, net_index)
             if mx is not None:
                 mx.count("repair.global_ok" if ok else "repair.global_fail")
@@ -191,6 +200,8 @@ class IncrementalRouter:
                 if journal is not None:
                     journal.snapshot(net_index)
                 touched.add(net_index)
+                if fault_hook is not None:
+                    fault_hook("detail", net_index)
                 ok = route_net_in_channel(
                     state, net_index, channel, self.segment_weight
                 )

@@ -185,6 +185,59 @@ class IncrementalTiming:
         """T: the maximum arrival at any boundary input."""
         return max(self.boundary_in.values()) if self.boundary_in else 0.0
 
+    def export_state(self) -> dict:
+        """The incrementally-maintained arrays, for checkpointing.
+
+        Serialized *verbatim* rather than recomputed on restore:
+        incremental propagation clips sub-``EPSILON`` changes, so the
+        maintained values can differ from a from-scratch recompute in
+        the last float bits — and resume must reproduce the maintained
+        trajectory exactly, not an equally-valid fresh one.
+        """
+        return {
+            "arrival": list(self.arrival),
+            "boundary_in": {
+                str(cell_index): self.boundary_in[cell_index]
+                for cell_index in sorted(self.boundary_in)
+            },
+            "delay_cache": [
+                None if cached is None else list(cached)
+                for cached in self._delay_cache
+            ],
+        }
+
+    def adopt_state(self, record: dict) -> None:
+        """Restore the arrays exported by :meth:`export_state`.
+
+        Mutates: this analyzer's arrival/boundary/cache arrays.  Raises
+        ValueError when the record's shape does not match the netlist.
+        """
+        arrival = [float(value) for value in record["arrival"]]
+        if len(arrival) != self.netlist.num_cells:
+            raise ValueError(
+                f"arrival record has {len(arrival)} cells, "
+                f"netlist has {self.netlist.num_cells}"
+            )
+        cache_record = record["delay_cache"]
+        if len(cache_record) != self.netlist.num_nets:
+            raise ValueError(
+                f"delay-cache record has {len(cache_record)} nets, "
+                f"netlist has {self.netlist.num_nets}"
+            )
+        boundary_in = {
+            int(key): float(value)
+            for key, value in record["boundary_in"].items()
+        }
+        for cell_index in boundary_in:
+            if not 0 <= cell_index < self.netlist.num_cells:
+                raise ValueError(f"boundary cell index {cell_index} out of range")
+        self.arrival = arrival
+        self.boundary_in = boundary_in
+        self._delay_cache = [
+            None if cached is None else [float(value) for value in cached]
+            for cached in cache_record
+        ]
+
     # ------------------------------------------------------------------
     # Incremental propagation
     # ------------------------------------------------------------------

@@ -72,3 +72,66 @@ class TestRunAndCompare:
         out = capsys.readouterr().out
         assert "% improvement" in out
         assert "Timing comparison" in out
+
+
+class TestResilienceCli:
+    """Checkpoint/resume flags and the typed-error exit codes."""
+
+    @pytest.fixture(autouse=True)
+    def small_benchmark(self, monkeypatch):
+        from repro import cli
+        from repro.netlist import tiny
+
+        monkeypatch.setattr(
+            cli, "paper_benchmark", lambda name: tiny(seed=3, num_cells=30)
+        )
+
+    def run_args(self, *extra):
+        return ["run", "s1", "--tracks", "12", "--effort", "fast", *extra]
+
+    def test_checkpoint_every_requires_checkpoint(self, capsys):
+        assert main(self.run_args("--checkpoint-every", "2")) == 2
+        assert "--checkpoint-every requires" in capsys.readouterr().err
+
+    def test_resume_rejected_on_sequential_flow(self, capsys, tmp_path):
+        code = main(
+            self.run_args("--flow", "sequential",
+                          "--resume", str(tmp_path / "ck"))
+        )
+        assert code == 2
+        assert "simultaneous" in capsys.readouterr().err
+
+    def test_missing_checkpoint_is_exit_4(self, capsys, tmp_path):
+        code = main(self.run_args("--resume", str(tmp_path / "nope.ckpt")))
+        assert code == 4
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_corrupt_checkpoint_is_exit_4(self, capsys, tmp_path):
+        from repro.resilience import corrupt_file
+
+        path = tmp_path / "anneal.ckpt"
+        assert main(self.run_args("--checkpoint", str(path))) == 0
+        capsys.readouterr()
+        corrupt_file(path)
+        code = main(self.run_args("--resume", str(path)))
+        assert code == 4
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_interrupt_then_resume_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "anneal.ckpt"
+        main(self.run_args("--checkpoint", str(path),
+                           "--checkpoint-every", "1", "--max-stages", "2"))
+        captured = capsys.readouterr()
+        assert "interrupted: stage budget (2)" in captured.err
+        assert f"--resume {path}" in captured.err
+        assert path.exists()
+
+        assert main(self.run_args("--resume", str(path))) == 0
+        captured = capsys.readouterr()
+        assert "interrupted" not in captured.err
+        assert "worst_delay_ns" in captured.out
+
+    def test_sequential_flow_notes_ignored_budgets(self, capsys):
+        main(self.run_args("--flow", "sequential", "--max-stages", "3"))
+        assert "apply only to" in capsys.readouterr().err

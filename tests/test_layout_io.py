@@ -129,7 +129,61 @@ class TestValidation:
         with pytest.raises(LayoutFormatError, match="unplaced"):
             layout_to_dict(placement, state)
 
+    def test_unknown_net_rejected(self, layout, tiny_netlist):
+        _, _, arch = layout
+        data = self._data(layout)
+        data["nets"]["ghost_net"] = {"claims": []}
+        with pytest.raises(LayoutFormatError, match="unknown net"):
+            layout_from_dict(tiny_netlist, arch, data)
+
+    def test_truncated_json_rejected(self, layout, tiny_netlist, tmp_path):
+        placement, state, arch = layout
+        path = tmp_path / "layout.json"
+        save_layout(placement, state, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(LayoutFormatError, match="not valid JSON"):
+            load_layout(tiny_netlist, arch, path)
+
+    def test_non_object_json_rejected(self, layout, tiny_netlist, tmp_path):
+        _, _, arch = layout
+        path = tmp_path / "layout.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(LayoutFormatError, match="not a JSON object"):
+            load_layout(tiny_netlist, arch, path)
+
     def test_json_is_plain(self, layout):
         placement, state, _ = layout
         text = json.dumps(layout_to_dict(placement, state))
         assert "slot" in text and "claims" in text
+
+
+class TestAtomicSave:
+    def test_no_tmp_left_behind(self, layout, tmp_path):
+        placement, state, _ = layout
+        path = tmp_path / "layout.json"
+        save_layout(placement, state, path)
+        assert path.exists()
+        assert not (tmp_path / "layout.json.tmp").exists()
+
+    def test_same_bytes_as_stream_dump(self, layout, tmp_path):
+        """The atomic rewrite must not change the on-disk format."""
+        placement, state, _ = layout
+        path = tmp_path / "layout.json"
+        save_layout(placement, state, path)
+        buffer = io.StringIO()
+        save_layout(placement, state, buffer)
+        assert path.read_text() == buffer.getvalue()
+
+    def test_crash_before_rename_preserves_old_file(self, layout, tmp_path):
+        from repro.resilience import FaultInjector, FaultPlan
+
+        placement, state, _ = layout
+        path = tmp_path / "layout.json"
+        save_layout(placement, state, path)
+        original = path.read_text()
+        plan = FaultPlan(crash_write=1, crash_kind="layout")
+        with FaultInjector(plan):
+            with pytest.raises(Exception, match="injected crash"):
+                save_layout(placement, state, path)
+        assert path.read_text() == original

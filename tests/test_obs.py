@@ -44,7 +44,7 @@ from repro.obs.cli import main as trace_main
 
 from conftest import architecture_for
 
-GOLDEN_SCHEMA = Path(__file__).parent / "data" / "trace_schema_v1.json"
+GOLDEN_SCHEMA = Path(__file__).parent / "data" / "trace_schema_v2.json"
 
 
 def micro_config(**overrides):
