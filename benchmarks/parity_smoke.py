@@ -1,0 +1,74 @@
+"""Array-core vs legacy-core parity smoke (CI job).
+
+The flat-array move core (``AnnealerConfig(array_core=True)``, the
+default) must be an invisible optimization: a legacy object-graph run
+with the same seed has to reproduce the identical anneal bit-for-bit.
+``tests/test_arraystate.py`` pins the contract property-style on tiny
+circuits; this smoke re-checks it at benchmark scale on the ``smoke``
+bench case, so the fallback path stays green and comparable run-over-run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parity_smoke.py [--design smoke]
+
+Exit status is non-zero on any divergence or audit failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from bench_moves_per_sec import _DETERMINISM_KEYS, CASES, calibrate, run_case
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--design", choices=sorted(CASES), default="smoke",
+        help="bench case to run on both cores (default smoke)",
+    )
+    args = parser.parse_args(argv)
+    case = CASES[args.design]
+    calibration_s = calibrate()
+
+    records = {}
+    for core in ("array", "legacy"):
+        record = run_case(
+            case, calibration_s, profile=False, array_core=core == "array"
+        )
+        records[core] = record
+        print(
+            f"{args.design} ({core}): {record['moves_attempted']} moves -> "
+            f"{record['moves_per_sec']:.1f} moves/s "
+            f"(score {record['normalized_score']:.3f}, "
+            f"routed={record['fully_routed']}, "
+            f"audit_clean={record['audit_clean']})"
+        )
+
+    ok = True
+    for core, record in records.items():
+        if not record["audit_clean"]:
+            print(f"FAIL: {core} core finished with a dirty audit",
+                  file=sys.stderr)
+            ok = False
+    for key in _DETERMINISM_KEYS:
+        if records["array"][key] != records["legacy"][key]:
+            print(
+                f"FAIL: cores diverged on {key}: "
+                f"array={records['array'][key]!r} "
+                f"legacy={records['legacy'][key]!r}",
+                file=sys.stderr,
+            )
+            ok = False
+    if ok:
+        speedup = records["array"]["normalized_score"] / (
+            records["legacy"]["normalized_score"] or 1e-12
+        )
+        print(f"parity ok; array/legacy throughput ratio {speedup:.2f}x")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

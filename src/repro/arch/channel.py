@@ -19,18 +19,133 @@ the paper builds its whole argument on.
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, NamedTuple, Optional
+from weakref import WeakKeyDictionary
 
 from .segmentation import Segmentation
 
 NetId = int
 
 
-@dataclass(frozen=True)
-class ChannelClaim:
+class SegmentationTables:
+    """Flat lookup tables for one segmentation, shared by every channel.
+
+    A fabric instantiates *one* horizontal segmentation for all of its
+    channels and one vertical segmentation for all of its columns, so
+    everything that depends only on the segment geometry is computed
+    once and shared:
+
+    * ``seg_at[t][col]`` — index of the segment of track ``t``
+      containing ``col`` (an O(1) array lookup in place of bisecting
+      the per-track start columns);
+    * per-interval candidate tables — for a needed interval ``[lo,
+      hi]`` every track has exactly one covering segment run, so the
+      complete candidate set (run bounds, used length, wastage, and a
+      segment-occupancy bitmask per run) is a static property of the
+      segmentation.  Only *feasibility* depends on runtime occupancy,
+      which a single ``occ & mask`` test per entry answers.
+
+    The candidate tables are materialized lazily per distinct interval
+    and kept pre-sorted in the two selection orders the routers use, so
+    the hot scans (:meth:`Channel.best_weighted`,
+    :meth:`Channel.best_tight`) walk a static list and return at the
+    first entry whose run is free.
+    """
+
+    __slots__ = ("width", "tracks", "starts", "seg_at", "_weighted", "_tight")
+
+    def __init__(self, segmentation: Segmentation) -> None:
+        self.width = segmentation.width
+        self.tracks = segmentation.tracks
+        self.starts = [
+            [seg[0] for seg in track] for track in segmentation.tracks
+        ]
+        self.seg_at: list[list[int]] = []
+        for track in segmentation.tracks:
+            table = [0] * segmentation.width
+            for index, (start, end) in enumerate(track):
+                for col in range(start, end):
+                    table[col] = index
+            self.seg_at.append(table)
+        # weight -> (lo, hi) -> entries sorted by (cost, track);
+        # (lo, hi) -> entries sorted by (wastage, num_segments, track).
+        self._weighted: dict[float, dict[tuple[int, int], list[tuple]]] = {}
+        self._tight: dict[tuple[int, int], list[tuple]] = {}
+
+    def _entries(self, lo: int, hi: int) -> list[tuple]:
+        """One raw candidate per track for ``[lo, hi]``, in track order.
+
+        Entry layout: ``(mask, track, first_seg, last_seg, used,
+        wastage, num_segments)``.
+        """
+        entries = []
+        span = hi - lo + 1
+        for track, segs in enumerate(self.tracks):
+            table = self.seg_at[track]
+            first = table[lo]
+            last = table[hi]
+            used = segs[last][1] - segs[first][0]
+            mask = ((1 << (last - first + 1)) - 1) << first
+            entries.append(
+                (mask, track, first, last, used, used - span, last - first + 1)
+            )
+        return entries
+
+    def weighted_entries(
+        self, lo: int, hi: int, weight: float
+    ) -> list[tuple]:
+        """Candidates for ``[lo, hi]`` sorted by (weighted cost, track).
+
+        First-feasible in this order is exactly the strict-``<`` minimum
+        of ``wastage + weight * num_segments`` over candidates in track
+        order — the selection :meth:`Channel.best_weighted` must make.
+        """
+        per_weight = self._weighted.get(weight)
+        if per_weight is None:
+            per_weight = self._weighted[weight] = {}
+        entries = per_weight.get((lo, hi))
+        if entries is None:
+            raw = self._entries(lo, hi)
+            raw.sort(key=lambda e: (e[5] + weight * e[6], e[1]))
+            entries = per_weight[(lo, hi)] = [e[:5] for e in raw]
+        return entries
+
+    def tight_entries(self, lo: int, hi: int) -> list[tuple]:
+        """Candidates sorted by (wastage, num_segments, track).
+
+        First-feasible in this order matches the strict-``<`` scan over
+        ``(wastage, num_segments)`` keys in track order — the selection
+        the vertical (global-routing) router makes.
+        """
+        entries = self._tight.get((lo, hi))
+        if entries is None:
+            raw = self._entries(lo, hi)
+            raw.sort(key=lambda e: (e[5], e[6], e[1]))
+            entries = self._tight[(lo, hi)] = [e[:5] for e in raw]
+        return entries
+
+
+#: Shared tables per segmentation instance.  Weak keys: tables die with
+#: the (fabric-owned) segmentation, never the other way around.
+_TABLES: "WeakKeyDictionary[Segmentation, SegmentationTables]" = (
+    WeakKeyDictionary()
+)
+
+
+def tables_for(segmentation: Segmentation) -> SegmentationTables:
+    """The shared :class:`SegmentationTables` for a segmentation."""
+    tables = _TABLES.get(segmentation)
+    if tables is None:
+        tables = _TABLES[segmentation] = SegmentationTables(segmentation)
+    return tables
+
+
+class ChannelClaim(NamedTuple):
     """A committed detailed-routing assignment inside one channel.
+
+    A NamedTuple (not a frozen dataclass) because the move loop builds
+    one per committed claim: tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
 
     Attributes
     ----------
@@ -58,9 +173,12 @@ class ChannelClaim:
         return self.num_segments - 1
 
 
-@dataclass(frozen=True)
-class TrackCandidate:
-    """A feasible (free) track assignment for an interval, with its cost terms."""
+class TrackCandidate(NamedTuple):
+    """A feasible (free) track assignment for an interval, with its cost terms.
+
+    NamedTuple for cheap construction: the candidate scans build one per
+    winning entry on every routing attempt.
+    """
 
     track: int
     first_seg: int
@@ -84,10 +202,16 @@ class Channel:
         self._owner: list[list[Optional[NetId]]] = [
             [None] * len(track) for track in segmentation.tracks
         ]
-        # Cache of segment start columns per track for bisection.
-        self._starts: list[list[int]] = [
-            [seg[0] for seg in track] for track in segmentation.tracks
-        ]
+        # Flat lookup tables shared across all channels with this
+        # segmentation (see :class:`SegmentationTables`).
+        self._tables = tables_for(segmentation)
+        self._starts = self._tables.starts
+        self._seg_at = self._tables.seg_at
+        # _occ[t] is a bitmask with bit s set iff segment s of track t
+        # is owned; mirrors _owner exactly (claim/release/reclaim keep
+        # both).  Feasibility of a segment run [first, last] is one
+        # integer test: ``occ & run_mask == 0``.
+        self._occ: list[int] = [0] * segmentation.num_tracks
 
     @property
     def width(self) -> int:
@@ -107,7 +231,7 @@ class Channel:
 
     def _segment_at(self, track: int, col: int) -> int:
         """Index of the segment of ``track`` containing column ``col``."""
-        return bisect_right(self._starts[track], col) - 1
+        return self._seg_at[track][col]
 
     def run_for(self, track: int, lo: int, hi: int) -> tuple[int, int]:
         """Segment-index run on ``track`` needed to cover ``[lo, hi]``."""
@@ -142,38 +266,39 @@ class Channel:
     ) -> Optional[TrackCandidate]:
         """Lowest ``wastage + segment_weight * num_segments`` candidate.
 
-        Fused form of ``min(candidates(lo, hi), key=...)`` for the
-        incremental router's hot loop: one flat scan over tracks with no
-        per-track function calls and a single :class:`TrackCandidate`
-        allocated at the end.  Ties keep the lowest track index, exactly
-        like a strict ``<`` comparison over :meth:`candidates` in track
-        order — selection must stay bit-identical to the generic path.
+        Table-walk form of ``min(candidates(lo, hi), key=...)`` for the
+        incremental router's hot loop: the shared segmentation tables
+        keep every track's run for ``[lo, hi]`` pre-sorted by
+        ``(cost, track)``, so the scan is one occupancy-bitmask test per
+        entry and stops at the first free run.  Ties keep the lowest
+        track index, exactly like a strict ``<`` comparison over
+        :meth:`candidates` in track order — selection must stay
+        bit-identical to the generic path.
         """
         self._check_interval(lo, hi)
-        span = hi - lo + 1
-        best = None
-        best_cost = 0.0
-        tracks = self.segmentation.tracks
-        single = lo == hi
-        for track in range(len(tracks)):
-            starts = self._starts[track]
-            first = bisect_right(starts, lo) - 1
-            last = first if single else bisect_right(starts, hi) - 1
-            owner = self._owner[track]
-            for s in range(first, last + 1):
-                if owner[s] is not None:
-                    break
-            else:
-                segs = tracks[track]
-                used = segs[last][1] - segs[first][0]
-                cost = (used - span) + segment_weight * (last - first + 1)
-                if best is None or cost < best_cost:
-                    best = (track, first, last, used)
-                    best_cost = cost
-        if best is None:
-            return None
-        track, first, last, used = best
-        return TrackCandidate(track, first, last, used, used - span)
+        occ = self._occ
+        for mask, track, first, last, used in self._tables.weighted_entries(
+            lo, hi, segment_weight
+        ):
+            if not occ[track] & mask:
+                return TrackCandidate(track, first, last, used, used - (hi - lo + 1))
+        return None
+
+    def best_tight(self, lo: int, hi: int) -> Optional[TrackCandidate]:
+        """Lowest ``(wastage, num_segments)`` candidate, ties to low track.
+
+        Same table-walk scheme as :meth:`best_weighted`, in the
+        selection order the vertical-column (global-routing) assignment
+        uses; identical to a strict ``<`` scan over
+        ``(candidate.wastage, candidate.num_segments)`` keys across
+        :meth:`candidates` in track order.
+        """
+        self._check_interval(lo, hi)
+        occ = self._occ
+        for mask, track, first, last, used in self._tables.tight_entries(lo, hi):
+            if not occ[track] & mask:
+                return TrackCandidate(track, first, last, used, used - (hi - lo + 1))
+        return None
 
     def claim(self, net: NetId, candidate: TrackCandidate, lo: int, hi: int) -> ChannelClaim:
         """Commit ``candidate`` for ``net``; returns the recorded claim."""
@@ -186,6 +311,9 @@ class Channel:
                 )
         for s in range(candidate.first_seg, candidate.last_seg + 1):
             owner[s] = net
+        self._occ[candidate.track] |= (1 << (candidate.last_seg + 1)) - (
+            1 << candidate.first_seg
+        )
         return ChannelClaim(
             self.index, candidate.track, candidate.first_seg, candidate.last_seg, lo, hi
         )
@@ -204,6 +332,9 @@ class Channel:
                     f"owned by {owner[s]}, expected net {net}"
                 )
             owner[s] = None
+        self._occ[claim.track] &= ~(
+            (1 << (claim.last_seg + 1)) - (1 << claim.first_seg)
+        )
 
     def reclaim(self, net: NetId, claim: ChannelClaim) -> None:
         """Re-commit a claim captured earlier (used by move rollback)."""
@@ -216,6 +347,9 @@ class Channel:
                 )
         for s in range(claim.first_seg, claim.last_seg + 1):
             owner[s] = net
+        self._occ[claim.track] |= (1 << (claim.last_seg + 1)) - (
+            1 << claim.first_seg
+        )
 
     def owner_of(self, track: int, seg: int) -> Optional[NetId]:
         """Net id owning a segment, or None if free."""

@@ -20,8 +20,7 @@ coordinate axis reinterpreted (columns -> channels), so
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, NamedTuple, Optional
 
 from .channel import Channel, TrackCandidate
 from .segmentation import Segmentation, full_length_segmentation, uniform_segmentation
@@ -29,9 +28,11 @@ from .segmentation import Segmentation, full_length_segmentation, uniform_segmen
 NetId = int
 
 
-@dataclass(frozen=True)
-class VerticalClaim:
+class VerticalClaim(NamedTuple):
     """A committed vertical (global-routing) assignment at one column.
+
+    A NamedTuple for the same reason as
+    :class:`~repro.arch.channel.ChannelClaim`: hot-path construction.
 
     Attributes
     ----------
@@ -91,15 +92,14 @@ class VerticalColumn:
         return self._channel.candidates(cmin, cmax)
 
     def best_candidate(self, cmin: int, cmax: int) -> Optional[TrackCandidate]:
-        """Least-wasteful feasible assignment, ties broken by fewer segments."""
-        best: Optional[TrackCandidate] = None
-        for candidate in self._channel.candidates(cmin, cmax):
-            if best is None or (candidate.wastage, candidate.num_segments) < (
-                best.wastage,
-                best.num_segments,
-            ):
-                best = candidate
-        return best
+        """Least-wasteful feasible assignment, ties broken by fewer segments.
+
+        Delegates to the shared-table occupancy-bitmask scan, which
+        makes exactly the selection a strict ``<`` comparison over
+        ``(wastage, num_segments)`` across :meth:`candidates` in track
+        order would make.
+        """
+        return self._channel.best_tight(cmin, cmax)
 
     def claim(self, net: NetId, candidate: TrackCandidate, cmin: int, cmax: int) -> VerticalClaim:
         """Commit a candidate assignment for a net."""

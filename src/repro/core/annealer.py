@@ -73,6 +73,12 @@ class AnnealerConfig:
     #: either way; off exists for the golden determinism test and A/B
     #: benchmarking.
     fast_path: bool = True
+    #: Flat-array move core (see :mod:`repro.core.arraystate`): journal
+    #: phantom-restore keyed on per-net route versions, geometry restore
+    #: by assignment, and delay-cache reuse across moves.  Results are
+    #: bit-identical with the flag off (the legacy object-graph core);
+    #: legacy exists for the parity smoke test and A/B benchmarking.
+    array_core: bool = True
     #: Runtime sanitizer: after every move transaction, cross-check
     #: rollback completeness, negative-cache coherence, and the full
     #: invariant audit (see :mod:`repro.lint.runtime`).  Slow but
@@ -256,6 +262,10 @@ class SimultaneousAnnealer:
         router.route_all_from_scratch()
         timing = IncrementalTiming(state, self.technology)
         timing.metrics = metrics
+        if self.config.array_core:
+            from .arraystate import ArrayState
+
+            ArrayState.attach(state, timing)
         self.ctx = LayoutContext(placement, state, router, timing,
                                  profiler=self.profiler, metrics=metrics)
         self.weights = CostWeights(
@@ -391,6 +401,14 @@ class SimultaneousAnnealer:
                       "T": terms.worst_delay},
             "layout": layout_to_dict(self.ctx.placement, self.ctx.state),
             "timing": self.ctx.timing.export_state(),
+            # Flat-array core side-state (schema-compatible addition:
+            # validate_payload tolerates unknown sections, so pre-array
+            # checkpoints restore fine without it and array checkpoints
+            # restore fine on legacy-core runs, which ignore it).
+            "arrays": {
+                "route_version": list(self.ctx.state.route_version),
+                "delay_cache_version": list(self.ctx.timing._cache_version),
+            },
             "dynamics": [
                 dataclasses.asdict(sample) for sample in self.dynamics.samples
             ],
@@ -424,6 +442,37 @@ class SimultaneousAnnealer:
             raise CheckpointError(
                 f"checkpoint timing record is invalid: {exc}"
             ) from exc
+        arrays_record = payload.get("arrays")
+        if arrays_record is not None:
+            # Adopt the writing run's version counters verbatim so the
+            # resumed trajectory's version comparisons — and hence its
+            # fast-path decisions — match an uninterrupted run exactly.
+            # Checkpoints without the section (pre-array writers) fall
+            # back to adopt_state's revalidation, which is equivalent:
+            # every non-None cache entry in a live run is version-valid.
+            try:
+                route_version = [int(v) for v in arrays_record["route_version"]]
+                cache_version = [
+                    int(v) for v in arrays_record["delay_cache_version"]
+                ]
+                if len(route_version) != len(self.ctx.state.route_version):
+                    raise ValueError(
+                        f"route_version has {len(route_version)} nets, "
+                        f"expected {len(self.ctx.state.route_version)}"
+                    )
+                if len(cache_version) != len(self.ctx.timing._cache_version):
+                    raise ValueError(
+                        f"delay_cache_version has {len(cache_version)} nets, "
+                        f"expected {len(self.ctx.timing._cache_version)}"
+                    )
+                from array import array
+
+                self.ctx.state.route_version[:] = array("Q", route_version)
+                self.ctx.timing._cache_version[:] = array("Q", cache_version)
+            except (KeyError, TypeError, ValueError, OverflowError) as exc:
+                raise CheckpointError(
+                    f"checkpoint arrays record is invalid: {exc}"
+                ) from exc
         self.rng.setstate(decode_rng_state(payload["rng_state"]))
         try:
             self.schedule.adopt_state(payload["schedule"])

@@ -53,6 +53,9 @@ def check_all(
     problems.extend(verify_layout(state, require_complete=require_complete))
     if timing is not None:
         problems.extend(timing.audit())
+    arrays = getattr(state, "arrays", None)
+    if arrays is not None:
+        problems.extend(arrays.check_all())
     return problems
 
 
@@ -169,7 +172,10 @@ class MoveSanitizer:
 
     # -- sampled probes ------------------------------------------------
     def _cache_probe(self, state: RoutingState) -> list[str]:
-        """One channel's detail cache + one net's global cache, round-robin.
+        """One channel's detail cache + one net's global cache, round-robin,
+        plus (under the flat-array core) one array-coherence sample:
+        occupancy bitmasks vs owner arrays vs committed claims, and one
+        version-valid delay-cache entry vs a bit-exact recompute.
 
         Deterministic sampling (a move counter, never an RNG) keeps the
         sanitizer invisible to the annealer's random stream.
@@ -183,4 +189,7 @@ class MoveSanitizer:
         num_nets = len(state.routes)
         if num_nets:
             problems.extend(state.audit_global_cache(self._moves % num_nets))
+        arrays = getattr(state, "arrays", None)
+        if arrays is not None:
+            problems.extend(arrays.probe(self._moves))
         return problems

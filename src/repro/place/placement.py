@@ -48,6 +48,17 @@ class Placement:
                 )
             self._palettes.append(palette_cache[key])
         self._pinmap_index: list[int] = [0] * netlist.num_cells
+        # Hot-path adjacency, precomputed once (the netlist is frozen
+        # above): per net, the (cell index, port) of each terminal in
+        # driver-first order, so :meth:`net_pin_positions` runs without
+        # any name->cell dict lookups.
+        self._net_terminals: list[tuple[tuple[int, str], ...]] = [
+            tuple(
+                (netlist.cell(cell_name).index, port)
+                for cell_name, port in net.terminals()
+            )
+            for net in netlist.nets
+        ]
 
     # ------------------------------------------------------------------
     # Slot assignment
@@ -165,12 +176,27 @@ class Placement:
         return (self.fabric.channel_for(row, side), col)
 
     def net_pin_positions(self, net_index: int) -> list[PinPosition]:
-        """Positions of all terminals of a net (driver first)."""
-        net = self.netlist.nets[net_index]
+        """Positions of all terminals of a net (driver first).
+
+        Hot path (called for every affected net of every move): runs on
+        the precomputed terminal index table with the per-pin lookups
+        of :meth:`pin_position` inlined and hoisted.
+        """
+        slot_of = self._slot_of
+        palettes = self._palettes
+        pinmap_index = self._pinmap_index
         positions = []
-        for cell_name, port in net.terminals():
-            cell = self.netlist.cell(cell_name)
-            positions.append(self.pin_position(cell.index, port))
+        for cell_index, port in self._net_terminals[net_index]:
+            slot = slot_of[cell_index]
+            if slot is None:
+                raise PlacementError(
+                    f"cell {self.netlist.cells[cell_index].name!r} is not placed"
+                )
+            row, col = slot
+            side = palettes[cell_index][pinmap_index[cell_index]].side_of(port)
+            # channel_for(row, side) inlined: bottom pins see channel
+            # ``row``, top pins ``row + 1`` (fabric invariant).
+            positions.append((row if side == "bottom" else row + 1, col))
         return positions
 
     def net_bounding_box(self, net_index: int) -> tuple[int, int, int, int]:

@@ -62,6 +62,7 @@ CHECKPOINT_KIND = "repro-anneal-checkpoint"
 #: or checkpoint cadence) and the instrumentation flags (profiling,
 #: tracing, sanitizing, and snapshotting are all proven bit-identical).
 NON_IDENTITY_FIELDS = (
+    "array_core",
     "checkpoint_path",
     "checkpoint_every",
     "max_seconds",

@@ -91,17 +91,34 @@ def route_net_in_channel(
     pending entries, or records the failure in the negative cache).
     """
     route = state.routes[net_index]
-    if not route.globally_routed:
+    if route.vertical is None and route.cmax > route.cmin:
+        # not globally_routed, inlined (hot path).
         return False
     if channel in route.claims:
         return True
-    needs = route.requirements()
-    if channel not in needs:
+    # Inline single-channel form of route.requirements(): only this
+    # channel's interval matters, so skip building the full dict.
+    columns = route.pin_channels.get(channel)
+    if columns is None:
         # Nothing needed here (e.g. stale queue entry after a move).
         state.discard_detail_pending(net_index, channel)
         return True
-    lo, hi = needs[channel]
-    candidate = best_candidate(state, channel, lo, hi, segment_weight, strategy)
+    lo, hi = columns[0], columns[-1]
+    vertical = route.vertical
+    if vertical is not None:
+        trunk = vertical.column
+        if trunk < lo:
+            lo = trunk
+        if trunk > hi:
+            hi = trunk
+    if strategy == "weighted":
+        candidate = state.fabric.channels[channel].best_weighted(
+            lo, hi, segment_weight
+        )
+    else:
+        candidate = best_candidate(
+            state, channel, lo, hi, segment_weight, strategy
+        )
     if candidate is None:
         # Feasibility is strategy-independent (every strategy scans the
         # same candidate set), so the failure is safe to cache for the

@@ -50,21 +50,21 @@ def route_net_global(state: RoutingState, net_index: int) -> bool:
     the failure in the negative cache).
     """
     route = state.routes[net_index]
-    if route.globally_routed:
+    if route.vertical is not None or route.cmax <= route.cmin:
+        # globally_routed, inlined (hot path).
         state.unrouted_global.discard(net_index)
         return True
     center = (route.xmin + route.xmax) // 2
-    fabric = state.fabric
-    for column in column_scan_order(center, fabric.cols):
-        candidate = fabric.vcolumns[column].best_candidate(route.cmin, route.cmax)
+    vcolumns = state.fabric.vcolumns
+    cmin, cmax = route.cmin, route.cmax
+    for column in column_scan_order(center, len(vcolumns)):
+        candidate = vcolumns[column].best_candidate(cmin, cmax)
         if candidate is None:
             continue
-        claim = fabric.vcolumns[column].claim(
-            net_index, candidate, route.cmin, route.cmax
-        )
+        claim = vcolumns[column].claim(net_index, candidate, cmin, cmax)
         state.commit_vertical(net_index, claim)
         return True
-    state.note_global_failure(net_index, route.cmin, route.cmax)
+    state.note_global_failure(net_index, cmin, cmax)
     return False
 
 

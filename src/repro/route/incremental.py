@@ -22,8 +22,7 @@ during repair cannot collide).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, NamedTuple, Optional
 
 from ..arch.channel import ChannelClaim
 from ..arch.vertical import VerticalClaim
@@ -38,13 +37,30 @@ from .state import RoutingState
 FAULT_HOOK = None
 
 
-@dataclass(frozen=True)
-class NetSnapshot:
-    """A net's committed claims at journal time."""
+class NetSnapshot(NamedTuple):
+    """A net's committed claims and geometry at journal time.
+
+    A NamedTuple rather than a frozen dataclass: one is built for every
+    net a move touches, and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     net_index: int
     vertical: Optional[VerticalClaim]
     claims: tuple[ChannelClaim, ...]
+    #: Route-version counter at snapshot time (see
+    #: ``RoutingState.route_version``); version equality at restore
+    #: proves the record is untouched.
+    version: int
+    #: Geometry captured by reference: ``refresh_geometry`` replaces
+    #: ``route.pin_channels`` (and its column lists) wholesale rather
+    #: than mutating in place, so the captured objects stay valid and
+    #: restore is an assignment.
+    pin_channels: dict[int, list[int]]
+    cmin: int
+    cmax: int
+    xmin: int
+    xmax: int
 
 
 class NetJournal:
@@ -60,7 +76,15 @@ class NetJournal:
             return
         route = self._state.routes[net_index]
         self._snapshots[net_index] = NetSnapshot(
-            net_index, route.vertical, tuple(route.claims.values())
+            net_index,
+            route.vertical,
+            tuple(route.claims.values()),
+            self._state.route_version[net_index],
+            route.pin_channels,
+            route.cmin,
+            route.cmax,
+            route.xmin,
+            route.xmax,
         )
 
     def touched(self) -> set[int]:
@@ -71,17 +95,42 @@ class NetJournal:
         """Put every journaled net back to its snapshot.
 
         Phase 1 rips up all touched nets (freeing whatever repair
-        claimed); phase 2 refreshes geometry (the caller must already
+        claimed); phase 2 restores geometry (the caller must already
         have undone the placement mutation) and re-commits the
         snapshots.  The two-phase order is what makes segment exchange
         between nets safe to undo.
+
+        Under the flat-array core (``state.arrays`` set), a journaled
+        net whose route version is unchanged since snapshot — typically
+        a neighbour that repair considered but never re-routed — is
+        provably already in its snapshot state, so the rip-up/re-commit
+        round trip collapses to :meth:`RoutingState.log_phantom_releases`,
+        which reproduces the round trip's only lasting side effects
+        (release-log entries and fail-cache clears) without touching
+        occupancy.  Changed nets restore geometry by assignment from
+        the snapshot instead of recomputing pin positions.  Both
+        shortcuts leave the routing state, release logs, and caches
+        bit-identical to the legacy path.
         """
         state = self._state
+        fast = state.arrays is not None
+        versions = state.route_version
+        changed: list[int] = []
         for net_index in sorted(self._snapshots):
+            if fast and versions[net_index] == self._snapshots[net_index].version:
+                state.log_phantom_releases(net_index)
+                continue
             state.rip_up(net_index)
-        for net_index in sorted(self._snapshots):
+            changed.append(net_index)
+        for net_index in changed:
             snap = self._snapshots[net_index]
-            state.refresh_geometry(net_index)
+            if fast:
+                state.adopt_geometry(
+                    net_index, snap.pin_channels, snap.cmin, snap.cmax,
+                    snap.xmin, snap.xmax,
+                )
+            else:
+                state.refresh_geometry(net_index)
             if snap.vertical is not None:
                 state.fabric.vcolumns[snap.vertical.column].reclaim(
                     net_index, snap.vertical
@@ -126,10 +175,12 @@ class IncrementalRouter:
         (records pre-rip snapshots).  Rip-up order follows sorted net
         index so the release logs never depend on set iteration order.
         """
+        rip_up = self.state.rip_up
+        snapshot = None if journal is None else journal.snapshot
         for net_index in sorted(net_indices):
-            if journal is not None:
-                journal.snapshot(net_index)
-            self.state.rip_up(net_index)
+            if snapshot is not None:
+                snapshot(net_index)
+            rip_up(net_index)
 
     def refresh_nets(self, net_indices: Iterable[int]) -> None:
         """Recompute geometry after the placement mutation is applied.
@@ -167,19 +218,28 @@ class IncrementalRouter:
         """
         state = self.state
         touched: set[int] = set()
+        add_touched = touched.add
         fast = self.fast_path
         mx = self.metrics
         fault_hook = FAULT_HOOK
+        snapshot = None if journal is None else journal.snapshot
+        # Same-module private peek: most attempts re-touch an already-
+        # journaled net, so the membership test is inlined to skip the
+        # snapshot() call (which would re-test and return) entirely.
+        snapshotted = None if journal is None else journal._snapshots
+        hopeless_global = state.global_attempt_is_hopeless
+        hopeless_detail = state.detail_attempt_is_hopeless
+        segment_weight = self.segment_weight
 
         pending_global = ripup_order(state, sorted(state.unrouted_global))
         for net_index in pending_global:
-            if fast and state.global_attempt_is_hopeless(net_index):
+            if fast and hopeless_global(net_index):
                 if mx is not None:
                     mx.count("cache.global_hit")
                 continue
-            if journal is not None:
-                journal.snapshot(net_index)
-            touched.add(net_index)
+            if snapshot is not None and net_index not in snapshotted:
+                snapshot(net_index)
+            add_touched(net_index)
             if fault_hook is not None:
                 fault_hook("global", net_index)
             ok = route_net_global(state, net_index)
@@ -190,20 +250,21 @@ class IncrementalRouter:
             channels: Iterable[int] = sorted(state.dirty_channels)
         else:
             channels = range(state.fabric.num_channels)
+        unrouted_detail = state.unrouted_detail
         for channel in channels:
-            pending = ripup_order(state, sorted(state.unrouted_detail[channel]))
+            pending = ripup_order(state, sorted(unrouted_detail[channel]))
             for net_index in pending:
-                if fast and state.detail_attempt_is_hopeless(net_index, channel):
+                if fast and hopeless_detail(net_index, channel):
                     if mx is not None:
                         mx.count("cache.detail_hit")
                     continue
-                if journal is not None:
-                    journal.snapshot(net_index)
-                touched.add(net_index)
+                if snapshot is not None and net_index not in snapshotted:
+                    snapshot(net_index)
+                add_touched(net_index)
                 if fault_hook is not None:
                     fault_hook("detail", net_index)
                 ok = route_net_in_channel(
-                    state, net_index, channel, self.segment_weight
+                    state, net_index, channel, segment_weight
                 )
                 if mx is not None:
                     mx.count("repair.detail_ok" if ok else "repair.detail_fail")

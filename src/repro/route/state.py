@@ -26,6 +26,7 @@ and exposes the counters ``G`` and ``D`` of the cost function.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -92,8 +93,16 @@ class NetRoute:
 
     @property
     def fully_routed(self) -> bool:
-        """Whether every net is completely routed."""
-        return self.globally_routed and not self.missing_channels()
+        """Whether every net is completely routed.
+
+        O(1): equivalent to ``not missing_channels()`` — a claim exists
+        for every pin channel (dict-keys superset test) and the global
+        route, if needed, is committed.  ``globally_routed`` is inlined
+        (hot: called per net per timing recompute).
+        """
+        return (
+            self.vertical is not None or self.cmax <= self.cmin
+        ) and self.claims.keys() >= self.pin_channels.keys()
 
     def horizontal_antifuses(self) -> int:
         """Programmed horizontal antifuses across all claims."""
@@ -131,8 +140,11 @@ class RoutingState:
         self.dirty_channels: set[int] = set()
         # Per-net mirror of the channels it is pending in, so rip-up /
         # re-mark touches only those channels instead of scanning all.
-        self._pending_channels: list[set[int]] = [
-            set() for _ in range(len(self.routes))
+        # Kept as a *sorted list* per net: the hot re-mark path iterates
+        # it in order (no per-call ``sorted``), and removal is O(n) on a
+        # list of at most a handful of channels.
+        self._pending_channels: list[list[int]] = [
+            [] for _ in range(len(self.routes))
         ]
         # O(1) D-counter support: per-net count of missing channel claims,
         # per-net "counts toward D" flag, and the running total.
@@ -156,6 +168,19 @@ class RoutingState:
         self._global_fail: list[Optional[tuple[int, int, int]]] = (
             [None] * len(self.routes)
         )
+        #: Per-net monotonic route-version counter, bumped by every
+        #: mutation of the net's route record (geometry refresh, rip-up,
+        #: vertical/detail commit).  Version equality between two
+        #: observations proves the record — claims, vertical, geometry —
+        #: is untouched in between; the flat-array core keys its journal
+        #: fast-restore and timing-cache reuse on it.  Starts at 0 and
+        #: is ≥ 1 after construction (the initial geometry pass bumps
+        #: every net), so 0 doubles as a "never valid" sentinel.
+        self.route_version = array("Q", bytes(8 * len(self.routes)))
+        #: Flat-array mirror bundle (:class:`repro.core.arraystate.ArrayState`)
+        #: when the annealer runs with ``array_core=True``; None under
+        #: the legacy object-graph core.
+        self.arrays = None
         for net in self.netlist.nets:
             self.refresh_geometry(net.index)
 
@@ -185,29 +210,74 @@ class RoutingState:
         route.cmax = max(pin_channels)
         route.xmin = min(columns[0] for columns in pin_channels.values())
         route.xmax = max(columns[-1] for columns in pin_channels.values())
+        self.route_version[net_index] += 1
+        self._mark_unrouted(route)
+        return route
+
+    def adopt_geometry(
+        self,
+        net_index: int,
+        pin_channels: dict[int, list[int]],
+        cmin: int,
+        cmax: int,
+        xmin: int,
+        xmax: int,
+    ) -> NetRoute:
+        """Restore previously captured geometry by assignment.
+
+        Move rollback's replacement for :meth:`refresh_geometry`: the
+        journal snapshot holds the pre-move geometry (by reference —
+        geometry fields are replaced wholesale, never mutated in
+        place), so restoring is an assignment instead of a
+        placement-wide pin recompute.  Same contract and side effects
+        as :meth:`refresh_geometry`: the net must hold no claims, and
+        it is re-marked unrouted.
+
+        Mutates: the net's route record, unrouted books, fail caches.
+        """
+        route = self.routes[net_index]
+        if route.vertical is not None or route.claims:
+            raise RuntimeError(
+                f"net {net_index} still holds claims; rip it up before "
+                "adopting geometry"
+            )
+        route.pin_channels = pin_channels
+        route.cmin = cmin
+        route.cmax = cmax
+        route.xmin = xmin
+        route.xmax = xmax
+        self.route_version[net_index] += 1
         self._mark_unrouted(route)
         return route
 
     def _mark_unrouted(self, route: NetRoute) -> None:
         net_index = route.net_index
-        if route.needs_vertical:
+        if route.cmax > route.cmin:  # needs_vertical, sans property call
             self.unrouted_global.add(net_index)
         else:
             self.unrouted_global.discard(net_index)
-        # Sorted iteration keeps the mutation order (and hence any
-        # downstream observation of it) a function of contents, not of
-        # set insertion history — both fast and exhaustive repair paths
-        # must be order-invariant by construction.
-        for channel in sorted(self._pending_channels[net_index]):
-            pending = self.unrouted_detail[channel]
-            pending.discard(net_index)
-            if not pending:
-                self.dirty_channels.discard(channel)
-        pending_channels = set(route.pin_channels)
-        self._pending_channels[net_index] = pending_channels
-        for channel in sorted(pending_channels):
-            self.unrouted_detail[channel].add(net_index)
-            self.dirty_channels.add(channel)
+        # The mirror lists are maintained sorted, so iterating them keeps
+        # the mutation order (and hence any downstream observation of
+        # it) a function of contents, not of set insertion history —
+        # both fast and exhaustive repair paths must be order-invariant
+        # by construction.
+        unrouted_detail = self.unrouted_detail
+        dirty_channels = self.dirty_channels
+        old_pending = self._pending_channels[net_index]
+        pending_channels = sorted(route.pin_channels)
+        if pending_channels != old_pending:
+            for channel in old_pending:
+                pending = unrouted_detail[channel]
+                pending.discard(net_index)
+                if not pending:
+                    dirty_channels.discard(channel)
+            self._pending_channels[net_index] = pending_channels
+            for channel in pending_channels:
+                unrouted_detail[channel].add(net_index)
+                dirty_channels.add(channel)
+        # else: the mirror is exact (the consistency audit pins it), so
+        # discarding and re-adding the same memberships is a no-op —
+        # common when an unrouted net is ripped up again.
         self._missing[net_index] = len(pending_channels)
         # Geometry (and hence requirements) may have changed: forget
         # every cached routing failure for this net.
@@ -220,7 +290,7 @@ class RoutingState:
         route = self.routes[net_index]
         counting = (
             self._missing[net_index] > 0
-            or (route.needs_vertical and route.vertical is None)
+            or (route.cmax > route.cmin and route.vertical is None)
         )
         if counting and not self._counts_d[net_index]:
             self._d_count += 1
@@ -237,6 +307,7 @@ class RoutingState:
         if route.vertical is not None:
             raise RuntimeError(f"net {net_index} already has a vertical claim")
         route.vertical = claim
+        self.route_version[net_index] += 1
         self.unrouted_global.discard(net_index)
         self._refresh_d(net_index)
 
@@ -248,6 +319,7 @@ class RoutingState:
                 f"net {net_index} already routed in channel {claim.channel}"
             )
         route.claims[claim.channel] = claim
+        self.route_version[net_index] += 1
         self._drop_pending(net_index, claim.channel)
 
     def rip_up(self, net_index: int) -> None:
@@ -281,7 +353,45 @@ class RoutingState:
                 claim.channel, segs[claim.first_seg][0], segs[claim.last_seg][1] - 1
             )
         route.claims = {}
+        self.route_version[net_index] += 1
         self._mark_unrouted(route)
+
+    def log_phantom_releases(self, net_index: int) -> None:
+        """Log the releases a rip-up of this net *would* produce.
+
+        The journal fast-restore path skips rip-up + re-commit for a
+        net whose route record is provably untouched since snapshot
+        (route version unchanged), but the release logs — which the
+        negative caches replay, and whose compaction events clear
+        cached failures channel-wide — must evolve exactly as if the
+        rip-up/re-claim round trip had happened.  This appends the
+        identical log entries in the identical order (vertical first,
+        then channels in sorted order) and applies the same per-net
+        fail-cache clears :meth:`_mark_unrouted` would, without
+        touching occupancy, geometry, or the pending books.
+
+        Mutates: release logs (and, via compaction, every net's fail
+        caches), this net's fail caches.
+        """
+        route = self.routes[net_index]
+        vertical = route.vertical
+        if vertical is not None:
+            segs = self.fabric.vcolumns[vertical.column].segmentation.tracks[
+                vertical.track
+            ]
+            self._log_vertical_release(
+                segs[vertical.first_seg][0], segs[vertical.last_seg][1] - 1
+            )
+        for channel in sorted(route.claims):
+            claim = route.claims[channel]
+            segs = self.fabric.channels[claim.channel].segmentation.tracks[
+                claim.track
+            ]
+            self._log_channel_release(
+                claim.channel, segs[claim.first_seg][0], segs[claim.last_seg][1] - 1
+            )
+        self._detail_fail[net_index].clear()
+        self._global_fail[net_index] = None
 
     # ------------------------------------------------------------------
     # Cost-function counters and diagnostics
@@ -292,7 +402,9 @@ class RoutingState:
             pending.discard(net_index)
             if not pending:
                 self.dirty_channels.discard(channel)
-            self._pending_channels[net_index].discard(channel)
+            # Invariantly present: the mirror tracks unrouted_detail
+            # membership exactly (remove raises on drift, as an audit).
+            self._pending_channels[net_index].remove(channel)
             self._missing[net_index] -= 1
             self._refresh_d(net_index)
 
@@ -531,10 +643,10 @@ class RoutingState:
                 for channel, channel_sets in enumerate(self.unrouted_detail)
                 if net_index in channel_sets
             }
-            if actual_channels != self._pending_channels[net_index]:
+            if sorted(actual_channels) != self._pending_channels[net_index]:
                 problems.append(
                     f"net {net_index} pending-channel drift: mirror "
-                    f"{sorted(self._pending_channels[net_index])}, actual "
+                    f"{self._pending_channels[net_index]}, actual "
                     f"{sorted(actual_channels)}"
                 )
             if len(actual_channels) != self._missing[net_index]:
@@ -592,4 +704,21 @@ class RoutingState:
                             f"orphan segment ch{channel_index} t{track} s{seg} "
                             f"owned by net {owner}"
                         )
+        # The flat occupancy bitmasks must mirror the owner arrays
+        # bit-for-bit (horizontal channels and vertical columns alike).
+        for label, channel in [
+            (f"ch{i}", ch) for i, ch in enumerate(self.fabric.channels)
+        ] + [
+            (f"vcol{vc.column}", vc._channel) for vc in self.fabric.vcolumns
+        ]:
+            for track, owners in enumerate(channel._owner):
+                expected = 0
+                for seg, owner in enumerate(owners):
+                    if owner is not None:
+                        expected |= 1 << seg
+                if channel._occ[track] != expected:
+                    problems.append(
+                        f"occupancy bitmask drift: {label} t{track} mask "
+                        f"{channel._occ[track]:#x}, owners imply {expected:#x}"
+                    )
         return problems

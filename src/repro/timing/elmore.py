@@ -291,7 +291,166 @@ def build_rc_tree(
 def routed_sink_delays(
     state: RoutingState, tech: Technology, net_index: int
 ) -> list[float]:
-    """Elmore delay driver -> each sink of a fully routed net (sink order)."""
-    tree, sink_nodes = build_rc_tree(state, tech, net_index)
-    delays = tree.elmore_delays()
+    """Elmore delay driver -> each sink of a fully routed net (sink order).
+
+    Flat-kernel form of ``build_rc_tree`` + ``elmore_delays`` for the
+    incremental-timing hot loop: the cap/parent/resistance arrays are
+    built inline — same nodes, same construction order, same float
+    operation sequence, so the delays are bit-identical to the tree
+    path (``tests/test_elmore.py`` pins the equivalence) — and the two
+    prefix-sum passes (reverse subtree-capacitance accumulation,
+    forward delay propagation) run over plain lists with no per-node
+    object or closure dispatch.  :func:`build_rc_tree` remains the
+    labeled/introspectable form used by reports and the xray CLI.
+    """
+    route = state.routes[net_index]
+    if not route.fully_routed:
+        raise ValueError(f"net {net_index} is not fully routed")
+    placement = state.placement
+    fabric = state.fabric
+
+    # Node arrays; node 0 is the driver output (cap 0, no parent edge).
+    cap: list[float] = [0.0]
+    parent: list[int] = [-1]
+    resistance: list[float] = [0.0]
+
+    r_seg = tech.r_segment_per_col
+    r_fuse = tech.r_antifuse
+    c_fuse = tech.c_antifuse
+    c_per_col = tech.c_segment_per_col + tech.c_unprogrammed
+    r_cross = tech.r_cross
+    c_cross = tech.c_cross
+
+    # One table-driven geometry call for every terminal (driver
+    # first, then sinks in net order) instead of a name lookup and a
+    # pin_position dispatch per pin.
+    positions = placement.net_pin_positions(net_index)
+    drv_chan, drv_col = positions[0]
+    vertical = route.vertical
+    trunk_col = vertical.column if vertical is not None else None
+
+    chain_nodes: dict[int, dict[int, int]] = {}
+
+    def chain_for(
+        channel: int, root_point: int, root_parent: int,
+        root_resistance: float, extra_cap: float,
+    ) -> dict[int, int]:
+        claim = route.claims[channel]
+        segments = fabric.channels[channel].segmentation.tracks[claim.track]
+        first, last = claim.first_seg, claim.last_seg
+        breaks = [segments[s][1] for s in range(first, last)]
+        columns = set(route.pin_channels[channel])
+        if trunk_col is not None:
+            columns.add(trunk_col)
+        points = sorted(columns)
+        nodes: dict[int, int] = {}
+        node = len(cap)
+        cap.append(extra_cap)
+        parent.append(root_parent)
+        resistance.append(root_resistance)
+        nodes[root_point] = node
+        for ascending in (True, False):
+            if ascending:
+                arm = [p for p in points if p > root_point]
+            else:
+                arm = [p for p in points if p < root_point][::-1]
+            previous = root_point
+            prev_node = nodes[root_point]
+            for point in arm:
+                low, high = (previous, point) if previous < point else (point, previous)
+                n_fuses = 0
+                for p in breaks:
+                    if low < p <= high:
+                        n_fuses += 1
+                wire_c = c_per_col * (high - low)
+                half = wire_c / 2
+                cap[prev_node] += half
+                node = len(cap)
+                cap.append(half + n_fuses * c_fuse)
+                parent.append(prev_node)
+                resistance.append(r_seg * (high - low) + n_fuses * r_fuse)
+                nodes[point] = node
+                prev_node = node
+                previous = point
+        left_over = max(0, claim.lo - segments[first][0])
+        right_over = max(0, segments[last][1] - (claim.hi + 1))
+        cap[nodes[points[0]]] += c_per_col * left_over
+        cap[nodes[points[-1]]] += c_per_col * right_over
+        return nodes
+
+    # Driver channel chain, rooted at the driver's tap column.
+    chain_nodes[drv_chan] = chain_for(
+        drv_chan, drv_col, 0, tech.r_driver + r_cross, c_cross
+    )
+
+    # Vertical trunk (if any), rooted at the driver's channel, then the
+    # remaining channels' chains rooted at the trunk column.
+    if vertical is not None:
+        vsegments = fabric.vcolumns[vertical.column].segmentation.tracks[
+            vertical.track
+        ]
+        vfirst, vlast = vertical.first_seg, vertical.last_seg
+        vbreaks = [vsegments[s][1] for s in range(vfirst, vlast)]
+        vpoints = sorted(route.pin_channels)
+        r_vfuse = tech.r_vantifuse
+        c_vfuse = tech.c_vantifuse
+        vertical_rc = tech.vertical_rc
+        vnodes: dict[int, int] = {}
+        node = len(cap)
+        cap.append(2 * c_cross)
+        parent.append(chain_nodes[drv_chan][vertical.column])
+        resistance.append(2 * r_cross)
+        vnodes[drv_chan] = node
+        for ascending in (True, False):
+            if ascending:
+                arm = [p for p in vpoints if p > drv_chan]
+            else:
+                arm = [p for p in vpoints if p < drv_chan][::-1]
+            previous = drv_chan
+            prev_node = vnodes[drv_chan]
+            for point in arm:
+                low, high = (previous, point) if previous < point else (point, previous)
+                n_fuses = 0
+                for p in vbreaks:
+                    if low < p <= high:
+                        n_fuses += 1
+                wire_r, wire_c = vertical_rc(high - low)
+                half = wire_c / 2
+                cap[prev_node] += half
+                node = len(cap)
+                cap.append(half + n_fuses * c_vfuse)
+                parent.append(prev_node)
+                resistance.append(wire_r + n_fuses * r_vfuse)
+                vnodes[point] = node
+                prev_node = node
+                previous = point
+        v_low_over = max(0, vertical.cmin - vsegments[vfirst][0])
+        v_high_over = max(0, vsegments[vlast][1] - (vertical.cmax + 1))
+        cap[vnodes[vpoints[0]]] += tech.c_vertical_per_chan * v_low_over
+        cap[vnodes[vpoints[-1]]] += tech.c_vertical_per_chan * v_high_over
+        for channel in vpoints:
+            if channel == drv_chan:
+                continue
+            chain_nodes[channel] = chain_for(
+                channel, vertical.column, vnodes[channel],
+                2 * r_cross, 2 * c_cross,
+            )
+
+    # Sinks: cross antifuse off the chain plus the input pin load.
+    c_sink = c_cross + tech.c_pin
+    sink_nodes: list[int] = []
+    for chan, col in positions[1:]:
+        node = len(cap)
+        cap.append(c_sink)
+        parent.append(chain_nodes[chan][col])
+        resistance.append(r_cross)
+        sink_nodes.append(node)
+
+    # Elmore in two prefix passes over the flat arrays.
+    totals = cap[:]
+    for node in range(len(cap) - 1, 0, -1):
+        totals[parent[node]] += totals[node]
+    delays = [0.0] * len(cap)
+    for node in range(1, len(cap)):
+        delays[node] = delays[parent[node]] + resistance[node] * totals[node]
     return [delays[node] for node in sink_nodes]

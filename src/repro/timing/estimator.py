@@ -24,31 +24,49 @@ the exact model takes over.
 from __future__ import annotations
 
 import math
+from weakref import WeakKeyDictionary
 
 from ..arch.fabric import Fabric
 from ..arch.technology import Technology
 from ..route.state import NetRoute
 
+#: Per-fabric (mean horizontal, mean vertical) segment lengths.  The
+#: means are pure functions of the fabric's two segmentation schemes,
+#: but recomputing them walks every track — far too hot for a function
+#: called once per unembedded net per timing update.  Weak keys: the
+#: cache entry dies with the fabric.
+_MEAN_SEGMENTS: "WeakKeyDictionary[Fabric, tuple[float, float]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _mean_segments(fabric: Fabric) -> tuple[float, float]:
+    means = _MEAN_SEGMENTS.get(fabric)
+    if means is None:
+        means = _MEAN_SEGMENTS[fabric] = (
+            max(1.0, fabric.channels[0].segmentation.mean_segment_length()),
+            max(1.0, fabric.vcolumns[0].segmentation.mean_segment_length()),
+        )
+    return means
+
 
 def _mean_horizontal_segment(fabric: Fabric) -> float:
-    seg = fabric.channels[0].segmentation
-    return max(1.0, seg.mean_segment_length())
+    return _mean_segments(fabric)[0]
 
 
 def _mean_vertical_segment(fabric: Fabric) -> float:
-    seg = fabric.vcolumns[0].segmentation
-    return max(1.0, seg.mean_segment_length())
+    return _mean_segments(fabric)[1]
 
 
 def estimate_net_delay(
     route: NetRoute, fabric: Fabric, tech: Technology
 ) -> float:
     """Estimated driver->sink delay (worst sink) of an unembedded net."""
-    mean_h = _mean_horizontal_segment(fabric)
-    mean_v = _mean_vertical_segment(fabric)
+    mean_h, mean_v = _mean_segments(fabric)
 
-    if route.vertical is not None:
-        trunk = route.vertical.column
+    vertical = route.vertical
+    if vertical is not None:
+        trunk = vertical.column
     else:
         trunk = (route.xmin + route.xmax) // 2
 
@@ -56,24 +74,36 @@ def estimate_net_delay(
     total_c = tech.c_cross
     path_r = 0.0
 
+    needs_vertical = route.cmax > route.cmin
+    r_seg = tech.r_segment_per_col
+    c_col = tech.c_segment_per_col + tech.c_unprogrammed
+    r_fuse = tech.r_antifuse
+    c_fuse = tech.c_antifuse
+    ceil = math.ceil
+
     pins = 0
-    for channel, columns in route.pin_channels.items():
-        lo = min(columns[0], trunk) if route.needs_vertical else columns[0]
-        hi = max(columns[-1], trunk) if route.needs_vertical else columns[-1]
+    for columns in route.pin_channels.values():
+        lo = columns[0]
+        hi = columns[-1]
+        if needs_vertical:
+            if trunk < lo:
+                lo = trunk
+            if trunk > hi:
+                hi = trunk
         span = hi - lo + 1
-        n_segments = max(1, math.ceil(span / mean_h))
+        n_segments = ceil(span / mean_h)
+        if n_segments < 1:
+            n_segments = 1
         n_fuses = n_segments - 1
-        wire_r = tech.r_segment_per_col * span
-        wire_c = (tech.c_segment_per_col + tech.c_unprogrammed) * (
-            n_segments * mean_h
-        )
-        path_r += wire_r + n_fuses * tech.r_antifuse
-        total_c += wire_c + n_fuses * tech.c_antifuse
+        wire_r = r_seg * span
+        wire_c = c_col * (n_segments * mean_h)
+        path_r += wire_r + n_fuses * r_fuse
+        total_c += wire_c + n_fuses * c_fuse
         pins += len(columns)
 
-    if route.needs_vertical:
+    if needs_vertical:
         vspan = route.cmax - route.cmin
-        n_vsegments = max(1, math.ceil(vspan / mean_v))
+        n_vsegments = max(1, ceil(vspan / mean_v))
         n_vfuses = n_vsegments - 1
         wire_r, wire_c = tech.vertical_rc(vspan)
         path_r += wire_r + n_vfuses * tech.r_vantifuse

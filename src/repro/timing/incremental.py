@@ -27,6 +27,7 @@ exactly once with settled inputs.
 from __future__ import annotations
 
 import heapq
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -74,6 +75,18 @@ class IncrementalTiming:
         self.levels = levelize(self.netlist)
         self._positions = sink_positions(state)
         self._delay_cache: list[Optional[list[float]]] = [None] * self.netlist.num_nets
+        #: When True (the flat-array core), :meth:`update_nets` skips
+        #: invalidating a touched net whose cached sink delays are
+        #: provably current — the net's route version is unchanged since
+        #: the cache entry was filled.  Sink delays are a pure function
+        #: of the net's own route record, and the sub-EPSILON
+        #: propagation guard means a recompute of an unchanged net never
+        #: records a delta, so values, deltas, and metrics stay
+        #: bit-identical with the flag off.
+        self.reuse_cache = False
+        #: Route version (see ``RoutingState.route_version``) each cache
+        #: entry was computed at; 0 = never (versions start at 1).
+        self._cache_version = array("Q", bytes(8 * self.netlist.num_nets))
         self.arrival: list[float] = [0.0] * self.netlist.num_cells
         self.boundary_in: dict[int, float] = {}
         # Hot-path adjacency, precomputed once: for every cell, the
@@ -99,6 +112,20 @@ class IncrementalTiming:
             tuple(self.netlist.cell(cell_name).index for cell_name, _ in net.sinks)
             for net in self.netlist.nets
         ]
+        # More hot-path tables: per-cell boundary flags (so the frontier
+        # loop never touches Cell objects) and the fanout adjacency as a
+        # plain list (so propagation skips the method dispatch of
+        # ``Netlist.fanout_cells``).
+        self._is_boundary: list[bool] = [
+            cell.is_boundary for cell in self.netlist.cells
+        ]
+        self._boundary_has_inputs: list[bool] = [
+            cell.is_boundary and bool(cell.input_ports)
+            for cell in self.netlist.cells
+        ]
+        self._fanout: list[tuple[int, ...]] = [
+            self.netlist.fanout_cells(cell.index) for cell in self.netlist.cells
+        ]
         self.full_update()
 
     # ------------------------------------------------------------------
@@ -110,6 +137,7 @@ class IncrementalTiming:
         if cached is None:
             cached = net_sink_delays(self.state, self.tech, net_index)
             self._delay_cache[net_index] = cached
+            self._cache_version[net_index] = self.state.route_version[net_index]
         return cached
 
     def sink_delay(self, net_index: int, cell_index: int, port: str) -> float:
@@ -180,6 +208,24 @@ class IncrementalTiming:
         self.arrival = arrival
         self.boundary_in = boundary_in
         self._delay_cache = cache
+        self._revalidate_cache_versions()
+
+    def _revalidate_cache_versions(self) -> None:
+        """Stamp every non-None cache entry as valid for the current route.
+
+        Called whenever the cache is wholesale adopted from a source
+        known to match the current routing state (a from-scratch
+        recompute, a checkpoint restore of matching provenance).
+        """
+        route_version = self.state.route_version
+        cache = self._delay_cache
+        self._cache_version = array(
+            "Q",
+            (
+                route_version[net_index] if cache[net_index] is not None else 0
+                for net_index in range(self.netlist.num_nets)
+            ),
+        )
 
     def worst_delay(self) -> float:
         """T: the maximum arrival at any boundary input."""
@@ -237,45 +283,118 @@ class IncrementalTiming:
             None if cached is None else [float(value) for value in cached]
             for cached in cache_record
         ]
+        # A checkpointed cache was valid for the checkpointed routing
+        # state, which the caller restores alongside it.
+        self._revalidate_cache_versions()
 
     # ------------------------------------------------------------------
     # Incremental propagation
     # ------------------------------------------------------------------
     def update_nets(self, net_indices: Iterable[int]) -> TimingDelta:
-        """Re-evaluate the given nets and propagate; returns the undo record."""
+        """Re-evaluate the given nets and propagate; returns the undo record.
+
+        The hottest loop in the annealer's timing phase, so the
+        ``consider`` / :meth:`_input_arrival` bodies are inlined with
+        everything hoisted to locals.  Boundary-input evaluation is
+        *deferred*: a considered boundary cell is collected in a set and
+        evaluated once after the frontier drains, instead of on every
+        consider.  That yields bit-identical values — each driver change
+        re-considers the boundary cell, so the legacy path's last
+        (surviving) evaluation already saw every driver's settled
+        arrival, which is exactly what the deferred evaluation sees —
+        while skipping the intermediate evaluations nothing observes.
+        """
         delta = TimingDelta()
         frontier: list[tuple[int, int]] = []
         queued: set[int] = set()
+        boundary_pending: set[int] = set()
 
-        def consider(cell_index: int) -> None:
-            cell = self.netlist.cells[cell_index]
-            if cell.is_boundary:
-                if cell.input_ports:
-                    delta.save_boundary(
-                        cell_index, self.boundary_in[cell_index]
-                    )
-                    self.boundary_in[cell_index] = self._input_arrival(cell_index)
-                return
-            if cell_index not in queued:
-                queued.add(cell_index)
-                heapq.heappush(frontier, (self.levels[cell_index], cell_index))
+        levels = self.levels
+        is_boundary = self._is_boundary
+        boundary_has_inputs = self._boundary_has_inputs
+        net_sink_cells = self._net_sink_cells
+        push = heapq.heappush
+        cache = self._delay_cache
+        save_cache = delta.save_cache
 
-        for net_index in net_indices:
-            delta.save_cache(net_index, self._delay_cache[net_index])
-            self._delay_cache[net_index] = None
-            for sink_cell in self._net_sink_cells[net_index]:
-                consider(sink_cell)
+        if self.reuse_cache:
+            cache_version = self._cache_version
+            route_version = self.state.route_version
+            for net_index in net_indices:
+                # A touched net whose cache entry was computed at the
+                # net's current route version is provably unchanged:
+                # recomputing would reproduce the entry bit-for-bit and
+                # propagate nothing (sub-EPSILON guard), so skip it.
+                if (
+                    cache[net_index] is not None
+                    and cache_version[net_index] == route_version[net_index]
+                ):
+                    continue
+                save_cache(net_index, cache[net_index])
+                cache[net_index] = None
+                for sink_cell in net_sink_cells[net_index]:
+                    if is_boundary[sink_cell]:
+                        if boundary_has_inputs[sink_cell]:
+                            boundary_pending.add(sink_cell)
+                    elif sink_cell not in queued:
+                        queued.add(sink_cell)
+                        push(frontier, (levels[sink_cell], sink_cell))
+        else:
+            for net_index in net_indices:
+                save_cache(net_index, cache[net_index])
+                cache[net_index] = None
+                for sink_cell in net_sink_cells[net_index]:
+                    if is_boundary[sink_cell]:
+                        if boundary_has_inputs[sink_cell]:
+                            boundary_pending.add(sink_cell)
+                    elif sink_cell not in queued:
+                        queued.add(sink_cell)
+                        push(frontier, (levels[sink_cell], sink_cell))
 
+        pop = heapq.heappop
+        arrival = self.arrival
+        cell_inputs = self._cell_inputs
+        fanout_of = self._fanout
+        t_comb = self.tech.t_comb
+        sink_delays = self.sink_delays
+        save_arrival = delta.save_arrival
         while frontier:
-            _, cell_index = heapq.heappop(frontier)
+            _, cell_index = pop(frontier)
             queued.discard(cell_index)
-            new_arrival = self._input_arrival(cell_index) + self.tech.t_comb
-            if abs(new_arrival - self.arrival[cell_index]) <= EPSILON:
+            best = 0.0
+            for net_index, driver, position in cell_inputs[cell_index]:
+                delays = cache[net_index]
+                if delays is None:
+                    delays = sink_delays(net_index)
+                value = arrival[driver] + delays[position]
+                if value > best:
+                    best = value
+            new_arrival = best + t_comb
+            if abs(new_arrival - arrival[cell_index]) <= EPSILON:
                 continue
-            delta.save_arrival(cell_index, self.arrival[cell_index])
-            self.arrival[cell_index] = new_arrival
-            for fanout in self.netlist.fanout_cells(cell_index):
-                consider(fanout)
+            save_arrival(cell_index, arrival[cell_index])
+            arrival[cell_index] = new_arrival
+            for fanout in fanout_of[cell_index]:
+                if is_boundary[fanout]:
+                    if boundary_has_inputs[fanout]:
+                        boundary_pending.add(fanout)
+                elif fanout not in queued:
+                    queued.add(fanout)
+                    push(frontier, (levels[fanout], fanout))
+
+        boundary_in = self.boundary_in
+        save_boundary = delta.save_boundary
+        for cell_index in sorted(boundary_pending):
+            save_boundary(cell_index, boundary_in[cell_index])
+            best = 0.0
+            for net_index, driver, position in cell_inputs[cell_index]:
+                delays = cache[net_index]
+                if delays is None:
+                    delays = sink_delays(net_index)
+                value = arrival[driver] + delays[position]
+                if value > best:
+                    best = value
+            boundary_in[cell_index] = best
         mx = self.metrics
         if mx is not None:
             mx.count("timing.updates")
@@ -283,13 +402,24 @@ class IncrementalTiming:
         return delta
 
     def restore(self, delta: TimingDelta) -> None:
-        """Undo one :meth:`update_nets` call (for rejected moves)."""
+        """Undo one :meth:`update_nets` call (for rejected moves).
+
+        Runs after the placement and routing rollback, so the restored
+        cache entries — captured before the move — are valid for the
+        (bit-exactly restored) pre-move routes; stamping them with the
+        nets' current (final post-rollback) route versions re-arms the
+        reuse fast path.
+        """
         for cell_index, value in delta.arrival.items():
             self.arrival[cell_index] = value
         for cell_index, value in delta.boundary_in.items():
             self.boundary_in[cell_index] = value
+        route_version = self.state.route_version
+        cache_version = self._cache_version
         for net_index, value in delta.delay_cache.items():
             self._delay_cache[net_index] = value
+            if value is not None:
+                cache_version[net_index] = route_version[net_index]
 
     # ------------------------------------------------------------------
     # Audits

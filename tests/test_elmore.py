@@ -142,3 +142,19 @@ class TestBuildRCTree:
         a = routed_sink_delays(state, tech, route.net_index)
         b = routed_sink_delays(state, tech, route.net_index)
         assert a == b
+
+    def test_flat_kernel_matches_tree_path(self, routed_tiny, tech):
+        # routed_sink_delays is the fused flat-array form of
+        # build_rc_tree + elmore_delays; same nodes, same float
+        # operation order, so equality must be exact, not approximate.
+        _, state = routed_tiny
+        checked = 0
+        for route in state.routes:
+            if not route.fully_routed:
+                continue
+            tree, sinks = build_rc_tree(state, tech, route.net_index)
+            delays = tree.elmore_delays()
+            flat = routed_sink_delays(state, tech, route.net_index)
+            assert flat == [delays[node] for node in sinks]
+            checked += 1
+        assert checked > 0
