@@ -329,6 +329,9 @@ class SimultaneousAnnealer:
         :meth:`run` afterwards continues exactly the interrupted
         trajectory: the combined runs are bit-identical to one that
         was never interrupted.
+
+        Mutates: ``netlist`` — frozen on first use while the restored
+        layout is rebuilt (idempotent, same as the normal constructor).
         """
         from ..resilience.checkpoint import config_from_payload, read_checkpoint
 

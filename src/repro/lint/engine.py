@@ -29,13 +29,20 @@ from typing import Iterable, Optional, Sequence
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One finding: where it is, which rule fired, and why."""
+    """One finding: where it is, which rule fired, and why.
+
+    ``symbol`` is the fully-qualified function id for deep (whole-
+    program) findings — it is what the baseline ratchet keys on, so a
+    waiver survives unrelated line churn.  Per-file findings leave it
+    empty.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    symbol: str = ""
 
     def format(self) -> str:
         """The canonical one-line rendering used by the CLI."""
@@ -46,6 +53,43 @@ _SUPPRESS = re.compile(
     r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
     r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
 )
+
+
+@dataclass(frozen=True)
+class SuppressionRecord:
+    """One suppression comment, with enough location to audit it."""
+
+    comment_line: int
+    col: int
+    scope: str  # "file" or "line"
+    target_line: int  # line whose findings it silences (0 for file scope)
+    rules: frozenset
+
+
+def parse_suppression_records(source: str) -> list[SuppressionRecord]:
+    """Every suppression comment in the source, in order."""
+    records: list[SuppressionRecord] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(text)
+        if match is None:
+            continue
+        names = {part.strip() for part in match.group("rules").split(",")}
+        names.discard("")
+        if match.group("scope"):
+            records.append(
+                SuppressionRecord(
+                    lineno, match.start(), "file", 0, frozenset(names)
+                )
+            )
+            continue
+        standalone = not text[: match.start()].strip()
+        target = lineno + 1 if standalone else lineno
+        records.append(
+            SuppressionRecord(
+                lineno, match.start(), "line", target, frozenset(names)
+            )
+        )
+    return records
 
 
 def parse_suppressions(
@@ -59,18 +103,11 @@ def parse_suppressions(
     """
     file_rules: set[str] = set()
     by_line: dict[int, set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS.search(text)
-        if match is None:
-            continue
-        names = {part.strip() for part in match.group("rules").split(",")}
-        names.discard("")
-        if match.group("scope"):
-            file_rules.update(names)
-            continue
-        standalone = not text[: match.start()].strip()
-        target = lineno + 1 if standalone else lineno
-        by_line.setdefault(target, set()).update(names)
+    for record in parse_suppression_records(source):
+        if record.scope == "file":
+            file_rules.update(record.rules)
+        else:
+            by_line.setdefault(record.target_line, set()).update(record.rules)
     return file_rules, by_line
 
 
@@ -109,12 +146,66 @@ def lint_source(
             )
         ]
     file_rules, by_line = parse_suppressions(source)
-    findings: list[Diagnostic] = []
+    raw: list[Diagnostic] = []
     for rule in active:
-        for diagnostic in rule.check(tree, source=source, path=path):
+        raw.extend(rule.check(tree, source=source, path=path))
+    findings = [
+        d for d in raw if not _is_suppressed(d, file_rules, by_line)
+    ]
+    findings.extend(
+        _unused_suppressions(source, path, raw, active, file_rules, by_line)
+    )
+    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return findings
+
+
+def _unused_suppressions(
+    source: str,
+    path: str,
+    raw: Sequence[Diagnostic],
+    active: Sequence["Rule"],  # noqa: F821
+    file_rules: set[str],
+    by_line: dict[int, set[str]],
+) -> list[Diagnostic]:
+    """A suppression that silences nothing is itself a finding.
+
+    Only rules that actually ran this invocation are judged: under a
+    ``--rules`` subset, a comment naming an unselected rule might well
+    be load-bearing, so it is left alone.
+    """
+    active_names = {rule.name for rule in active}
+    findings: list[Diagnostic] = []
+    for record in parse_suppression_records(source):
+        for name in sorted(record.rules):
+            if name != "all" and name not in active_names:
+                continue
+            if record.scope == "file":
+                used = any(
+                    name in ("all", d.rule) for d in raw
+                )
+            else:
+                used = any(
+                    d.line == record.target_line
+                    and name in ("all", d.rule)
+                    for d in raw
+                )
+            if used:
+                continue
+            what = (
+                "every rule" if name == "all" else f"rule {name!r}"
+            )
+            where = (
+                "anywhere in the file" if record.scope == "file"
+                else f"on line {record.target_line}"
+            )
+            diagnostic = Diagnostic(
+                path, record.comment_line, record.col,
+                "unused-suppression",
+                f"suppression of {what} matches no finding {where}; "
+                f"delete the stale comment so real waivers stay visible",
+            )
             if not _is_suppressed(diagnostic, file_rules, by_line):
                 findings.append(diagnostic)
-    findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
     return findings
 
 
@@ -142,12 +233,59 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
     return found
 
 
+def _lint_file_worker(
+    path_str: str, rule_names: Optional[tuple]
+) -> list[Diagnostic]:
+    """Process-pool worker: rules travel by name (instances don't pickle)."""
+    from .rules import rules_by_name
+
+    rules = None
+    if rule_names is not None:
+        registry = rules_by_name()
+        rules = tuple(registry[name] for name in rule_names)
+    return lint_file(Path(path_str), rules=rules)
+
+
 def lint_paths(
     paths: Iterable[Path],
     rules: Optional[Sequence["Rule"]] = None,  # noqa: F821
+    jobs: int = 1,
 ) -> list[Diagnostic]:
-    """Lint every ``.py`` file reachable from ``paths``."""
-    findings: list[Diagnostic] = []
-    for file_path in iter_python_files(paths):
+    """Lint every ``.py`` file reachable from ``paths``.
+
+    ``jobs > 1`` parses and checks files in a process pool.  Results
+    are collected in submission (sorted-path) order, so the report is
+    byte-identical to a serial run.  Parallelism silently degrades to
+    serial when the rule set contains instances the worker cannot
+    reconstruct by name (custom rules passed programmatically).
+    """
+    files = iter_python_files(paths)
+    if jobs > 1 and len(files) > 1:
+        from .rules import rules_by_name
+
+        registry = rules_by_name()
+        rule_names: Optional[tuple] = None
+        reconstructible = True
+        if rules is not None:
+            names = tuple(rule.name for rule in rules)
+            reconstructible = all(
+                name in registry and type(registry[name]) is type(rule)
+                for name, rule in zip(names, rules)
+            )
+            rule_names = names
+        if reconstructible:
+            from concurrent.futures import ProcessPoolExecutor
+
+            findings: list[Diagnostic] = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for chunk in pool.map(
+                    _lint_file_worker,
+                    [str(p) for p in files],
+                    [rule_names] * len(files),
+                ):
+                    findings.extend(chunk)
+            return findings
+    findings = []
+    for file_path in files:
         findings.extend(lint_file(file_path, rules=rules))
     return findings

@@ -286,14 +286,14 @@ def validate_snapshot(payload: object) -> list[str]:
                 )
             if kind == "interconnect" and not missing:
                 rebuilt = resummed_segment_delay(entry)
-                if rebuilt != entry["delay"]:  # repro-lint: disable=float-equality
+                if rebuilt != entry["delay"]:
                     problems.append(
                         f"timing entry {position}: segment delays re-sum to "
                         f"{rebuilt!r}, entry delay is {entry['delay']!r}"
                     )
         if "T" in timing and not problems:
             rebuilt = resummed_path_delay(entries)
-            if rebuilt != timing["T"]:  # repro-lint: disable=float-equality
+            if rebuilt != timing["T"]:
                 problems.append(
                     f"timing: entries re-sum to {rebuilt!r}, "
                     f"T is {timing['T']!r}"

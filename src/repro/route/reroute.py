@@ -95,6 +95,10 @@ def timing_reroute(
     Only fully routed nets are candidates; each round is transactional —
     if the reroute fails to complete or worsens the worst-case delay,
     the round is rolled back exactly.
+
+    Mutates: ``state`` — rips up and re-commits the claims of every net
+    a kept round reroutes (rejected rounds are restored bit-exactly
+    from their journal before the next round starts).
     """
     from ..timing.analyzer import analyze
 

@@ -73,7 +73,11 @@ class TimingReport:
 
 
 def analyze(state: RoutingState, tech: Technology) -> TimingReport:
-    """Run a full STA over the current placement + routing."""
+    """Run a full STA over the current placement + routing.
+
+    Mutates: ``state`` only by freezing its netlist on first use
+    (idempotent); placement and routing claims are read-only.
+    """
     netlist = state.netlist
     levels = levelize(netlist)
     positions = sink_positions(state)

@@ -28,6 +28,9 @@ def levelize(netlist: Netlist) -> list[int]:
 
     Raises :class:`LevelizationError` if the combinational subgraph is
     cyclic (no valid processing order exists).
+
+    Mutates: ``netlist`` — frozen on first use (connectivity maps are
+    built once; idempotent thereafter).
     """
     netlist.freeze()
     levels = [0] * netlist.num_cells

@@ -38,6 +38,9 @@ def compute_slacks(
     Boundary *sources* (primary inputs, flip-flop outputs) get the slack
     of their tightest fanout path; boundary sinks anchor the required
     times at ``report.worst_delay``.
+
+    Mutates: ``state`` only by freezing its netlist on first use
+    (idempotent); placement and routing claims are read-only.
     """
     netlist = state.netlist
     levels = levelize(netlist)
@@ -90,7 +93,11 @@ def critical_cells(
     report: TimingReport,
     tolerance: float = 1e-6,
 ) -> list[str]:
-    """Names of cells with (near-)zero slack — the critical subcircuit."""
+    """Names of cells with (near-)zero slack — the critical subcircuit.
+
+    Mutates: ``state`` only by freezing its netlist on first use
+    (idempotent).
+    """
     slacks = compute_slacks(state, tech, report)
     return [
         cell.name
@@ -105,7 +112,11 @@ def slack_histogram(
     report: TimingReport,
     bins: int = 8,
 ) -> list[tuple[float, float, int]]:
-    """(lo, hi, count) slack bins — a quick criticality profile."""
+    """(lo, hi, count) slack bins — a quick criticality profile.
+
+    Mutates: ``state`` only by freezing its netlist on first use
+    (idempotent).
+    """
     slacks = compute_slacks(state, tech, report)
     if not slacks:
         return []
