@@ -44,6 +44,13 @@ is independent of the tracer — with ``--max-checkpoint-overhead``
 (default 5%), and the checkpointed anneal must stay bit-identical.
 ``--no-checkpoint`` skips it.
 
+Run-ledger recording (``repro.obs.ledger``) is gated against a plain
+run too — the timed window covers the atomic ledger append — with
+``--max-ledger-overhead`` (default 5%) and the same bit-identity
+requirement; ``--no-ledger-overhead`` skips it.  ``--ledger PATH``
+additionally appends one ledger record per case (QoR, normalized
+score, measured overheads) for ``repro-fpga runs`` analytics.
+
 ``--core legacy`` runs the whole benchmark on the object-graph fallback
 paths (``AnnealerConfig(array_core=False)``); CI uses it as a parity
 smoke so the fallback stays green and comparable.  ``--profile``
@@ -178,9 +185,15 @@ def run_case(
     case: BenchCase, calibration_s: float, profile: bool,
     trace: bool = False, snapshot_every: int = 0,
     checkpoint_path: Optional[str] = None, checkpoint_every: int = 0,
-    array_core: bool = True,
+    array_core: bool = True, ledger_path: Optional[str] = None,
 ) -> dict:
-    """Run one benchmark case and return its result record."""
+    """Run one benchmark case and return its result record.
+
+    ``ledger_path`` appends a run-ledger record *inside* the timed
+    window, so the measured wall clock covers the atomic append — the
+    honest cost a ledger-recording run pays (the anneal itself is
+    untouched; recording is a pure read of the finished result).
+    """
     netlist = generate(case.spec)
     arch = architecture_for(netlist, tracks_per_channel=case.tracks)
     annealer = SimultaneousAnnealer(
@@ -190,6 +203,17 @@ def run_case(
     )
     t0 = perf_counter()
     result = annealer.run()
+    if ledger_path is not None:
+        from repro.obs.ledger import append_record, make_record
+
+        append_record(ledger_path, make_record(
+            flow="bench", design=case.name, seed=annealer.config.seed,
+            worst_delay_ns=result.worst_delay,
+            fully_routed=result.fully_routed,
+            core="array" if array_core else "legacy",
+            moves_attempted=result.moves_attempted,
+            moves_accepted=result.moves_accepted,
+        ))
     wall = perf_counter() - t0
     moves_per_sec = result.moves_attempted / wall if wall > 0 else 0.0
     record = {
@@ -352,6 +376,85 @@ def measure_checkpoint_overhead(
     }
 
 
+def measure_ledger_overhead(
+    case: BenchCase, calibration_s: float, baseline: dict, reps: int = 3,
+    array_core: bool = True,
+) -> dict:
+    """Re-run one case with ledger recording and compare to plain.
+
+    The ledger append happens after the anneal but inside the timed
+    window (see :func:`run_case`), so the gate measures the real cost
+    of the atomic whole-file rewrite on a growing ledger — the same
+    paired best-of-``reps`` scheme as :func:`measure_trace_overhead`.
+    The bit-identity check enforces the ledger contract: recording is a
+    pure read of the finished result, never perturbing the anneal.
+    """
+    import tempfile
+
+    best_base = baseline
+    best_led: Optional[dict] = None
+    with tempfile.TemporaryDirectory(prefix="bench-ledger-") as tmp:
+        path = str(Path(tmp) / "ledger.jsonl")
+        for _ in range(reps):
+            again = run_case(case, calibration_s, profile=False,
+                             array_core=array_core)
+            if again["normalized_score"] > best_base["normalized_score"]:
+                best_base = again
+            recorded = run_case(case, calibration_s, profile=False,
+                                array_core=array_core, ledger_path=path)
+            if (best_led is None
+                    or recorded["normalized_score"] > best_led["normalized_score"]):
+                best_led = recorded
+    assert best_led is not None
+    base_score = best_base["normalized_score"] or 1e-12
+    overhead = 1.0 - best_led["normalized_score"] / base_score
+    return {
+        "moves_per_sec": best_led["moves_per_sec"],
+        "normalized_score": best_led["normalized_score"],
+        "overhead_frac": round(overhead, 4),
+        "metrics_identical": all(
+            best_led[key] == baseline[key] for key in _DETERMINISM_KEYS
+        ),
+    }
+
+
+def case_ledger_record(
+    case: BenchCase, record: dict, array_core: bool, tag: str = "",
+) -> dict:
+    """One run-ledger record summarizing a finished bench case.
+
+    Carries the calibration-normalized score and every measured
+    instrumentation overhead, so ``repro-fpga runs regress`` can gate
+    ledger slices the same way the bench gates BENCH_moves.json.
+    """
+    from repro.obs.ledger import FAMILY_EXCLUDE, make_record
+    from repro.obs.tracer import config_digest
+
+    config = _config(case, profile=False, array_core=array_core)
+    overheads = {
+        kind: record[kind]
+        for kind in ("tracing", "snapshotting", "checkpointing", "ledger")
+        if kind in record
+    }
+    return make_record(
+        flow="bench", design=case.name, seed=config.seed,
+        config_digest=config_digest(config),
+        family_digest=config_digest(config, exclude=FAMILY_EXCLUDE),
+        core=record["core"],
+        netlist={"cells": record["num_cells"], "nets": record["num_nets"]},
+        worst_delay_ns=record["worst_delay_ns"],
+        fully_routed=record["fully_routed"],
+        moves_attempted=record["moves_attempted"],
+        moves_accepted=record["moves_accepted"],
+        wall_time_s=record["wall_time_s"],
+        moves_per_sec=record["moves_per_sec"],
+        normalized_score=record["normalized_score"],
+        overheads=overheads or None,
+        profile=record.get("profile"),
+        tag=tag,
+    )
+
+
 def check_regression(
     current: dict, baseline: dict, max_regression: float
 ) -> list[str]:
@@ -447,6 +550,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--no-checkpoint", action="store_true",
         help="skip the checkpoint-overhead comparison runs",
+    )
+    parser.add_argument(
+        "--max-ledger-overhead", type=float, default=0.05,
+        help="maximum tolerated slowdown of in-run ledger recording "
+        "relative to a plain run (default 0.05)",
+    )
+    parser.add_argument(
+        "--no-ledger-overhead", action="store_true",
+        help="skip the ledger-overhead comparison runs",
+    )
+    parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="append one run-ledger record per case (QoR + normalized "
+        "score + overheads); analyse with 'repro-fpga runs'",
+    )
+    parser.add_argument(
+        "--ledger-tag", default="bench", metavar="TAG",
+        help="tag stored on emitted ledger records (default 'bench')",
     )
     args = parser.parse_args(argv)
 
@@ -558,6 +679,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     file=sys.stderr,
                 )
                 ok = False
+        if not args.no_ledger_overhead:
+            ledgering = measure_ledger_overhead(
+                case, calibration_s, record, reps=overhead_reps,
+                array_core=array_core,
+            )
+            record["ledger"] = ledgering
+            print(
+                f"{name} (ledger recording): "
+                f"{ledgering['moves_per_sec']:.1f} moves/s, overhead "
+                f"{ledgering['overhead_frac']:+.1%} vs plain"
+            )
+            if not ledgering["metrics_identical"]:
+                print(
+                    f"FAIL: {name}: ledger-recording run diverged from "
+                    f"plain run",
+                    file=sys.stderr,
+                )
+                ok = False
+            if ledgering["overhead_frac"] > args.max_ledger_overhead:
+                print(
+                    f"FAIL: {name}: ledger overhead "
+                    f"{ledgering['overhead_frac']:.1%} exceeds limit "
+                    f"{args.max_ledger_overhead:.0%}",
+                    file=sys.stderr,
+                )
+                ok = False
+        if args.ledger:
+            from repro.obs.ledger import append_record
+
+            append_record(args.ledger, case_ledger_record(
+                case, record, array_core, tag=args.ledger_tag,
+            ))
+            print(f"{name}: ledger record -> {args.ledger}")
 
     Path(args.output).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"

@@ -21,9 +21,10 @@ plain control run, and asserts:
 
 Artifacts land in ``--outdir`` (default ``trace_smoke/``): JSONL
 traces, the two flow-end snapshots (``seq_snapshot.json`` /
-``sim_snapshot.json``), and an SVG floorplan, so CI can exercise the
-``repro-fpga trace`` and ``repro-fpga xray`` tooling on real files and
-upload them.
+``sim_snapshot.json``), an SVG floorplan, and a run ledger
+(``ledger.jsonl``) with one record per flow run, so CI can exercise
+the ``repro-fpga trace``, ``repro-fpga xray``, and ``repro-fpga runs``
+tooling on real files and upload them.
 
 Exit code 0 on success, 1 on any violation.  CI runs this as the
 ``trace-smoke`` job.
@@ -179,6 +180,29 @@ def flow_snapshot_check(cells: int, outdir: Path) -> int:
     svg_path = outdir / "sim_floorplan.svg"
     svg_path.write_text(render_svg(payloads["sim"]) + "\n", encoding="utf-8")
     print(f"sim floorplan -> {svg_path}")
+
+    # Run-ledger emission: one record per flow run, artifact paths
+    # relative to the ledger so the directory can travel as a unit.
+    from repro.obs.ledger import append_record, read_ledger, record_from_result
+
+    ledger_path = outdir / "ledger.jsonl"
+    for name, result in (("seq", seq), ("sim", sim)):
+        append_record(ledger_path, record_from_result(
+            result, tag="smoke",
+            artifacts={"snapshot": f"{name}_snapshot.json"},
+        ))
+    ledger = read_ledger(ledger_path)
+    if len(ledger.records) < 2 or ledger.problems:
+        print(
+            f"FAIL: ledger at {ledger_path} incomplete: "
+            f"{len(ledger.records)} records, problems {ledger.problems}"
+        )
+        failures += 1
+    for record in ledger.records[-2:]:
+        if not record.get("config_digest") or not record.get("record_digest"):
+            print(f"FAIL: ledger record missing digests: {record}")
+            failures += 1
+    print(f"ledger: {len(ledger.records)} records -> {ledger_path}")
 
     report = diff_snapshots(payloads["seq"], payloads["sim"])
     churn = report["timing"]["path"]

@@ -16,6 +16,8 @@ Subcommands
     Summarize, diff, or validate anneal traces (``repro.obs``).
 ``xray show|svg|diff ...``
     Render and compare layout snapshots (``repro.obs.snapshot``).
+``runs list|show|compare|regress|report ...``
+    Cross-run analytics over a run ledger (``repro.obs.ledger``).
 """
 
 from __future__ import annotations
@@ -178,6 +180,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         write_snapshot(payload, args.snapshot)
         print(f"snapshot: T={payload['timing']['T']:.4f} -> {args.snapshot}",
               file=sys.stderr)
+    if args.ledger is not None:
+        # Recording happens strictly after the run — a pure read of the
+        # finished result, so the anneal stays bit-identical.
+        from .obs.ledger import append_record, record_from_result
+
+        artifacts = {}
+        if args.trace is not None and trace is not None:
+            artifacts["trace"] = args.trace
+        if args.snapshot is not None:
+            artifacts["snapshot"] = args.snapshot
+        if args.checkpoint is not None:
+            artifacts["checkpoint"] = args.checkpoint
+        config = sim_cfg if args.flow == "simultaneous" else seq_cfg
+        append_record(args.ledger, record_from_result(
+            result, config=config, tag=args.tag, artifacts=artifacts,
+        ))
+        print(f"ledger: appended record to {args.ledger}", file=sys.stderr)
     if interrupted and str(interrupted).startswith("signal"):
         return 130
     return 0 if result.fully_routed else 1
@@ -225,6 +244,12 @@ def _cmd_xray(args: argparse.Namespace) -> int:
     from .obs.cli import xray_main
 
     return xray_main(args.xray_args)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from .obs.cli import runs_main
+
+    return runs_main(args.runs_args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,6 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop cleanly at the next stage boundary after N total "
         "move attempts (0 = unlimited)",
     )
+    p_run.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append this run's QoR record to a JSONL run ledger "
+        "(atomic append; analyse with 'repro-fpga runs'; results stay "
+        "bit-identical)",
+    )
+    p_run.add_argument(
+        "--tag", default="", metavar="TAG",
+        help="free-form label stored on the ledger record (outside "
+        "record identity); slice with 'runs ... --tag'",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run both flows and compare")
@@ -341,6 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_xray.add_argument("xray_args", nargs=argparse.REMAINDER)
     p_xray.set_defaults(func=_cmd_xray)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="cross-run ledger analytics: list/compare/regress/report",
+        add_help=False,
+    )
+    p_runs.add_argument("runs_args", nargs=argparse.REMAINDER)
+    p_runs.set_defaults(func=_cmd_runs)
     return parser
 
 

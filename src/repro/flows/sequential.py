@@ -281,6 +281,9 @@ def run_sequential(
     failed_global = global_route_all(state)
     failures = detail_route_all(state, config.segment_weight)
     report = analyze(state, architecture.technology)
+    from ..obs.ledger import FAMILY_EXCLUDE
+    from ..obs.tracer import config_digest
+
     return FlowResult(
         flow="sequential",
         design=netlist.name,
@@ -294,5 +297,9 @@ def run_sequential(
             "placement_hpwl": placer._total_hpwl,
             "trace": (placer.tracer.finish()
                       if placer.tracer is not None else None),
+            "seed": config.seed,
+            "config_digest": config_digest(config),
+            "family_digest": config_digest(config, exclude=FAMILY_EXCLUDE),
+            "netlist": {"name": netlist.name, **netlist.stats()},
         },
     )

@@ -56,6 +56,13 @@ def run_simultaneous(
     )
     result = annealer.run()
     report = analyze(result.state, architecture.technology)
+    # Run-identity digests for the ledger (repro.obs.ledger): the full
+    # config digest, the seed-independent family digest, and which move
+    # core executed — all derived from the annealer's resolved config.
+    from ..obs.ledger import FAMILY_EXCLUDE
+    from ..obs.tracer import config_digest
+
+    resolved = annealer.config
     return FlowResult(
         flow="simultaneous",
         design=netlist.name,
@@ -73,5 +80,10 @@ def run_simultaneous(
             "trace": result.trace,
             "interrupted": result.interrupted,
             "checkpoint": result.checkpoint_path,
+            "seed": resolved.seed,
+            "config_digest": config_digest(resolved),
+            "family_digest": config_digest(resolved, exclude=FAMILY_EXCLUDE),
+            "core": "array" if resolved.array_core else "legacy",
+            "netlist": {"name": netlist.name, **netlist.stats()},
         },
     )

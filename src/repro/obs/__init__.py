@@ -11,7 +11,9 @@ Three cooperating pieces (see docs/OBSERVABILITY.md):
   guard;
 * :mod:`repro.obs.events` / :mod:`repro.obs.summary` — the
   schema-versioned JSONL trace format and the offline analysis behind
-  ``repro-fpga trace``.
+  ``repro-fpga trace``;
+* :mod:`repro.obs.ledger` / :mod:`repro.obs.report` — the append-only
+  cross-run ledger and the HTML observatory behind ``repro-fpga runs``.
 
 Everything is off by default and free when off: disabled tracing costs
 the hot loop one ``is not None`` test per probe site, and an enabled
@@ -60,12 +62,33 @@ _SNAPSHOT_EXPORTS = (
     "write_snapshot",
 )
 
+#: Cross-run ledger API (repro.obs.ledger), re-exported lazily like the
+#: snapshot API: it pulls in the resilience layer on write, which plain
+#: ``import repro.obs`` should not pay for.
+_LEDGER_EXPORTS = (
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
+    "LedgerError",
+    "append_record",
+    "make_record",
+    "read_ledger",
+    "record_from_result",
+)
+
 
 def __getattr__(name: str):
     if name in _SNAPSHOT_EXPORTS:
         from . import snapshot as _snapshot
 
         return getattr(_snapshot, name)
+    if name in _LEDGER_EXPORTS:
+        from . import ledger as _ledger
+
+        return getattr(_ledger, name)
+    if name == "render_report":
+        from .report import render_report
+
+        return render_report
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -91,4 +114,6 @@ __all__ = [
     "config_digest",
     "maybe_tracer",
     *_SNAPSHOT_EXPORTS,
+    *_LEDGER_EXPORTS,
+    "render_report",
 ]

@@ -267,5 +267,379 @@ def xray_main(argv: Optional[Sequence[str]] = None) -> int:
     return 2
 
 
+# ----------------------------------------------------------------------
+# Run ledger CLI (``repro-fpga runs``)
+# ----------------------------------------------------------------------
+#: Typed exit codes for the runs CLI (CI keys off these).
+RUNS_EXIT_OK = 0
+RUNS_EXIT_REGRESSION = 1
+RUNS_EXIT_USAGE = 2
+RUNS_EXIT_NO_DATA = 3
+RUNS_EXIT_LEDGER = 4
+
+
+def _add_slice_filters(parser: argparse.ArgumentParser) -> None:
+    """The shared record-slice selectors (None = don't filter)."""
+    parser.add_argument("--design", default=None, help="netlist name")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--flow", default=None, help="simultaneous / sequential"
+    )
+    parser.add_argument("--tag", default=None, help="user tag on the record")
+    parser.add_argument(
+        "--digest", default=None, help="full config digest (exact knobs)"
+    )
+    parser.add_argument(
+        "--family", default=None,
+        help="seed-independent family digest (same experiment, any seed)",
+    )
+    parser.add_argument("--core", default=None, help="array / legacy")
+
+
+def _sliced(args: argparse.Namespace, records: list) -> list:
+    from .ledger import select
+
+    return select(
+        records, design=args.design, seed=args.seed, flow=args.flow,
+        tag=args.tag, digest=args.digest, family=args.family, core=args.core,
+    )
+
+
+def _sliced_indices(args: argparse.Namespace, records: list) -> list[int]:
+    """Ledger positions of the matching records (duplicate-safe)."""
+    matching = _sliced(args, records)
+    indices: list[int] = []
+    cursor = 0
+    for record in matching:
+        # select() preserves order, so scan forward by object identity.
+        while records[cursor] is not record:
+            cursor += 1
+        indices.append(cursor)
+        cursor += 1
+    return indices
+
+
+def _read_checked(path: str):
+    """Load a ledger, translating damage into the typed exit code."""
+    from .ledger import LedgerError, read_ledger
+
+    try:
+        ledger = read_ledger(path)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(RUNS_EXIT_LEDGER) from None
+    for problem in ledger.problems:
+        print(f"warning: {path}: {problem}", file=sys.stderr)
+    return ledger
+
+
+def _load_run_traces(ledger) -> dict[int, RunTrace]:
+    """Traces for every record whose trace artifact is present on disk.
+
+    Missing or unreadable artifacts degrade to absent entries (the
+    report renders "no convergence data") rather than failing the
+    command — a ledger routinely outlives its run directories.
+    """
+    from .ledger import resolve_artifact
+
+    traces: dict[int, RunTrace] = {}
+    for index, record in enumerate(ledger.records):
+        artifact = (record.get("artifacts") or {}).get("trace")
+        if not artifact:
+            continue
+        path = resolve_artifact(ledger.path, artifact)
+        try:
+            traces[index] = read_trace(path)
+        except (OSError, ValueError):
+            continue
+    return traces
+
+
+def build_runs_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the runs CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga runs",
+        description="Cross-run analytics over an append-only run ledger: "
+        "list/show records, compare convergence across seeds, gate "
+        "regressions, render the HTML observatory "
+        "(see docs/OBSERVABILITY.md, 'Cross-run observability')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="one-line-per-run ledger table")
+    p_list.add_argument("ledger", help="JSONL ledger file")
+    _add_slice_filters(p_list)
+
+    p_show = sub.add_parser("show", help="dump one record in full")
+    p_show.add_argument("ledger", help="JSONL ledger file")
+    p_show.add_argument(
+        "index", type=int, help="record position (from 'runs list')"
+    )
+
+    p_compare = sub.add_parser(
+        "compare",
+        help="align convergence, acceptance, and per-seed variance "
+        "across a record slice",
+    )
+    p_compare.add_argument("ledger", help="JSONL ledger file")
+    _add_slice_filters(p_compare)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="BENCH_moves-style gate between two ledger slices "
+        "(exit 1 = regression)",
+    )
+    p_regress.add_argument("ledger", help="candidate ledger")
+    _add_slice_filters(p_regress)
+    p_regress.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline ledger file (default: the candidate ledger itself, "
+        "sliced by --baseline-tag)",
+    )
+    p_regress.add_argument(
+        "--baseline-tag", default=None, metavar="TAG",
+        help="slice the baseline by this tag instead of --tag",
+    )
+    p_regress.add_argument(
+        "--max-score-regression", type=float, default=0.30,
+        help="normalized_score best-of regression limit (default: 0.30)",
+    )
+    p_regress.add_argument(
+        "--max-delay-regression", type=float, default=0.05,
+        help="worst_delay_ns mean worsening limit (default: 0.05)",
+    )
+    p_regress.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="instrumentation overhead fraction limit (default: 0.05)",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="render the self-contained HTML observatory"
+    )
+    p_report.add_argument("ledger", help="JSONL ledger file")
+    _add_slice_filters(p_report)
+    p_report.add_argument(
+        "--out", default=None,
+        help="output HTML file (default: <ledger>.html; '-' for stdout)",
+    )
+    p_report.add_argument(
+        "--title", default="Run ledger observatory",
+        help="page title (default: 'Run ledger observatory')",
+    )
+    return parser
+
+
+def _runs_list(args: argparse.Namespace) -> int:
+    from ..analysis.report import format_table
+
+    ledger = _read_checked(args.ledger)
+    indices = _sliced_indices(args, ledger.records)
+    if not indices:
+        print("no matching records", file=sys.stderr)
+        return RUNS_EXIT_NO_DATA
+    rows = []
+    for index in indices:
+        record = ledger.records[index]
+        terms = record.get("terms") or {}
+        rows.append([
+            index, record.get("flow"), record.get("design"),
+            record.get("seed"), record.get("core") or "-",
+            record.get("config_digest", "-")[:8],
+            terms.get("G"), terms.get("D"),
+            record.get("worst_delay_ns"),
+            "yes" if record.get("fully_routed") else "NO",
+            record.get("moves_per_sec"),
+            record.get("tag") or "-",
+        ])
+    print(format_table(
+        ["#", "flow", "design", "seed", "core", "config", "G", "D",
+         "T (ns)", "routed", "moves/s", "tag"],
+        rows, title=f"{args.ledger}: {len(indices)} records", decimals=4,
+    ))
+    return RUNS_EXIT_OK
+
+
+def _runs_show(args: argparse.Namespace) -> int:
+    import json
+
+    ledger = _read_checked(args.ledger)
+    if not 0 <= args.index < len(ledger.records):
+        print(
+            f"error: record {args.index} out of range "
+            f"(ledger has {len(ledger.records)})",
+            file=sys.stderr,
+        )
+        return RUNS_EXIT_NO_DATA
+    print(json.dumps(ledger.records[args.index], indent=2, sort_keys=True))
+    return RUNS_EXIT_OK
+
+
+def _runs_compare(args: argparse.Namespace) -> int:
+    from ..analysis.report import format_table
+    from .ledger import slice_stats
+    from .report import acceptance_series, convergence_series
+    from .summary import sparkline
+
+    ledger = _read_checked(args.ledger)
+    indices = _sliced_indices(args, ledger.records)
+    records = [ledger.records[i] for i in indices]
+    if not records:
+        print("no matching records", file=sys.stderr)
+        return RUNS_EXIT_NO_DATA
+    wanted = set(indices)
+    traces = {
+        i: t for i, t in _load_run_traces(ledger).items() if i in wanted
+    }
+
+    # Convergence + acceptance trajectories, one sparkline per run.
+    print(f"{args.ledger}: comparing {len(records)} records "
+          f"({len(traces)} with traces on disk)")
+    for index in indices:
+        record = ledger.records[index]
+        label = (
+            f"#{index} {record.get('flow')}/{record.get('design')} "
+            f"seed={record.get('seed')}"
+        )
+        trace = traces.get(index)
+        if trace is None:
+            print(f"  {label}: no trace artifact")
+            continue
+        _, costs = convergence_series(trace)
+        acceptance = acceptance_series(trace)
+        if costs:
+            print(f"  {label}")
+            print(f"    cost        {sparkline(costs)}  "
+                  f"[{min(costs):.4g}, {max(costs):.4g}]")
+        if acceptance:
+            print(f"    acceptance  {sparkline(acceptance)}  "
+                  f"[{min(acceptance):.4g}, {max(acceptance):.4g}]")
+
+    # Per-seed variance grouped by (flow, design, family).
+    buckets: dict[tuple, list[dict]] = {}
+    for record in records:
+        key = (
+            str(record.get("flow")), str(record.get("design")),
+            str(record.get("family_digest")
+                or record.get("config_digest") or "(none)"),
+        )
+        buckets.setdefault(key, []).append(record)
+    rows = []
+    for (flow, design, family), group in sorted(buckets.items()):
+        stats = slice_stats(group)
+        rows.append([
+            f"{flow}/{design}", family[:8], stats["runs"],
+            stats["delay_mean"], stats["delay_stdev"],
+            stats["delay_min"], stats["delay_max"],
+            f"{stats['routed_fraction']:.0%}",
+        ])
+    print(format_table(
+        ["slice", "family", "runs", "T mean", "T stdev", "T min",
+         "T max", "routed"],
+        rows, title="per-seed variance (worst_delay_ns)", decimals=4,
+    ))
+    return RUNS_EXIT_OK
+
+
+def _runs_regress(args: argparse.Namespace) -> int:
+    from ..analysis.report import format_table
+    from .ledger import regress_slices, select
+
+    candidate_ledger = _read_checked(args.ledger)
+    candidate = _sliced(args, candidate_ledger.records)
+    if args.baseline is not None:
+        baseline_records = _read_checked(args.baseline).records
+    else:
+        baseline_records = candidate_ledger.records
+    if args.baseline_tag is not None:
+        baseline = select(
+            baseline_records, design=args.design, seed=args.seed,
+            flow=args.flow, tag=args.baseline_tag, digest=args.digest,
+            family=args.family, core=args.core,
+        )
+    elif args.baseline is not None:
+        baseline = select(
+            baseline_records, design=args.design, seed=args.seed,
+            flow=args.flow, tag=None, digest=args.digest,
+            family=args.family, core=args.core,
+        )
+    else:
+        print(
+            "error: --baseline PATH or --baseline-tag TAG is required "
+            "(a slice cannot gate against itself)",
+            file=sys.stderr,
+        )
+        return RUNS_EXIT_USAGE
+    if not baseline or not candidate:
+        side = "baseline" if not baseline else "candidate"
+        print(f"no {side} records to gate on", file=sys.stderr)
+        return RUNS_EXIT_NO_DATA
+    rows, failures = regress_slices(
+        baseline, candidate,
+        max_score_regression=args.max_score_regression,
+        max_delay_regression=args.max_delay_regression,
+        max_overhead=args.max_overhead,
+    )
+    print(format_table(
+        ["flow/design", "T base", "T cand", "score base", "score cand",
+         "verdict"],
+        rows,
+        title=f"regression gate: {len(baseline)} baseline vs "
+        f"{len(candidate)} candidate records",
+        decimals=4,
+    ))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return RUNS_EXIT_REGRESSION
+    print("gate: ok")
+    return RUNS_EXIT_OK
+
+
+def _runs_report(args: argparse.Namespace) -> int:
+    from .report import render_report
+
+    ledger = _read_checked(args.ledger)
+    indices = _sliced_indices(args, ledger.records)
+    records = [ledger.records[i] for i in indices]
+    if not records:
+        print("no matching records", file=sys.stderr)
+        return RUNS_EXIT_NO_DATA
+    remap = {original: new for new, original in enumerate(indices)}
+    traces = {
+        remap[i]: t for i, t in _load_run_traces(ledger).items()
+        if i in remap
+    }
+    html = render_report(records, traces, title=args.title)
+    if args.out == "-":
+        print(html, end="")
+        return RUNS_EXIT_OK
+    out = Path(args.out) if args.out else Path(
+        args.ledger
+    ).with_suffix(".html")
+    out.write_text(html, encoding="utf-8")
+    print(f"wrote {out} ({len(records)} records, {len(traces)} traces)")
+    return RUNS_EXIT_OK
+
+
+def runs_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Runs CLI entry point; returns a typed exit code."""
+    parser = build_runs_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _runs_list,
+        "show": _runs_show,
+        "compare": _runs_compare,
+        "regress": _runs_regress,
+        "report": _runs_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except SystemExit as exc:  # _read_checked signals damage this way
+        return exc.code if isinstance(exc.code, int) else RUNS_EXIT_LEDGER
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return RUNS_EXIT_LEDGER
+
+
 if __name__ == "__main__":
     sys.exit(main())

@@ -90,14 +90,24 @@ class Histogram:
         return math.inf
 
     def summary(self) -> dict:
-        """Count/sum/mean plus bucketed p50/p90/p99, JSON-ready."""
+        """Count/sum/mean plus bucketed p50/p90/p99, JSON-ready.
+
+        A quantile landing in the overflow bucket is ``math.inf`` from
+        :meth:`quantile`, which ``json.dumps`` would emit as the
+        non-standard token ``Infinity`` (strict parsers reject it) —
+        summaries report it as ``None`` instead, meaning "beyond the
+        top finite bound".
+        """
+        def finite(value: float) -> Optional[float]:
+            return value if math.isfinite(value) else None
+
         return {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
-            "p50": self.quantile(0.5),
-            "p90": self.quantile(0.9),
-            "p99": self.quantile(0.99),
+            "p50": finite(self.quantile(0.5)),
+            "p90": finite(self.quantile(0.9)),
+            "p99": finite(self.quantile(0.99)),
         }
 
     def as_dict(self) -> dict:

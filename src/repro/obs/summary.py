@@ -30,10 +30,14 @@ def sparkline(values: list[float], width: int = 60) -> str:
     if not values:
         return ""
     if len(values) > width:
+        # Integer bucket boundaries cover every sample exactly once
+        # (bucket sizes differ by at most one); the old float-stepped
+        # split could drop trailing samples when len % width != 0.
         bucketed = []
-        per = len(values) / width
         for i in range(width):
-            chunk = values[int(i * per): max(int((i + 1) * per), int(i * per) + 1)]
+            start = i * len(values) // width
+            end = (i + 1) * len(values) // width
+            chunk = values[start:end]
             bucketed.append(sum(chunk) / len(chunk))
         values = bucketed
     lo, hi = min(values), max(values)

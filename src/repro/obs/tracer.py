@@ -28,16 +28,20 @@ from .events import TRACE_SCHEMA_VERSION, RunTrace
 from .metrics import MetricsRegistry, counter_delta
 
 
-def config_digest(config: Any) -> str:
+def config_digest(config: Any, exclude: tuple = ()) -> str:
     """Short, stable digest of a (possibly nested) config dataclass.
 
     Two runs with equal digests ran under identical knobs; trace
     diffing uses this to tell "same config, different seed" apart from
     "different experiment".  The seed is part of the digest input —
-    callers that want a seed-independent identity compare the
-    ``config`` dict in the manifest minus its ``seed`` key.
+    callers that want a coarser identity pass the top-level field names
+    to drop via ``exclude`` (the run ledger's ``family_digest`` drops
+    the seed and every proven-non-identity knob this way, see
+    :data:`repro.obs.ledger.FAMILY_EXCLUDE`).
     """
     record = dataclasses.asdict(config) if dataclasses.is_dataclass(config) else dict(config)
+    for name in exclude:
+        record.pop(name, None)
     canonical = json.dumps(record, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 

@@ -12,10 +12,18 @@ import math
 from xml.sax.saxutils import escape
 
 from ..analysis.report import format_table
-from .metrics import Histogram
+from .metrics import HISTOGRAM_BOUNDS, Histogram
 from .snapshot import _critical_nets
 
 _SHADES = " ▁▂▃▄▅▆▇█"
+
+
+def _fmt_quantile(value) -> str:
+    """A bucketed quantile for display; None means the overflow bucket
+    (see ``Histogram.summary()``), shown as beyond the top bound."""
+    if value is None:
+        return f">{HISTOGRAM_BOUNDS[-1]}"
+    return f"{value:.0f}"
 
 
 def _shade(value: float, capacity: float) -> str:
@@ -154,8 +162,9 @@ def render_summary(snapshot: dict) -> str:
         f"antifuses={totals.get('antifuses')}",
         f"timing: T={timing.get('T', 0.0):.4f}  "
         f"endpoint={timing.get('endpoint')!r}",
-        f"density: p50={stats['p50']:.0f}  p90={stats['p90']:.0f}  "
-        f"p99={stats['p99']:.0f}  mean={stats['mean']:.2f} "
+        f"density: p50={_fmt_quantile(stats['p50'])}  "
+        f"p90={_fmt_quantile(stats['p90'])}  "
+        f"p99={_fmt_quantile(stats['p99'])}  mean={stats['mean']:.2f} "
         f"(over {stats['count']} channel columns)",
     ]
     return "\n".join(lines)

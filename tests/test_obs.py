@@ -174,6 +174,30 @@ class TestHistogram:
         assert summary["p50"] == 0.0
         assert summary["p99"] == 0.0
 
+    def test_summary_with_overflow_is_strict_json(self):
+        # Overflow quantiles are +inf in Python; the JSON summary maps
+        # them to null so the output never carries the non-standard
+        # ``Infinity`` token that strict parsers reject.
+        h = Histogram()
+        h.observe(HISTOGRAM_BOUNDS[-1] + 1)
+        summary = h.summary()
+        assert summary["p50"] is None
+        assert summary["p90"] is None
+        assert summary["p99"] is None
+        text = json.dumps(summary, allow_nan=False)  # must not raise
+        assert "Infinity" not in text
+        assert json.loads(text) == summary
+
+    def test_summary_mixed_overflow_keeps_finite_quantiles(self):
+        h = Histogram()
+        for _ in range(9):
+            h.observe(1)
+        h.observe(HISTOGRAM_BOUNDS[-1] + 1)
+        summary = h.summary()
+        assert summary["p50"] == 1.0
+        assert summary["p99"] is None
+        json.dumps(summary, allow_nan=False)
+
     def test_registry_observe_round_trips_as_dict(self):
         mx = MetricsRegistry()
         mx.observe("transaction.nets_journaled", 3)
@@ -444,6 +468,45 @@ class TestSequentialTrace:
         assert stages
         assert all("cost" in s and "terms" not in s for s in stages)
         assert trace.run_end is not None
+
+
+class TestSparkline:
+    def test_short_series_passes_through(self):
+        from repro.obs.summary import sparkline
+
+        assert len(sparkline([1.0, 2.0, 3.0], width=60)) == 3
+        assert sparkline([], width=60) == ""
+
+    def test_single_value_renders_flat(self):
+        from repro.obs.summary import sparkline
+
+        line = sparkline([5.0], width=60)
+        assert len(line) == 1
+
+    def test_constant_series_renders_flat_at_lowest_level(self):
+        from repro.obs.summary import sparkline
+
+        line = sparkline([7.0] * 10, width=60)
+        assert len(line) == 10
+        assert len(set(line)) == 1
+
+    def test_bucketing_covers_every_sample(self):
+        from repro.obs.summary import sparkline
+
+        # 119 samples over 60 buckets: len % width != 0, which the old
+        # float-stepped bucketing mishandled by dropping the tail.  A
+        # spike placed in the final sample must survive downsampling.
+        values = [0.0] * 118 + [100.0]
+        line = sparkline(values, width=60)
+        assert len(line) == 60
+        assert line[-1] != line[0]
+
+    def test_bucketing_is_width_sized_for_any_length(self):
+        from repro.obs.summary import sparkline
+
+        for n in (61, 100, 119, 120, 121, 600, 601):
+            line = sparkline([float(i) for i in range(n)], width=60)
+            assert len(line) == 60, n
 
 
 class TestTraceCli:
