@@ -1,0 +1,169 @@
+"""End-to-end smoke of the live observability stack for CI.
+
+Launches a real ``repro-fpga run`` in the background with ``--trace
+--heartbeat``, follows it with ``repro-fpga watch``, and pins the
+watchdog's typed exit codes against a live run and a synthetically
+frozen one:
+
+1. mid-run, ``watch --once --json`` must return a parseable snapshot
+   (the run is ``waiting``/``running``/``completed`` depending on how
+   fast the host is — never ``stalled``);
+2. ``watch --gate`` on the live run must exit 0 (completed, no
+   anomalies) and the final heartbeat must carry a terminal status;
+3. ``watch --gate`` on a frozen copy — a truncated trace plus a
+   heartbeat whose mtime is backdated and whose status is forced back
+   to ``running`` — must exit 6 (stalled) within the stall timeout.
+
+Artifacts (trace, heartbeat, JSON snapshots, a ``watch_smoke.json``
+verdict) are written to ``--outdir`` for upload.  Exit status is
+non-zero if any scenario sees the wrong exit code.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/watch_smoke.py --outdir smoke-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: Exit codes pinned here must match repro.obs.cli.
+WATCH_EXIT_OK = 0
+WATCH_EXIT_STALLED = 6
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _watch(args: Sequence[str], timeout: float = 600) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "watch", *args],
+        capture_output=True, text=True, env=_env(), timeout=timeout,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--outdir", default="watch-smoke-out",
+                        help="artifact directory (default watch-smoke-out)")
+    parser.add_argument("--design", default="ex1",
+                        help="benchmark design to anneal (default ex1)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--run-timeout", type=float, default=900,
+                        help="hard cap on the background run (seconds)")
+    args = parser.parse_args(argv)
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    trace = outdir / "trace.jsonl"
+    heartbeat = Path(str(trace) + ".hb")
+    verdict: dict = {"design": args.design, "seed": args.seed,
+                     "scenarios": {}}
+    ok = True
+
+    def record(name: str, expected: int, proc: subprocess.CompletedProcess,
+               extra: Optional[dict] = None) -> bool:
+        passed = proc.returncode == expected
+        verdict["scenarios"][name] = {
+            "expected_exit": expected,
+            "actual_exit": proc.returncode,
+            "passed": passed,
+            **(extra or {}),
+        }
+        status = "ok" if passed else "FAIL"
+        print(f"{name}: exit {proc.returncode} "
+              f"(expected {expected}) [{status}]")
+        if not passed:
+            sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+        return passed
+
+    # -- background run with live artifacts -----------------------------
+    print(f"launching background run: {args.design} seed={args.seed}")
+    run = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", args.design,
+         "--seed", str(args.seed), "--trace", str(trace), "--heartbeat"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=_env(),
+    )
+    try:
+        # 1. a mid-run snapshot must parse and never read as stalled.
+        once = _watch([str(trace), "--once", "--json"])
+        snapshot = json.loads(once.stdout) if once.stdout.strip() else {}
+        (outdir / "watch_once.json").write_text(
+            once.stdout, encoding="utf-8"
+        )
+        mid_ok = (once.returncode in (WATCH_EXIT_OK,)
+                  and snapshot.get("status") in
+                  ("waiting", "running", "completed"))
+        verdict["scenarios"]["mid_run_snapshot"] = {
+            "actual_exit": once.returncode,
+            "status": snapshot.get("status"),
+            "passed": mid_ok,
+        }
+        print(f"mid_run_snapshot: status={snapshot.get('status')} "
+              f"[{'ok' if mid_ok else 'FAIL'}]")
+        ok = ok and mid_ok
+
+        # 2. the gate follows the live run to completion and exits 0.
+        gate = _watch([str(trace), "--gate", "--json", "--interval", "1",
+                       "--stall-timeout", "120"],
+                      timeout=args.run_timeout)
+        (outdir / "watch_gate.json").write_text(
+            gate.stdout, encoding="utf-8"
+        )
+        final = json.loads(gate.stdout) if gate.stdout.strip() else {}
+        ok = record("live_gate", WATCH_EXIT_OK, gate,
+                    {"status": final.get("status")}) and ok
+        run.wait(timeout=args.run_timeout)
+    finally:
+        if run.poll() is None:
+            run.kill()
+            run.wait()
+
+    hb_payload = json.loads(heartbeat.read_text(encoding="utf-8"))
+    terminal_ok = str(hb_payload.get("status", "")).startswith("completed")
+    verdict["scenarios"]["terminal_heartbeat"] = {
+        "status": hb_payload.get("status"), "passed": terminal_ok,
+    }
+    print(f"terminal_heartbeat: status={hb_payload.get('status')} "
+          f"[{'ok' if terminal_ok else 'FAIL'}]")
+    ok = ok and terminal_ok
+
+    # -- frozen-heartbeat scenario: the watchdog must exit 6 ------------
+    stalled_trace = outdir / "stalled.jsonl"
+    lines = trace.read_text(encoding="utf-8").splitlines(keepends=True)
+    stalled_trace.write_text("".join(lines[: max(2, len(lines) // 3)]),
+                             encoding="utf-8")
+    hb_payload["status"] = "running"
+    stalled_hb = Path(str(stalled_trace) + ".hb")
+    stalled_hb.write_text(json.dumps(hb_payload, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    stat = stalled_hb.stat()
+    os.utime(stalled_hb, (stat.st_atime - 600, stat.st_mtime - 600))
+    frozen = _watch([str(stalled_trace), "--gate", "--stall-timeout", "5",
+                     "--interval", "0.5", "--json"])
+    (outdir / "watch_frozen.json").write_text(frozen.stdout,
+                                              encoding="utf-8")
+    ok = record("frozen_heartbeat_gate", WATCH_EXIT_STALLED, frozen) and ok
+
+    verdict["passed"] = ok
+    (outdir / "watch_smoke.json").write_text(
+        json.dumps(verdict, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {outdir / 'watch_smoke.json'} (passed={ok})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

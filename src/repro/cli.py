@@ -18,6 +18,9 @@ Subcommands
     Render and compare layout snapshots (``repro.obs.snapshot``).
 ``runs list|show|compare|regress|report ...``
     Cross-run analytics over a run ledger (``repro.obs.ledger``).
+``watch <trace> [--gate] [--once --json] ...``
+    Live dashboard / stall watchdog over a running flow
+    (``repro.obs.live``).
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from .flows import (
     timing_improvement_percent,
 )
 from .netlist import PAPER_SPECS, dump, paper_benchmark
+from .obs.console import get_console
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -75,12 +79,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    console = get_console()
     netlist = paper_benchmark(args.design)
     arch = architecture_for(netlist, tracks_per_channel=args.tracks)
     sim_cfg, seq_cfg = _configs(args.effort, args.seed)
     # The instrumentation flags compose freely: any subset of
-    # --profile / --trace / --sanitize can ride on one run, all wired
-    # through the shared Instrumentation hook point in the annealer.
+    # --profile / --trace / --sanitize / --heartbeat can ride on one
+    # run, all wired through the shared Instrumentation hook point in
+    # the annealer.
     overrides: dict = {}
     if args.sanitize:
         overrides["sanitize"] = True
@@ -88,15 +94,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["profile"] = True
     if args.trace is not None:
         overrides["trace"] = True
+    if args.heartbeat is not None:
+        if args.heartbeat == "auto":
+            if args.trace is None:
+                console.error("--heartbeat without a PATH requires "
+                              "--trace (the sidecar lives next to the "
+                              "trace file)")
+                return 2
+            from .obs.live import heartbeat_path
+
+            overrides["heartbeat_path"] = str(heartbeat_path(args.trace))
+        else:
+            overrides["heartbeat_path"] = args.heartbeat
+        if args.trace is not None:
+            # Stream trace events to the file as they happen, so
+            # `repro-fpga watch` can tail the very file the final
+            # atomic write will later replace byte-identically.
+            overrides["trace_stream"] = args.trace
     if args.snapshot_every:
         if args.trace is None:
-            print("error: --snapshot-every requires --trace (snapshots "
-                  "ride in the trace event stream)", file=sys.stderr)
+            console.error("--snapshot-every requires --trace (snapshots "
+                          "ride in the trace event stream)")
             return 2
         overrides["snapshot_every"] = args.snapshot_every
     if args.checkpoint_every and args.checkpoint is None:
-        print("error: --checkpoint-every requires --checkpoint PATH",
-              file=sys.stderr)
+        console.error("--checkpoint-every requires --checkpoint PATH")
         return 2
     if args.checkpoint is not None:
         overrides["checkpoint_path"] = args.checkpoint
@@ -116,8 +138,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     resume_payload = None
     if args.resume is not None:
         if args.flow != "simultaneous":
-            print("error: --resume applies only to the simultaneous flow",
-                  file=sys.stderr)
+            console.error("--resume applies only to the simultaneous flow")
             return 2
         from .resilience import read_checkpoint
 
@@ -141,12 +162,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for flag in ("sanitize", "profile", "snapshot_every"):
             if overrides.pop(flag, False):
                 name = flag.replace("_", "-")
-                print(f"note: --{name} only instruments the simultaneous "
-                      f"flow", file=sys.stderr)
+                console.note(f"note: --{name} only instruments the "
+                             f"simultaneous flow")
         for flag in resilience_flags:
             if overrides.pop(flag, False):
-                print("note: checkpointing and run budgets apply only to "
-                      "the simultaneous flow", file=sys.stderr)
+                console.note("note: checkpointing and run budgets apply "
+                             "only to the simultaneous flow")
                 break
         for flag in resilience_flags:
             overrides.pop(flag, None)
@@ -159,27 +180,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     interrupted = result.extra.get("interrupted") if result.extra else None
     if interrupted:
         checkpoint = result.extra.get("checkpoint")
-        print(f"interrupted: {interrupted} (best-so-far layout returned)",
-              file=sys.stderr)
+        console.note(
+            f"interrupted: {interrupted} (best-so-far layout returned)"
+        )
         if checkpoint:
-            print(f"resume with: repro-fpga run {args.design} "
-                  f"--resume {checkpoint}", file=sys.stderr)
+            console.note(f"resume with: repro-fpga run {args.design} "
+                         f"--resume {checkpoint}")
     profile = result.extra.get("profile") if result.extra else None
     if profile is not None:
         print(profile.format())
     trace = result.extra.get("trace") if result.extra else None
     if trace is not None and args.trace is not None:
         trace.write_jsonl(args.trace)
-        print(f"trace: {len(trace.events)} events -> {args.trace}",
-              file=sys.stderr)
+        console.note(f"trace: {len(trace.events)} events -> {args.trace}")
     if args.snapshot is not None:
         from .flows import capture_flow_snapshot
         from .obs.snapshot import write_snapshot
 
         payload = capture_flow_snapshot(result, arch)
         write_snapshot(payload, args.snapshot)
-        print(f"snapshot: T={payload['timing']['T']:.4f} -> {args.snapshot}",
-              file=sys.stderr)
+        console.note(
+            f"snapshot: T={payload['timing']['T']:.4f} -> {args.snapshot}"
+        )
     if args.ledger is not None:
         # Recording happens strictly after the run — a pure read of the
         # finished result, so the anneal stays bit-identical.
@@ -192,11 +214,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             artifacts["snapshot"] = args.snapshot
         if args.checkpoint is not None:
             artifacts["checkpoint"] = args.checkpoint
+        if overrides.get("heartbeat_path"):
+            artifacts["heartbeat"] = overrides["heartbeat_path"]
         config = sim_cfg if args.flow == "simultaneous" else seq_cfg
         append_record(args.ledger, record_from_result(
             result, config=config, tag=args.tag, artifacts=artifacts,
         ))
-        print(f"ledger: appended record to {args.ledger}", file=sys.stderr)
+        console.note(f"ledger: appended record to {args.ledger}")
     if interrupted and str(interrupted).startswith("signal"):
         return 130
     return 0 if result.fully_routed else 1
@@ -252,6 +276,12 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     return runs_main(args.runs_args)
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .obs.cli import watch_main
+
+    return watch_main(args.watch_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -291,6 +321,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured event trace and write it as JSONL "
         "(default PATH: trace.jsonl; results are bit-identical to an "
         "untraced run)",
+    )
+    p_run.add_argument(
+        "--heartbeat", nargs="?", const="auto", default=None,
+        metavar="PATH",
+        help="write a live heartbeat sidecar (atomic JSON, wall-clock "
+        "telemetry kept out of the deterministic trace) to PATH, or "
+        "next to the trace as <trace>.hb when PATH is omitted; with "
+        "--trace also streams trace events live so 'repro-fpga watch' "
+        "can follow the run (results stay bit-identical)",
     )
     p_run.add_argument(
         "--snapshot", default=None, metavar="PATH",
@@ -385,6 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_runs.add_argument("runs_args", nargs=argparse.REMAINDER)
     p_runs.set_defaults(func=_cmd_runs)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live dashboard / stall watchdog over a running flow",
+        add_help=False,
+    )
+    p_watch.add_argument("watch_args", nargs=argparse.REMAINDER)
+    p_watch.set_defaults(func=_cmd_watch)
     return parser
 
 
@@ -408,21 +455,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .netlist import NetlistFormatError
     from .resilience import CheckpointError
 
+    console = get_console()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except CheckpointError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        console.error(str(exc))
         return EXIT_CHECKPOINT_ERROR
     except LayoutFormatError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        console.error(str(exc))
         return EXIT_LAYOUT_ERROR
     except NetlistFormatError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        console.error(str(exc))
         return EXIT_NETLIST_ERROR
     except KeyboardInterrupt:
-        print("error: interrupted", file=sys.stderr)
+        console.error("interrupted")
         return 130
 
 

@@ -94,6 +94,24 @@ class AnnealerConfig:
     #: Never affects results: a traced run is bit-identical to an
     #: untraced run with the same seed.
     trace: bool = False
+    #: With tracing on, also append every event to this file as it is
+    #: emitted (same serialization as the final JSONL trace), so a live
+    #: watcher (``repro-fpga watch``) can tail-follow the run.  The
+    #: stream is flushed per event at stage boundaries — never from the
+    #: per-move hot path — and a streamed run stays bit-identical.
+    trace_stream: Optional[str] = None
+    #: Live heartbeat sidecar (see :mod:`repro.obs.live`): rewrite this
+    #: file atomically with wall-clock telemetry (pid, counters,
+    #: acceptance, moves/sec, ETA, last checkpoint) at stage boundaries
+    #: and at least every ``heartbeat_min_interval_s`` seconds.  The
+    #: telemetry is deliberately kept *out* of the deterministic trace
+    #: (the ledger's VOLATILE_FIELDS discipline); the writer reads only
+    #: monotonic clocks, so a heartbeating run is bit-identical to a
+    #: plain run.  None disables.
+    heartbeat_path: Optional[str] = None
+    #: Heartbeat rewrite throttle in seconds (forced beats — phase
+    #: transitions and the final status — ignore it).
+    heartbeat_min_interval_s: float = 2.0
     #: With tracing on, emit a layout ``snapshot`` event (channel
     #: occupancy, per-net routes, critical-path attribution; see
     #: :mod:`repro.obs.snapshot`) every N temperatures, plus one final
@@ -152,6 +170,13 @@ class AnnealerConfig:
             raise ValueError("checkpoint_every requires checkpoint_path")
         if self.max_seconds < 0 or self.max_stages < 0 or self.max_moves < 0:
             raise ValueError("run budgets must be >= 0 (0 = unlimited)")
+        if self.trace_stream is not None and not self.trace:
+            raise ValueError("trace_stream requires trace=True")
+        if self.heartbeat_min_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_min_interval_s must be > 0, got "
+                f"{self.heartbeat_min_interval_s}"
+            )
 
 
 def fast_config(seed: int = 0) -> AnnealerConfig:
@@ -289,6 +314,11 @@ class SimultaneousAnnealer:
         self._greedy_round = 0
         self._resumed = False
         self._last_checkpoint: Optional[str] = None
+        # Heartbeat telemetry cursors (wall-clock side only — never fed
+        # back into the anneal): when this run() started, and the last
+        # completed stage's acceptance for mid-stage beats.
+        self._run_started: float = 0.0
+        self._last_acceptance: Optional[float] = None
         # Best-so-far tracking: noted at stage boundaries with a pure
         # structural capture (no RNG, no clock), so plain runs remain
         # bit-identical.  Interrupted runs return this layout.
@@ -558,6 +588,66 @@ class SimultaneousAnnealer:
         if every > 0 and path is not None and self._stage_index % every == 0:
             self._write_checkpoint(path)
 
+    def _beat(
+        self,
+        current: CostTerms,
+        status: str = "running",
+        force: bool = False,
+        acceptance: Optional[float] = None,
+    ) -> None:
+        """Write one heartbeat sidecar update, if one is configured.
+
+        Telemetry assembly is a pure read of already-computed state
+        plus the monotonic clock — no RNG, no wall-clock — so the
+        anneal trajectory is untouched (the determinism golden test
+        and the bench bit-identity gate both pin this).
+        """
+        hb = self.instrumentation.heartbeat
+        if hb is None or not (force or hb.due()):
+            return
+        elapsed = time.perf_counter() - self._run_started
+        budget = self.config.schedule.max_temperatures
+        done = self.schedule.temperatures_done
+        eta = None
+        if status == "running" and self._phase == "anneal" \
+                and done > 0 and budget > done and elapsed > 0:
+            # Budget-based upper bound: the adaptive schedule usually
+            # freezes earlier, so this is a worst-case remaining time.
+            eta = round(elapsed / done * (budget - done), 1)
+        best = None
+        if self.best_terms is not None:
+            best = {"G": self.best_terms.global_unrouted,
+                    "D": self.best_terms.detail_unrouted,
+                    "T": self.best_terms.worst_delay}
+        if acceptance is None:
+            acceptance = self._last_acceptance
+        hb.beat({
+            "flow": "simultaneous",
+            "design": self.netlist.name,
+            "seed": self.config.seed,
+            "status": status,
+            "phase": self._phase,
+            "stage": self._stage_index,
+            "stage_budget": budget,
+            "moves_attempted": self._attempted,
+            "moves_accepted": self._accepted,
+            "acceptance": (
+                round(acceptance, 4) if acceptance is not None else None
+            ),
+            "terms": {"G": current.global_unrouted,
+                      "D": current.detail_unrouted,
+                      "T": current.worst_delay},
+            "cost": self.weights.scalar(current),
+            "best": best,
+            "elapsed_s": round(elapsed, 3),
+            "moves_per_sec": (
+                round(self._attempted / elapsed, 1) if elapsed > 0 else None
+            ),
+            "eta_s": eta,
+            "last_checkpoint": self._last_checkpoint,
+            "trace": self.config.trace_stream,
+        }, force=True)
+
     def _should_stop(self, started: float) -> Optional[str]:
         """Poll the interrupt controller with this run's counters."""
         return self.interrupt.should_stop(
@@ -666,6 +756,7 @@ class SimultaneousAnnealer:
             round_index += 1
             self._greedy_round = round_index
             self._note_best(current)
+            self._beat(current, acceptance=accepted_here / attempts)
             if not accepted_here:
                 break
             if round_index < self.config.greedy_rounds:
@@ -693,6 +784,7 @@ class SimultaneousAnnealer:
         existed.
         """
         started = time.perf_counter()
+        self._run_started = started
         num_cells = self.netlist.num_cells
 
         tracer = self.tracer
@@ -715,6 +807,7 @@ class SimultaneousAnnealer:
                 self.schedule.start(walk_costs)
                 self._phase = "anneal"
             self._note_best(current)
+            self._beat(current, force=True)
 
             if self._phase == "anneal":
                 while not self.schedule.frozen:
@@ -725,8 +818,10 @@ class SimultaneousAnnealer:
                     self._stage_index += 1
                     self._note_best(current)
                     self._checkpoint_if_due()
+                    self._beat(current)
                 if stop_reason is None:
                     self._phase = "greedy"
+                    self._beat(current, force=True)
 
             if self._phase == "greedy":
                 current, stop_reason = self._greedy_cleanup(current, started)
@@ -749,6 +844,15 @@ class SimultaneousAnnealer:
                 current = self.evaluator.terms()
 
         wall_time = time.perf_counter() - started
+        if self.instrumentation.heartbeat is not None:
+            # Terminal beat: always forced so watchers (and the watch
+            # --gate watchdog) see the final status even on short runs.
+            self._beat(
+                current,
+                status=("completed" if stop_reason is None
+                        else f"interrupted: {stop_reason}"),
+                force=True,
+            )
         profile = None
         if self.profiler is not None:
             profile = self.profiler.finish(
@@ -820,7 +924,8 @@ class SimultaneousAnnealer:
         costs: list[float] = []
         perturbed_cells: set[int] = set()
         accepted_here = 0
-        for _ in range(attempts_per_temp):
+        hb = self.instrumentation.heartbeat
+        for attempt_index in range(attempts_per_temp):
             accepted, current, cells_touched = self._attempt(
                 temperature, current
             )
@@ -829,7 +934,16 @@ class SimultaneousAnnealer:
                 perturbed_cells.update(cells_touched)
             accumulator.add(current)
             costs.append(self.weights.scalar(current))
+            # Mid-stage heartbeat: on large designs one stage can run
+            # minutes, so probe the throttle every 256 attempts (off =
+            # one ``is not None`` test; on = one monotonic read).
+            if hb is not None and attempt_index % 256 == 255 and hb.due():
+                self._beat(
+                    current,
+                    acceptance=accepted_here / (attempt_index + 1),
+                )
         acceptance = accepted_here / attempts_per_temp
+        self._last_acceptance = acceptance
         sample = TemperatureSample(
             temperature=temperature,
             attempts=attempts_per_temp,

@@ -68,6 +68,17 @@ class SequentialConfig:
     #: stages carry a scalar placement cost instead of the simultaneous
     #: flow's G/D/T terms; the trace tooling handles both shapes.
     trace: bool = False
+    #: With tracing on, also append events live to this file so
+    #: ``repro-fpga watch`` can tail-follow the placement anneal (same
+    #: contract as :attr:`repro.core.AnnealerConfig.trace_stream`).
+    trace_stream: Optional[str] = None
+    #: Live heartbeat sidecar path (see :mod:`repro.obs.live`); the
+    #: placer beats at stage boundaries with scalar-cost telemetry.
+    #: None disables.  Same determinism contract as the simultaneous
+    #: flow: the writer reads only monotonic clocks.
+    heartbeat_path: Optional[str] = None
+    #: Heartbeat rewrite throttle in seconds.
+    heartbeat_min_interval_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.attempts_per_cell <= 0:
@@ -75,6 +86,13 @@ class SequentialConfig:
         if self.initial not in ("random", "clustered"):
             raise ValueError(
                 f"initial must be random|clustered, got {self.initial!r}"
+            )
+        if self.trace_stream is not None and not self.trace:
+            raise ValueError("trace_stream requires trace=True")
+        if self.heartbeat_min_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_min_interval_s must be > 0, got "
+                f"{self.heartbeat_min_interval_s}"
             )
 
 
@@ -104,7 +122,12 @@ class SequentialPlacer:
         self.placement = placement
         self.config = config
         self.rng = random.Random(config.seed)
-        self.tracer = maybe_tracer(config.trace)
+        self.tracer = maybe_tracer(config.trace, stream_path=config.trace_stream)
+        from ..obs.live import maybe_heartbeat
+
+        self.heartbeat = maybe_heartbeat(
+            config.heartbeat_path, config.heartbeat_min_interval_s
+        )
         # Sequential placers do not reassign pinmaps (the palette
         # belongs to the layout-aware flow), so pinmap_probability=0.
         self.moves = MoveGenerator(placement, self.rng, pinmap_probability=0.0)
@@ -189,8 +212,59 @@ class SequentialPlacer:
             self._measure(net_index, add=True)
         return current_cost
 
+    def _beat(
+        self,
+        started: float,
+        stage_index: int,
+        attempted: int,
+        accepted: int,
+        acceptance: Optional[float],
+        cost: float,
+        status: str = "running",
+        force: bool = False,
+    ) -> None:
+        """Heartbeat for the placement anneal (scalar-cost telemetry).
+
+        Same determinism contract as the simultaneous flow's beats: a
+        pure read of already-computed values plus the monotonic clock.
+        """
+        hb = self.heartbeat
+        if hb is None or not (force or hb.due()):
+            return
+        elapsed = time.perf_counter() - started
+        budget = self.config.schedule.max_temperatures
+        eta = None
+        if status == "running" and stage_index > 0 \
+                and budget > stage_index and elapsed > 0:
+            eta = round(elapsed / stage_index * (budget - stage_index), 1)
+        hb.beat({
+            "flow": "sequential",
+            "design": self.netlist.name,
+            "seed": self.config.seed,
+            "status": status,
+            "phase": "place",
+            "stage": stage_index,
+            "stage_budget": budget,
+            "moves_attempted": attempted,
+            "moves_accepted": accepted,
+            "acceptance": (
+                round(acceptance, 4) if acceptance is not None else None
+            ),
+            "terms": None,
+            "cost": cost,
+            "best": None,
+            "elapsed_s": round(elapsed, 3),
+            "moves_per_sec": (
+                round(attempted / elapsed, 1) if elapsed > 0 else None
+            ),
+            "eta_s": eta,
+            "last_checkpoint": None,
+            "trace": self.config.trace_stream,
+        }, force=True)
+
     def run(self) -> Placement:
         """Execute to completion and return the result."""
+        started = time.perf_counter()
         num_cells = self.netlist.num_cells
         attempts_per_temp = self.config.attempts_per_cell * num_cells
         tracer = self.tracer
@@ -207,6 +281,8 @@ class SequentialPlacer:
         total_attempts = len(walk)
         total_accepted = 0
         stage_index = 0
+        self._beat(started, stage_index, total_attempts, total_accepted,
+                   None, current, force=True)
         while not self.schedule.frozen:
             costs = []
             accepted = 0
@@ -237,6 +313,8 @@ class SequentialPlacer:
             stage_index += 1
             total_attempts += attempts_per_temp
             total_accepted += accepted
+            self._beat(started, stage_index, total_attempts, total_accepted,
+                       acceptance, current)
         # Greedy clean-up at zero temperature.
         greedy_accepted = 0
         for _ in range(attempts_per_temp):
@@ -255,6 +333,9 @@ class SequentialPlacer:
                 temperatures=self.schedule.temperatures_done,
                 final_cost=current,
             )
+        self._beat(started, stage_index, total_attempts, total_accepted,
+                   greedy_accepted / attempts_per_temp, current,
+                   status="completed", force=True)
         return self.placement
 
 

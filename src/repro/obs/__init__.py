@@ -13,7 +13,9 @@ Three cooperating pieces (see docs/OBSERVABILITY.md):
   schema-versioned JSONL trace format and the offline analysis behind
   ``repro-fpga trace``;
 * :mod:`repro.obs.ledger` / :mod:`repro.obs.report` — the append-only
-  cross-run ledger and the HTML observatory behind ``repro-fpga runs``.
+  cross-run ledger and the HTML observatory behind ``repro-fpga runs``;
+* :mod:`repro.obs.live` — the heartbeat sidecar, tail-follow trace
+  reader, and incremental anomaly engine behind ``repro-fpga watch``.
 
 Everything is off by default and free when off: disabled tracing costs
 the hot loop one ``is not None`` test per probe site, and an enabled
@@ -62,6 +64,22 @@ _SNAPSHOT_EXPORTS = (
     "write_snapshot",
 )
 
+#: Live observability API (repro.obs.live), re-exported lazily for the
+#: same reason as the ledger: writers pull in the resilience layer.
+_LIVE_EXPORTS = (
+    "HEARTBEAT_SCHEMA_VERSION",
+    "Alarm",
+    "AnomalyEngine",
+    "HeartbeatWriter",
+    "TraceFollower",
+    "WatchState",
+    "follow_trace",
+    "heartbeat_path",
+    "maybe_heartbeat",
+    "read_heartbeat",
+    "watch_once",
+)
+
 #: Cross-run ledger API (repro.obs.ledger), re-exported lazily like the
 #: snapshot API: it pulls in the resilience layer on write, which plain
 #: ``import repro.obs`` should not pay for.
@@ -85,6 +103,10 @@ def __getattr__(name: str):
         from . import ledger as _ledger
 
         return getattr(_ledger, name)
+    if name in _LIVE_EXPORTS:
+        from . import live as _live
+
+        return getattr(_live, name)
     if name == "render_report":
         from .report import render_report
 
@@ -115,5 +137,6 @@ __all__ = [
     "maybe_tracer",
     *_SNAPSHOT_EXPORTS,
     *_LEDGER_EXPORTS,
+    *_LIVE_EXPORTS,
     "render_report",
 ]

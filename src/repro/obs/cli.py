@@ -18,6 +18,18 @@ from .summary import diff_traces, find_anomalies, summarize
 from .xray import render_diff, render_snapshot, render_svg
 
 
+def render_json(payload: object) -> str:
+    """The one machine-readable JSON shape every subcommand shares.
+
+    Sorted keys and two-space indent, so ``runs show``, ``runs list
+    --format json``, and ``watch --json`` all emit byte-stable output
+    scripts can diff.
+    """
+    import json
+
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def _load(path: str) -> RunTrace:
     trace = read_trace(Path(path))
     problems = trace.validate()
@@ -369,6 +381,11 @@ def build_runs_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="one-line-per-run ledger table")
     p_list.add_argument("ledger", help="JSONL ledger file")
     _add_slice_filters(p_list)
+    p_list.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format: human table or machine-readable JSON "
+        "(sorted keys, matching 'runs show'; default: table)",
+    )
 
     p_show = sub.add_parser("show", help="dump one record in full")
     p_show.add_argument("ledger", help="JSONL ledger file")
@@ -437,6 +454,12 @@ def _runs_list(args: argparse.Namespace) -> int:
     if not indices:
         print("no matching records", file=sys.stderr)
         return RUNS_EXIT_NO_DATA
+    if args.format == "json":
+        print(render_json([
+            {"index": index, "record": ledger.records[index]}
+            for index in indices
+        ]))
+        return RUNS_EXIT_OK
     rows = []
     for index in indices:
         record = ledger.records[index]
@@ -470,7 +493,7 @@ def _runs_show(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return RUNS_EXIT_NO_DATA
-    print(json.dumps(ledger.records[args.index], indent=2, sort_keys=True))
+    print(render_json(ledger.records[args.index]))
     return RUNS_EXIT_OK
 
 
@@ -639,6 +662,168 @@ def runs_main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return RUNS_EXIT_LEDGER
+
+
+# ---------------------------------------------------------------------------
+# `repro-fpga watch` — live dashboard + stall watchdog over a running anneal.
+# ---------------------------------------------------------------------------
+WATCH_EXIT_OK = 0        # run completed with no anomaly alarms
+WATCH_EXIT_ANOMALY = 1   # run completed but dynamics detectors fired
+WATCH_EXIT_USAGE = 2     # bad arguments (argparse's own code)
+WATCH_EXIT_STALLED = 6   # heartbeat lost / run never started / --timeout hit
+
+
+def build_watch_parser() -> argparse.ArgumentParser:
+    """CLI surface for the live watcher."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga watch",
+        description="Follow a live run through its trace stream and "
+        "heartbeat sidecar: dashboard by default, single snapshot with "
+        "--once, CI watchdog with --gate (exit 0 completed-ok, "
+        "1 anomaly, 6 stalled).",
+    )
+    parser.add_argument(
+        "trace",
+        help="trace JSONL the run streams into (repro-fpga run "
+        "--trace PATH --heartbeat)",
+    )
+    parser.add_argument(
+        "--heartbeat", default=None, metavar="PATH",
+        help="heartbeat sidecar path (default: <trace>.hb)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="poll/redraw interval in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--stall-timeout", type=float, default=30.0, metavar="S",
+        help="declare the run stalled when the heartbeat is older than "
+        "this, or when no artifact appears at all for this long "
+        "(default: 30)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=0.0, metavar="S",
+        help="overall wall budget for the watch itself; a run still "
+        "unfinished after this long exits stalled. 0 disables "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--plateau-stages", type=int, default=8, metavar="N",
+        help="consecutive near-flat stages before the cost-plateau "
+        "anomaly fires (default: 8)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=8, metavar="N",
+        help="stage-table rows in the dashboard (default: 8)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="poll once, render, and exit with the typed status code",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the watch state as JSON (sorted keys) instead of "
+        "the dashboard",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="watchdog mode: no dashboard, print new alarms to stderr, "
+        "exit when the run completes or stalls",
+    )
+    return parser
+
+
+def _emit_watch_state(state, trace, args: argparse.Namespace) -> None:
+    """One frame of output: JSON snapshot or rendered dashboard."""
+    from .live import render_watch_trace
+
+    if args.as_json:
+        print(render_json(state.to_dict()))
+    else:
+        if not (args.once or args.gate) and sys.stdout.isatty():
+            # Live redraw: clear between frames so the dashboard
+            # overwrites itself instead of scrolling.
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_watch_trace(state, trace, max_rows=args.max_rows))
+
+
+def _watch_exit_code(state) -> int:
+    if state.stalled:
+        return WATCH_EXIT_STALLED
+    if state.anomalous:
+        return WATCH_EXIT_ANOMALY
+    return WATCH_EXIT_OK
+
+
+def watch_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Watch CLI entry point; returns a typed exit code."""
+    # Watcher pacing runs on the monotonic clock and sleep only; the
+    # deterministic run being observed never sees this process.
+    import time
+
+    from .live import Alarm, AnomalyEngine, TraceFollower, heartbeat_path, \
+        watch_once
+
+    parser = build_watch_parser()
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+    if args.stall_timeout <= 0:
+        parser.error("--stall-timeout must be > 0")
+
+    hb_path = args.heartbeat or str(heartbeat_path(args.trace))
+    follower = TraceFollower(args.trace)
+    engine = AnomalyEngine(
+        stall_after_s=args.stall_timeout,
+        plateau_stages=args.plateau_stages,
+    )
+
+    started = time.monotonic()
+    last_progress = started
+    progress_key: Optional[tuple] = None
+    try:
+        while True:
+            state = watch_once(follower, hb_path, engine)
+            key = (state.events, (state.heartbeat or {}).get("seq"))
+            if key != progress_key:
+                progress_key = key
+                last_progress = time.monotonic()
+            finished = state.status == "completed"
+            # Age-based stall detection needs a heartbeat file to age;
+            # when none ever appears (run died before its first beat,
+            # or was never launched) the watcher keeps its own clock.
+            if not finished and not state.stalled \
+                    and state.heartbeat is None \
+                    and time.monotonic() - last_progress \
+                    > args.stall_timeout:
+                state.alarms.append(Alarm(
+                    "stall",
+                    f"no heartbeat or trace progress for "
+                    f"{args.stall_timeout:.0f}s; the run never started "
+                    f"or died before its first beat",
+                ))
+                state.status = "stalled"
+            if args.timeout and not finished and not state.stalled \
+                    and time.monotonic() - started > args.timeout:
+                state.alarms.append(Alarm(
+                    "stall",
+                    f"watch timeout: run still unfinished after "
+                    f"{args.timeout:.0f}s",
+                ))
+                state.status = "stalled"
+            if args.once or finished or state.stalled:
+                _emit_watch_state(state, follower.trace, args)
+                return _watch_exit_code(state)
+            if args.gate:
+                for alarm in engine.fresh:
+                    print(
+                        f"[{alarm.kind}] {alarm.message}", file=sys.stderr
+                    )
+            else:
+                _emit_watch_state(state, follower.trace, args)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":

@@ -38,6 +38,10 @@ class Console:
         """Emit one warning line."""
         self.stream.write(f"warning: {message}\n")
 
+    def error(self, message: str) -> None:
+        """Emit one error line (the caller owns the exit code)."""
+        self.stream.write(f"error: {message}\n")
+
 
 #: Default console for library code with no injected destination.
 DEFAULT_CONSOLE = Console()

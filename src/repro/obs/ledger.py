@@ -77,6 +77,9 @@ FAMILY_EXCLUDE = (
     "fast_path",
     "profile",
     "trace",
+    "trace_stream",
+    "heartbeat_path",
+    "heartbeat_min_interval_s",
     "sanitize",
     "sanitize_every",
     "snapshot_every",

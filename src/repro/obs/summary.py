@@ -59,34 +59,24 @@ def _fmt(value: Optional[float], decimals: int = 4) -> str:
 # ----------------------------------------------------------------------
 # Anomaly detection
 # ----------------------------------------------------------------------
-def find_anomalies(trace: RunTrace) -> list[str]:
-    """Heuristic red flags in one run's dynamics (empty list = none).
+# Each detector is a pure function RunTrace -> list[str] so both the
+# post-hoc summary (find_anomalies) and the live engine
+# (repro.obs.live.AnomalyEngine) compose the same logic — the live
+# watcher re-runs them incrementally on a growing trace, where each
+# message stabilizes once the stages that triggered it are on disk.
 
-    Three detectors, each tied to a failure mode the annealer has
-    actually exhibited during tuning:
-
-    * **stalled acceptance** — acceptance pinned near zero for far
-      longer than the schedule's freeze patience: the run is burning
-      temperatures doing nothing (mis-seeded T0 or a frozen window);
-    * **weight oscillation** — an adaptive weight whose trajectory
-      flips direction on most stages with large amplitude: the
-      normalization is chasing its own tail instead of converging;
-    * **repair-rate collapse** — the detailed repair success rate
-      falling to near zero after being healthy: the layout dug itself
-      into a congestion hole the router cannot climb out of.
-    """
-    anomalies: list[str] = []
+def detect_stalled_acceptance(trace: RunTrace) -> list[str]:
+    """Acceptance pinned near zero for far longer than freeze patience:
+    the run is burning temperatures doing nothing (mis-seeded T0 or a
+    frozen window)."""
     stages = trace.stages
     if len(stages) < 4:
-        return anomalies
-
+        return []
     patience = (
         trace.manifest.get("config", {})
         .get("schedule", {})
         .get("freeze_patience", 3)
     ) or 3
-
-    # Stalled acceptance: the longest streak of ~zero acceptance.
     streak = best_streak = 0
     for stage in stages:
         if stage["acceptance"] < 0.02:
@@ -95,13 +85,22 @@ def find_anomalies(trace: RunTrace) -> list[str]:
         else:
             streak = 0
     if best_streak > 2 * patience:
-        anomalies.append(
+        return [
             f"stalled acceptance: {best_streak} consecutive stages below "
             f"2% acceptance (freeze patience is {patience}); the schedule "
             f"is burning temperatures without making progress"
-        )
+        ]
+    return []
 
-    # Weight oscillation: direction flips with non-trivial amplitude.
+
+def detect_weight_oscillation(trace: RunTrace) -> list[str]:
+    """An adaptive weight whose trajectory flips direction on most
+    stages with large amplitude: the normalization is chasing its own
+    tail instead of converging."""
+    stages = trace.stages
+    if len(stages) < 4:
+        return []
+    anomalies: list[str] = []
     for key, label in (("wg", "Wg"), ("wd", "Wd"), ("wt", "Wt")):
         series = trace.series("weights", key)
         if len(series) < 4:
@@ -122,8 +121,16 @@ def find_anomalies(trace: RunTrace) -> list[str]:
                 f"{100 * amplitude:.0f}% relative amplitude; the adaptive "
                 f"normalization is not converging"
             )
+    return anomalies
 
-    # Repair-rate collapse (needs per-stage metrics deltas).
+
+def detect_repair_collapse(trace: RunTrace) -> list[str]:
+    """The detailed repair success rate falling to near zero after
+    being healthy: the layout dug itself into a congestion hole the
+    router cannot climb out of (needs per-stage metrics deltas)."""
+    stages = trace.stages
+    if len(stages) < 4:
+        return []
     rates: list[Optional[float]] = []
     for stage in stages:
         metrics = stage.get("metrics", {})
@@ -138,12 +145,92 @@ def find_anomalies(trace: RunTrace) -> list[str]:
             and r < 0.05
         ]
         if collapsed:
-            anomalies.append(
+            return [
                 f"repair-rate collapse: detailed repair success fell from "
                 f"{100 * max(observed):.0f}% (stage {peak_at}) to under 5% "
                 f"(stage {collapsed[0]}); the placement has routed itself "
                 f"into congestion the router cannot repair"
-            )
+            ]
+    return []
+
+
+def stage_costs(trace: RunTrace) -> list[float]:
+    """One scalar cost per stage, whichever shape the flow recorded.
+
+    Simultaneous stages carry (terms, weights) pairs that reconstruct
+    the exact cost; sequential stages carry a scalar ``cost`` field.
+    Stages with neither are skipped.
+    """
+    costs: list[float] = []
+    for stage in trace.stages:
+        value = reconstructed_cost(stage)
+        if value is None:
+            value = stage.get("cost")
+        if value is not None:
+            costs.append(value)
+    return costs
+
+
+def detect_cost_plateau(
+    trace: RunTrace, min_stages: int = 8, rel_tol: float = 1e-4
+) -> list[str]:
+    """Cost flat for many stages while moves are still being accepted:
+    the anneal is churning without improving (a schedule stuck above
+    the freeze test, or a cost surface the moves cannot descend).
+
+    Used by the live engine only — the post-hoc summary's anomaly list
+    stays byte-identical to what pre-live releases printed.  Stages
+    with near-zero acceptance are excluded: a frozen run is the
+    stalled-acceptance detector's finding, not a plateau.
+    """
+    stages = trace.stages
+    if len(stages) <= min_stages:
+        return []
+    costs = stage_costs(trace)
+    if len(costs) != len(stages):
+        return []
+    streak = best_streak = 0
+    for i in range(1, len(stages)):
+        flat = abs(costs[i] - costs[i - 1]) <= rel_tol * max(
+            abs(costs[i - 1]), 1e-12
+        )
+        live = stages[i]["acceptance"] >= 0.02
+        if flat and live:
+            streak += 1
+            best_streak = max(best_streak, streak)
+        else:
+            streak = 0
+    if best_streak >= min_stages:
+        return [
+            f"cost plateau: {best_streak} consecutive stages with under "
+            f"{rel_tol:.0e} relative cost change at live acceptance; the "
+            f"anneal is wandering without making progress"
+        ]
+    return []
+
+
+#: The post-hoc detector set, in report order.  ``find_anomalies``
+#: composes exactly these, so the summary output is byte-identical to
+#: the pre-refactor inline version (pinned by tests/test_obs.py).
+SUMMARY_DETECTORS = (
+    detect_stalled_acceptance,
+    detect_weight_oscillation,
+    detect_repair_collapse,
+)
+
+
+def find_anomalies(trace: RunTrace) -> list[str]:
+    """Heuristic red flags in one run's dynamics (empty list = none).
+
+    Composes :data:`SUMMARY_DETECTORS` — stalled acceptance, weight
+    oscillation, repair-rate collapse — each tied to a failure mode the
+    annealer has actually exhibited during tuning.  The live engine
+    (:mod:`repro.obs.live`) runs the same detectors incrementally and
+    adds cost-plateau and heartbeat-loss on top.
+    """
+    anomalies: list[str] = []
+    for detector in SUMMARY_DETECTORS:
+        anomalies.extend(detector(trace))
     return anomalies
 
 

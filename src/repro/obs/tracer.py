@@ -78,13 +78,30 @@ def build_manifest(
 
 
 class Tracer:
-    """Mutable event accumulator for one run (see module docstring)."""
+    """Mutable event accumulator for one run (see module docstring).
 
-    __slots__ = ("events", "metrics", "_move_counts", "_metrics_mark")
+    With ``stream_path`` set, every emitted event is *also* appended to
+    that file as one compact JSON line, flushed immediately, using the
+    exact serialization :meth:`RunTrace.to_jsonl` uses — so the stream
+    a live watcher tail-follows (see :mod:`repro.obs.live`) is
+    byte-identical to the final atomic trace written at run end.
+    Streaming writes already-computed values on the cool stage-boundary
+    path — no RNG, no clock — so a streamed run stays bit-identical.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("events", "metrics", "stream_path", "_move_counts",
+                 "_metrics_mark", "_stream")
+
+    def __init__(self, stream_path: Optional[str] = None) -> None:
         self.events: list[dict] = []
         self.metrics = MetricsRegistry()
+        self.stream_path = stream_path
+        # Truncate eagerly: a fresh run must not leave a stale stream
+        # tail from a previous run for a watcher to misread.
+        self._stream = (
+            open(stream_path, "w", encoding="utf-8")
+            if stream_path is not None else None
+        )
         # Per-stage move-kind accept/reject counts, reset every stage.
         self._move_counts: dict[str, list[int]] = {}
         self._metrics_mark: dict = self.metrics.snapshot()
@@ -102,6 +119,13 @@ class Tracer:
         """Append one event (cool path: once per stage / run phase)."""
         event = {"type": kind, **fields}
         self.events.append(event)
+        stream = self._stream
+        if stream is not None:
+            stream.write(
+                json.dumps(event, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            stream.flush()
         return event
 
     def run_start(self, manifest: dict) -> None:
@@ -156,13 +180,23 @@ class Tracer:
         self.emit("run_end", **fields)
 
     def finish(self) -> RunTrace:
-        """Freeze the accumulated events into a :class:`RunTrace`."""
+        """Freeze the accumulated events into a :class:`RunTrace`.
+
+        Closes the live stream, if one was open — the finished trace is
+        about to be written atomically over it (or kept as-is).
+        """
+        stream = self._stream
+        if stream is not None:
+            self._stream = None
+            stream.close()
         return RunTrace(list(self.events))
 
 
-def maybe_tracer(enabled: bool) -> Optional[Tracer]:
+def maybe_tracer(
+    enabled: bool, stream_path: Optional[str] = None
+) -> Optional[Tracer]:
     """Tracer when enabled, None otherwise (guarded-probe pattern)."""
-    return Tracer() if enabled else None
+    return Tracer(stream_path=stream_path) if enabled else None
 
 
 @dataclasses.dataclass
@@ -180,6 +214,11 @@ class Instrumentation:
     profiler: Optional[Profiler] = None
     tracer: Optional[Tracer] = None
     sanitizer: Optional[Any] = None
+    #: Live heartbeat sidecar writer (see :mod:`repro.obs.live`);
+    #: None when ``config.heartbeat_path`` is unset.  Like the others,
+    #: it never perturbs results: telemetry is a pure read and the
+    #: writer touches only monotonic clocks.
+    heartbeat: Optional[Any] = None
     #: Emit a layout ``snapshot`` event every N stages (0 = never).
     #: Only meaningful when ``tracer`` is present.
     snapshot_every: int = 0
@@ -200,21 +239,39 @@ class Instrumentation:
 
         Reads ``config.profile``, ``config.trace``, ``config.sanitize``,
         ``config.sanitize_every``, ``config.snapshot_every``,
-        ``config.checkpoint_every`` and ``config.checkpoint_path``
-        (each optional, default off) — the single shared wiring point
-        behind ``--profile``, ``--trace``, ``--sanitize``,
-        ``--snapshot-every`` and ``--checkpoint``.
+        ``config.checkpoint_every``, ``config.checkpoint_path``,
+        ``config.trace_stream``, ``config.heartbeat_path`` and
+        ``config.heartbeat_min_interval_s`` (each optional, default
+        off) — the single shared wiring point behind ``--profile``,
+        ``--trace``, ``--sanitize``, ``--snapshot-every``,
+        ``--checkpoint`` and ``--heartbeat``.
         """
         sanitizer = None
         if getattr(config, "sanitize", False):
             from ..lint.runtime import MoveSanitizer
 
             sanitizer = MoveSanitizer(getattr(config, "sanitize_every", 1))
+        heartbeat = None
+        heartbeat_path = getattr(config, "heartbeat_path", None)
+        if heartbeat_path is not None:
+            from .live import HeartbeatWriter
+
+            heartbeat = HeartbeatWriter(
+                heartbeat_path,
+                float(getattr(config, "heartbeat_min_interval_s", 2.0)),
+            )
         checkpoint_path = getattr(config, "checkpoint_path", None)
+        stream_path = getattr(config, "trace_stream", None)
         return cls(
             profiler=maybe_profiler(getattr(config, "profile", False)),
-            tracer=maybe_tracer(getattr(config, "trace", False)),
+            tracer=maybe_tracer(
+                getattr(config, "trace", False),
+                stream_path=(
+                    str(stream_path) if stream_path is not None else None
+                ),
+            ),
             sanitizer=sanitizer,
+            heartbeat=heartbeat,
             snapshot_every=int(getattr(config, "snapshot_every", 0) or 0),
             checkpoint_every=int(getattr(config, "checkpoint_every", 0) or 0),
             checkpoint_path=(

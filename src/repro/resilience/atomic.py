@@ -40,23 +40,34 @@ def atomic_write_text(
     text: str,
     kind: str = "artifact",
     encoding: str = "utf-8",
+    durable: bool = True,
 ) -> None:
     """Write ``text`` to ``path`` atomically (tmp + fsync + rename).
 
     ``kind`` labels the artifact class ("layout", "trace", "snapshot",
     "checkpoint", ...) for the fault-injection hook; it has no effect on
     the write itself.
+
+    ``durable=False`` skips both fsyncs while keeping the tmp+rename
+    atomicity: readers still never see a torn file, but the bytes may be
+    lost on power failure.  That trade is right for high-frequency
+    advisory artifacts like the live heartbeat sidecar, where going
+    stale after a crash is exactly the signal watchers look for and an
+    fsync per beat would dominate the cost of beating.
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding=encoding) as handle:
         handle.write(text)
         handle.flush()
-        os.fsync(handle.fileno())
+        if durable:
+            os.fsync(handle.fileno())
     hook = CRASH_HOOK
     if hook is not None:
         hook(path, kind)
     os.replace(tmp, path)
+    if not durable:
+        return
     try:
         dir_fd = os.open(path.parent if str(path.parent) else ".", os.O_RDONLY)
     except OSError:

@@ -71,6 +71,9 @@ NON_IDENTITY_FIELDS = (
     "handle_signals",
     "profile",
     "trace",
+    "trace_stream",
+    "heartbeat_path",
+    "heartbeat_min_interval_s",
     "sanitize",
     "sanitize_every",
     "snapshot_every",

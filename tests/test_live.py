@@ -1,0 +1,577 @@
+"""Tests for live run observability (``repro.obs.live``).
+
+Five layers:
+
+1. heartbeat sidecar: atomic round trips, envelope protection,
+   throttling, and tolerant reads of zero-byte / corrupt / wrong-schema
+   sidecars (damage injected with the resilience fault harness);
+2. tail-follow trace reader: incremental growth, torn mid-line appends,
+   truncation/rotation resets, malformed-line drops;
+3. incremental anomaly engine: the shared summary detectors plus the
+   live-only cost-plateau and heartbeat-loss detectors, and the
+   per-detector refactor staying equivalent to ``find_anomalies``;
+4. the golden determinism contract: a heartbeating, trace-streaming
+   run is bit-identical to a plain one, and the streamed JSONL is
+   byte-identical to the final atomic trace;
+5. the ``repro-fpga watch`` CLI: typed exit codes (0 completed-ok,
+   1 anomaly, 2 usage, 6 stalled) pinned in-process and once through
+   ``python -m repro`` end to end, plus ``runs list --format json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import architecture_for
+from repro.core import AnnealerConfig, ScheduleConfig
+from repro.flows import SequentialConfig, run_sequential, run_simultaneous
+from repro.netlist import tiny
+from repro.obs.cli import (
+    WATCH_EXIT_ANOMALY,
+    WATCH_EXIT_OK,
+    WATCH_EXIT_STALLED,
+    WATCH_EXIT_USAGE,
+    render_json,
+    runs_main,
+    watch_main,
+)
+from repro.obs.events import RunTrace
+from repro.obs.live import (
+    HEARTBEAT_SCHEMA_VERSION,
+    AnomalyEngine,
+    HeartbeatWriter,
+    TraceFollower,
+    follow_trace,
+    heartbeat_age_s,
+    heartbeat_path,
+    heartbeat_terminal,
+    maybe_heartbeat,
+    read_heartbeat,
+    watch_once,
+)
+from repro.obs.summary import (
+    SUMMARY_DETECTORS,
+    detect_cost_plateau,
+    find_anomalies,
+    stage_costs,
+)
+from repro.resilience.faults import corrupt_file
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+# ----------------------------------------------------------------------
+# Synthetic trace construction
+# ----------------------------------------------------------------------
+def run_start_event() -> dict:
+    return {"type": "run_start", "schema_version": 2, "manifest": {}}
+
+
+def stage_event(index: int, acceptance: float = 0.3,
+                cost: float = None, **extra) -> dict:
+    event = {
+        "type": "stage", "index": index, "temperature": 0.5,
+        "attempts": 100, "accepted": int(round(100 * acceptance)),
+        "acceptance": acceptance,
+    }
+    if cost is not None:
+        event["cost"] = cost
+    event.update(extra)
+    return event
+
+
+def run_end_event() -> dict:
+    return {"type": "run_end", "moves_attempted": 1000,
+            "moves_accepted": 300, "temperatures": 10}
+
+
+def write_jsonl(path: Path, events: list) -> None:
+    path.write_text(
+        "".join(
+            json.dumps(e, sort_keys=True, separators=(",", ":")) + "\n"
+            for e in events
+        ),
+        encoding="utf-8",
+    )
+
+
+def stalled_events(n_stages: int = 12) -> list:
+    """A trace whose acceptance is pinned at zero — the stalled-
+    acceptance detector fires on it with default freeze patience."""
+    return [run_start_event()] + [
+        stage_event(i, acceptance=0.001) for i in range(n_stages)
+    ]
+
+
+def freeze_heartbeat(path: Path, age_s: float = 120.0) -> None:
+    """Backdate a sidecar's mtime so it reads as ``age_s`` old."""
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - age_s, stat.st_mtime - age_s))
+
+
+# ----------------------------------------------------------------------
+# Heartbeat sidecar
+# ----------------------------------------------------------------------
+class TestHeartbeat:
+    def test_round_trip_carries_envelope(self, tmp_path):
+        hb = tmp_path / "run.hb"
+        writer = HeartbeatWriter(hb, min_interval_s=0.001)
+        assert writer.beat({"status": "running", "stage": 3})
+        payload, problems = read_heartbeat(hb)
+        assert problems == []
+        assert payload["status"] == "running"
+        assert payload["stage"] == 3
+        assert payload["schema_version"] == HEARTBEAT_SCHEMA_VERSION
+        assert payload["pid"] == os.getpid()
+        assert payload["seq"] == 1
+
+    def test_telemetry_cannot_shadow_envelope(self, tmp_path):
+        hb = tmp_path / "run.hb"
+        writer = HeartbeatWriter(hb, min_interval_s=0.001)
+        writer.beat({"seq": 999, "schema_version": -1, "pid": -1})
+        payload, _ = read_heartbeat(hb)
+        assert payload["seq"] == 1
+        assert payload["schema_version"] == HEARTBEAT_SCHEMA_VERSION
+        assert payload["pid"] == os.getpid()
+
+    def test_throttle_skips_until_due_force_overrides(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "run.hb", min_interval_s=3600)
+        assert writer.beat({"status": "running"})
+        assert not writer.beat({"status": "running"})
+        assert writer.beat({"status": "running"}, force=True)
+        assert writer.seq == 2
+
+    def test_invalid_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            HeartbeatWriter(tmp_path / "run.hb", min_interval_s=0)
+
+    def test_maybe_heartbeat_guarded_probe(self, tmp_path):
+        assert maybe_heartbeat(None) is None
+        assert maybe_heartbeat(tmp_path / "run.hb") is not None
+
+    def test_missing_sidecar_reads_as_none(self, tmp_path):
+        # The note is advisory; watch_once suppresses it when the file
+        # is simply absent (age is None), since absence is normal
+        # before the run opens and after cleanup.
+        payload, problems = read_heartbeat(tmp_path / "absent.hb")
+        assert payload is None
+        assert problems == [f"{tmp_path / 'absent.hb'}: no heartbeat file"]
+        assert heartbeat_age_s(tmp_path / "absent.hb") is None
+
+    def test_zero_byte_sidecar_tolerated(self, tmp_path):
+        hb = tmp_path / "run.hb"
+        hb.write_bytes(b"")
+        payload, problems = read_heartbeat(hb)
+        assert payload is None
+        assert problems  # reported, not raised
+        assert heartbeat_age_s(hb) is not None
+
+    def test_corrupt_sidecar_tolerated(self, tmp_path):
+        hb = tmp_path / "run.hb"
+        HeartbeatWriter(hb, min_interval_s=0.001).beat({"status": "running"})
+        corrupt_file(hb, offset=0)  # breaks the opening brace
+        payload, problems = read_heartbeat(hb)
+        assert payload is None
+        assert problems
+
+    def test_non_object_and_wrong_schema_tolerated(self, tmp_path):
+        hb = tmp_path / "run.hb"
+        hb.write_text("[1,2,3]\n", encoding="utf-8")
+        payload, problems = read_heartbeat(hb)
+        assert payload is None and problems
+        hb.write_text('{"schema_version": 999, "status": "running"}\n',
+                      encoding="utf-8")
+        payload, problems = read_heartbeat(hb)
+        assert payload is None and problems
+
+    def test_heartbeat_age_tracks_mtime(self, tmp_path):
+        hb = tmp_path / "run.hb"
+        HeartbeatWriter(hb, min_interval_s=0.001).beat({"status": "running"})
+        assert heartbeat_age_s(hb) < 60
+        freeze_heartbeat(hb, age_s=120)
+        assert heartbeat_age_s(hb) > 100
+
+    def test_terminal_statuses(self):
+        assert heartbeat_terminal({"status": "completed"})
+        assert heartbeat_terminal({"status": "interrupted: signal 2"})
+        assert not heartbeat_terminal({"status": "running"})
+        assert not heartbeat_terminal(None)
+
+    def test_default_sidecar_path_is_trace_sibling(self):
+        assert heartbeat_path("out/trace.jsonl") == Path("out/trace.jsonl.hb")
+
+
+# ----------------------------------------------------------------------
+# Tail-follow trace reader
+# ----------------------------------------------------------------------
+class TestTraceFollower:
+    def test_missing_file_polls_empty(self, tmp_path):
+        follower = follow_trace(tmp_path / "absent.jsonl")
+        assert follower.poll() == []
+        assert follower.problems == []
+
+    def test_incremental_growth(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event()])
+        follower = follow_trace(path)
+        assert len(follower.poll()) == 1
+        assert follower.poll() == []  # nothing new
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stage_event(0)) + "\n")
+        fresh = follower.poll()
+        assert [e["type"] for e in fresh] == ["stage"]
+        assert len(follower.trace.events) == 2
+        assert follower.problems == []
+
+    def test_torn_mid_line_append_heals(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event()])
+        line = json.dumps(stage_event(0), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        follower = follow_trace(path)
+        follower.poll()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line[:10])  # a writer caught mid-line
+        assert follower.poll() == []  # held pending, not an error
+        assert follower.problems == []
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line[10:])
+        fresh = follower.poll()
+        assert [e["type"] for e in fresh] == ["stage"]
+        assert follower.problems == []
+
+    def test_truncation_resets_and_rereads(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event()] +
+                    [stage_event(i) for i in range(5)])
+        follower = follow_trace(path)
+        assert len(follower.poll()) == 6
+        write_jsonl(path, [run_start_event(), stage_event(0)])  # rotation
+        fresh = follower.poll()
+        assert len(fresh) == 2
+        assert len(follower.trace.events) == 2
+        assert any("shrank" in p or "reset" in p for p in follower.problems)
+
+    def test_malformed_line_dropped_with_note(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(run_start_event()) + "\n"
+            + "{not json}\n"
+            + json.dumps(stage_event(0)) + "\n",
+            encoding="utf-8",
+        )
+        follower = follow_trace(path)
+        fresh = follower.poll()
+        assert [e["type"] for e in fresh] == ["run_start", "stage"]
+        assert follower.problems
+
+
+# ----------------------------------------------------------------------
+# Detectors and the anomaly engine
+# ----------------------------------------------------------------------
+class TestDetectors:
+    def test_find_anomalies_composes_exactly_the_detector_set(self):
+        trace = RunTrace(stalled_events())
+        composed = [m for det in SUMMARY_DETECTORS for m in det(trace)]
+        assert find_anomalies(trace) == composed
+        assert any("stalled acceptance" in m for m in composed)
+
+    def test_find_anomalies_clean_trace_stays_clean(self):
+        trace = RunTrace([run_start_event()] + [
+            stage_event(i, acceptance=0.4, cost=10.0 - i) for i in range(10)
+        ])
+        assert find_anomalies(trace) == []
+
+    def test_cost_plateau_fires_on_flat_cost_at_live_acceptance(self):
+        trace = RunTrace([run_start_event()] + [
+            stage_event(i, acceptance=0.3, cost=5.0) for i in range(12)
+        ])
+        messages = detect_cost_plateau(trace, min_stages=8)
+        assert len(messages) == 1 and "cost plateau" in messages[0]
+
+    def test_cost_plateau_ignores_frozen_stages(self):
+        # Flat cost at near-zero acceptance is the stalled-acceptance
+        # detector's finding, not a plateau.
+        trace = RunTrace([run_start_event()] + [
+            stage_event(i, acceptance=0.001, cost=5.0) for i in range(12)
+        ])
+        assert detect_cost_plateau(trace, min_stages=8) == []
+
+    def test_cost_plateau_quiet_on_descending_cost(self):
+        trace = RunTrace([run_start_event()] + [
+            stage_event(i, acceptance=0.3, cost=10.0 * 0.9 ** i)
+            for i in range(12)
+        ])
+        assert detect_cost_plateau(trace, min_stages=8) == []
+
+    def test_stage_costs_reads_scalar_cost_fallback(self):
+        trace = RunTrace([run_start_event(), stage_event(0, cost=7.5)])
+        assert stage_costs(trace) == [7.5]
+
+    def test_engine_adds_heartbeat_loss_only_in_flight(self):
+        engine = AnomalyEngine(stall_after_s=30)
+        trace = RunTrace([run_start_event(), stage_event(0)])
+        alarms = engine.scan(trace, heartbeat={"status": "running"},
+                             heartbeat_age=120.0)
+        assert any(a.kind == "stall" for a in alarms)
+        # A finished run's heartbeat may age forever.
+        done = RunTrace([run_start_event(), stage_event(0), run_end_event()])
+        assert AnomalyEngine(stall_after_s=30).scan(
+            done, heartbeat={"status": "completed"}, heartbeat_age=120.0
+        ) == []
+
+    def test_engine_fresh_reports_each_alarm_once(self):
+        engine = AnomalyEngine(stall_after_s=30)
+        trace = RunTrace(stalled_events())
+        first = engine.scan(trace)
+        assert engine.fresh == first and first
+        second = engine.scan(trace)
+        assert second == first  # still current...
+        assert engine.fresh == []  # ...but no longer new
+
+
+# ----------------------------------------------------------------------
+# watch_once classification
+# ----------------------------------------------------------------------
+class TestWatchOnce:
+    def test_waiting_then_running_then_completed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        follower = follow_trace(path)
+        engine = AnomalyEngine()
+        hb = heartbeat_path(path)
+        assert watch_once(follower, hb, engine).status == "waiting"
+        write_jsonl(path, [run_start_event(), stage_event(0)])
+        assert watch_once(follower, hb, engine).status == "running"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(run_end_event()) + "\n")
+        assert watch_once(follower, hb, engine).status == "completed"
+
+    def test_heartbeat_deleted_mid_watch_keeps_running(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event(), stage_event(0)])
+        hb = heartbeat_path(path)
+        HeartbeatWriter(hb, 0.001).beat({"status": "running"})
+        follower = follow_trace(path)
+        engine = AnomalyEngine()
+        assert watch_once(follower, hb, engine).status == "running"
+        hb.unlink()  # cleanup raced the watcher
+        state = watch_once(follower, hb, engine)
+        assert state.status == "running"  # trace events still count
+        assert state.heartbeat is None
+        assert state.heartbeat_age_s is None
+        assert state.problems == []  # absence is normal, not damage
+
+    def test_heartbeat_replaced_by_zero_byte_reports_problem(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event(), stage_event(0)])
+        hb = heartbeat_path(path)
+        HeartbeatWriter(hb, 0.001).beat({"status": "running"})
+        follower = follow_trace(path)
+        engine = AnomalyEngine()
+        hb.write_bytes(b"")  # torn writer left an empty sidecar
+        state = watch_once(follower, hb, engine)
+        assert state.status == "running"
+        assert state.heartbeat is None
+        assert state.problems  # damage, unlike plain absence
+
+    def test_frozen_heartbeat_classifies_stalled(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event(), stage_event(0)])
+        hb = heartbeat_path(path)
+        HeartbeatWriter(hb, 0.001).beat({"status": "running"})
+        freeze_heartbeat(hb, age_s=120)
+        state = watch_once(follow_trace(path), hb,
+                           AnomalyEngine(stall_after_s=30))
+        assert state.status == "stalled"
+        assert state.stalled
+        payload = state.to_dict()
+        assert payload["status"] == "stalled"
+        assert payload["alarms"][0]["kind"] == "stall"
+
+
+# ----------------------------------------------------------------------
+# Golden determinism: heartbeat + streaming never perturb the anneal
+# ----------------------------------------------------------------------
+def short_config(seed: int, **overrides) -> AnnealerConfig:
+    return AnnealerConfig(
+        seed=seed, attempts_per_cell=2, initial="clustered",
+        greedy_rounds=1,
+        schedule=ScheduleConfig(lambda_=1.4, max_temperatures=6,
+                                freeze_patience=2),
+        **overrides,
+    )
+
+
+class TestGoldenDeterminism:
+    def test_heartbeat_and_stream_runs_bit_identical(self, tmp_path):
+        netlist = tiny(seed=9, num_cells=24, depth=3)
+        arch = architecture_for(netlist, tracks_per_channel=10)
+        plain = run_simultaneous(netlist, arch, short_config(11))
+        hb_only = run_simultaneous(netlist, arch, short_config(
+            11, heartbeat_path=str(tmp_path / "a.hb"),
+            heartbeat_min_interval_s=0.001,
+        ))
+        stream = tmp_path / "trace.jsonl"
+        full = run_simultaneous(netlist, arch, short_config(
+            11, trace=True, trace_stream=str(stream),
+            heartbeat_path=str(heartbeat_path(stream)),
+            heartbeat_min_interval_s=0.001,
+        ))
+        baseline = {k: v for k, v in plain.metrics().items()
+                    if k != "wall_time_s"}
+        for other in (hb_only, full):
+            got = {k: v for k, v in other.metrics().items()
+                   if k != "wall_time_s"}
+            assert got == baseline
+        # The streamed JSONL is byte-identical to the final trace.
+        assert stream.read_text(encoding="utf-8") == \
+            full.extra["trace"].to_jsonl()
+        # The terminal beat landed with a terminal status.
+        payload, problems = read_heartbeat(heartbeat_path(stream))
+        assert problems == []
+        assert payload["status"] == "completed"
+        assert payload["phase"] == "done"
+        assert payload["seq"] >= 2
+
+    def test_sequential_flow_heartbeat_bit_identical(self, tmp_path):
+        netlist = tiny(seed=9, num_cells=24, depth=3)
+        arch = architecture_for(netlist, tracks_per_channel=10)
+        plain = run_sequential(netlist, arch, SequentialConfig(
+            seed=5, attempts_per_cell=2))
+        beating = run_sequential(netlist, arch, SequentialConfig(
+            seed=5, attempts_per_cell=2,
+            heartbeat_path=str(tmp_path / "seq.hb"),
+            heartbeat_min_interval_s=0.001,
+        ))
+        baseline = {k: v for k, v in plain.metrics().items()
+                    if k != "wall_time_s"}
+        got = {k: v for k, v in beating.metrics().items()
+               if k != "wall_time_s"}
+        assert got == baseline
+        payload, _ = read_heartbeat(tmp_path / "seq.hb")
+        assert payload["status"] == "completed"
+        assert payload["flow"] == "sequential"
+
+
+# ----------------------------------------------------------------------
+# The watch CLI: typed exit codes
+# ----------------------------------------------------------------------
+class TestWatchCli:
+    def completed_clean(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event()] + [
+            stage_event(i, acceptance=0.4, cost=10.0 - i) for i in range(6)
+        ] + [run_end_event()])
+        return path
+
+    def test_usage_errors_exit_2(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            watch_main([str(tmp_path / "t.jsonl"), "--interval", "0"])
+        assert exc.value.code == WATCH_EXIT_USAGE
+        with pytest.raises(SystemExit) as exc:
+            watch_main([str(tmp_path / "t.jsonl"), "--stall-timeout", "-1"])
+        assert exc.value.code == WATCH_EXIT_USAGE
+
+    def test_completed_clean_exits_0(self, tmp_path, capsys):
+        code = watch_main([str(self.completed_clean(tmp_path)), "--once"])
+        assert code == WATCH_EXIT_OK
+        assert "[completed]" in capsys.readouterr().out
+
+    def test_completed_with_anomaly_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, stalled_events() + [run_end_event()])
+        code = watch_main([str(path), "--once"])
+        assert code == WATCH_EXIT_ANOMALY
+        assert "stalled acceptance" in capsys.readouterr().out
+
+    def test_gate_on_frozen_heartbeat_exits_6(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event(), stage_event(0)])
+        hb = heartbeat_path(path)
+        HeartbeatWriter(hb, 0.001).beat({"status": "running"})
+        freeze_heartbeat(hb, age_s=120)
+        code = watch_main([str(path), "--gate", "--stall-timeout", "30",
+                           "--interval", "0.05"])
+        assert code == WATCH_EXIT_STALLED
+        assert "heartbeat lost" in capsys.readouterr().out
+
+    def test_gate_on_absent_run_exits_6(self, tmp_path, capsys):
+        code = watch_main([str(tmp_path / "never.jsonl"), "--gate",
+                           "--stall-timeout", "0.2", "--interval", "0.05"])
+        assert code == WATCH_EXIT_STALLED
+        assert "never started" in capsys.readouterr().out
+
+    def test_gate_timeout_exits_6(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event(), stage_event(0)])
+        hb = heartbeat_path(path)
+        HeartbeatWriter(hb, 0.001).beat({"status": "running"})
+        code = watch_main([str(path), "--gate", "--stall-timeout", "3600",
+                           "--interval", "0.05", "--timeout", "0.2"])
+        assert code == WATCH_EXIT_STALLED
+        assert "watch timeout" in capsys.readouterr().out
+
+    def test_json_snapshot_is_sorted_and_parseable(self, tmp_path, capsys):
+        code = watch_main([str(self.completed_clean(tmp_path)),
+                           "--once", "--json"])
+        assert code == WATCH_EXIT_OK
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["status"] == "completed"
+        assert payload["alarms"] == []
+        assert out.strip() == render_json(payload)  # sorted keys
+
+    def test_module_entry_point_end_to_end(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "watch",
+             str(self.completed_clean(tmp_path)), "--once", "--json"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == WATCH_EXIT_OK, proc.stderr
+        assert json.loads(proc.stdout)["status"] == "completed"
+
+
+# ----------------------------------------------------------------------
+# runs list --format json (shared renderer with runs show)
+# ----------------------------------------------------------------------
+class TestRunsListJson:
+    def test_list_json_matches_show(self, tmp_path, capsys):
+        from repro.obs.ledger import append_record, make_record
+
+        ledger = tmp_path / "ledger.jsonl"
+        for seed in (1, 2):
+            append_record(ledger, make_record(
+                flow="simultaneous", design="tiny", seed=seed,
+                worst_delay_ns=21.5, fully_routed=True,
+                config_digest="abc123",
+            ))
+        assert runs_main(["list", str(ledger), "--format", "json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert [entry["index"] for entry in listed] == [0, 1]
+        assert runs_main(["show", str(ledger), "0"]) == 0
+        shown = capsys.readouterr().out
+        assert render_json(listed[0]["record"]) == shown.strip()
+
+    def test_list_json_respects_slice_filters(self, tmp_path, capsys):
+        from repro.obs.ledger import append_record, make_record
+
+        ledger = tmp_path / "ledger.jsonl"
+        for design in ("tiny", "big"):
+            append_record(ledger, make_record(
+                flow="simultaneous", design=design, seed=1,
+                worst_delay_ns=21.5, fully_routed=True,
+                config_digest="abc123",
+            ))
+        assert runs_main(["list", str(ledger), "--format", "json",
+                          "--design", "big"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert len(listed) == 1
+        assert listed[0]["record"]["design"] == "big"
