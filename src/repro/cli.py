@@ -21,6 +21,10 @@ Subcommands
 ``watch <trace> [--gate] [--once --json] ...``
     Live dashboard / stall watchdog over a running flow
     (``repro.obs.live``).
+``jobs submit|run|status|cancel|resume ...``
+    Fault-tolerant anneal job supervisor: persistent queue, worker
+    pool with watchdogs, checkpoint-resume retries
+    (``repro.service``).
 """
 
 from __future__ import annotations
@@ -282,6 +286,12 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return watch_main(args.watch_args)
 
 
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .service.cli import jobs_main
+
+    return jobs_main(args.jobs_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -432,6 +442,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_watch.add_argument("watch_args", nargs=argparse.REMAINDER)
     p_watch.set_defaults(func=_cmd_watch)
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="fault-tolerant anneal job supervisor: "
+        "submit/run/status/cancel/resume",
+        add_help=False,
+    )
+    p_jobs.add_argument("jobs_args", nargs=argparse.REMAINDER)
+    p_jobs.set_defaults(func=_cmd_jobs)
     return parser
 
 

@@ -75,7 +75,9 @@ _LIVE_EXPORTS = (
     "WatchState",
     "follow_trace",
     "heartbeat_path",
+    "heartbeat_pid_dead",
     "maybe_heartbeat",
+    "pid_alive",
     "read_heartbeat",
     "watch_once",
 )

@@ -68,6 +68,59 @@ def heartbeat_terminal(payload: Optional[dict]) -> bool:
     return status.startswith(_TERMINAL_STATUS_PREFIXES)
 
 
+_LOCAL_HOST: Optional[str] = None
+
+
+def _local_host() -> str:
+    """This machine's name, as heartbeat writers stamp it (cached)."""
+    global _LOCAL_HOST
+    if _LOCAL_HOST is None:
+        import socket
+
+        _LOCAL_HOST = socket.gethostname()
+    return _LOCAL_HOST
+
+
+def pid_alive(pid) -> Optional[bool]:
+    """Whether ``pid`` is a live process *on this host*.
+
+    A signal-0 probe: ``True`` (alive, possibly owned by someone else),
+    ``False`` (definitely gone), or ``None`` when this host cannot tell
+    (bad pid value, exotic platform).  Never raises.
+    """
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
+        return None
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The process exists but belongs to another user.
+        return True
+    except (OSError, OverflowError):
+        return None
+    return True
+
+
+def heartbeat_pid_dead(payload: Optional[dict]) -> bool:
+    """Whether a heartbeat's writing process is provably dead.
+
+    The mtime-age watchdog takes a full ``--stall-timeout`` to notice a
+    dead run; this probe notices immediately — but only when it can be
+    *sure*: the payload must carry a ``pid``, the heartbeat must have
+    been written on this host (the ``host`` stamp matches, or predates
+    the stamp entirely), and the signal-0 probe must come back
+    definitively dead.  Every uncertain case returns False and leaves
+    the verdict to the staleness clock.
+    """
+    if not isinstance(payload, dict):
+        return False
+    host = payload.get("host")
+    if host is not None and host != _local_host():
+        return False  # written on another machine; pids don't transfer
+    return pid_alive(payload.get("pid")) is False
+
+
 class HeartbeatWriter:
     """Throttled atomic writer for one run's heartbeat sidecar.
 
@@ -115,6 +168,9 @@ class HeartbeatWriter:
         payload = dict(telemetry)
         payload["schema_version"] = HEARTBEAT_SCHEMA_VERSION
         payload["pid"] = os.getpid()
+        # The host stamp scopes the pid: a reader may only signal-0
+        # probe a pid it knows was minted on its own machine.
+        payload["host"] = _local_host()
         payload["seq"] = self.seq
         # durable=False: beats are advisory — a crash leaving the
         # sidecar stale is exactly the watchdog's signal, and an fsync
@@ -291,7 +347,11 @@ class AnomalyEngine:
     SUMMARY_DETECTORS`), plus the live-only cost-plateau detector.
     The heartbeat-loss detector turns sidecar staleness into a stall
     alarm — only while the run is still in flight; a finished run's
-    heartbeat is allowed to age forever.
+    heartbeat is allowed to age forever.  A pid-liveness probe
+    (:func:`heartbeat_pid_dead`) short-circuits the staleness clock:
+    when the heartbeat was written on this host and its pid is provably
+    gone, the stall alarm fires immediately instead of after
+    ``stall_after_s``.
 
     :meth:`scan` returns the full current alarm list and remembers
     which messages were already seen, so ``engine.fresh`` after a scan
@@ -336,7 +396,14 @@ class AnomalyEngine:
             or trace.run_end is not None
             or heartbeat_terminal(heartbeat)
         )
-        if not finished and heartbeat_age is not None \
+        if not finished and heartbeat_pid_dead(heartbeat):
+            alarms.append(Alarm(
+                "stall",
+                f"process dead: heartbeat pid {heartbeat.get('pid')} is no "
+                f"longer alive on this host and the run never reached a "
+                f"terminal status",
+            ))
+        elif not finished and heartbeat_age is not None \
                 and heartbeat_age > self.stall_after_s:
             alarms.append(Alarm(
                 "stall",

@@ -16,14 +16,21 @@ reproducible points:
   the Nth route attempt, exercising the
   :class:`~repro.resilience.interrupt.InterruptController` path
   mid-anneal rather than at a polite stage boundary.
+* **Kill faults** — deliver a real SIGKILL to the current process on
+  the Nth route attempt: ungraceful death with no handler, no final
+  checkpoint flush, and no Python cleanup.  This is what an OOM killer
+  or a cluster scheduler preemption looks like; only a *periodic*
+  checkpoint survives it.  Arm this one inside a sacrificial worker
+  process (see :mod:`repro.service`), never in a process you need.
 
 plus two byte-level corrupters (:func:`corrupt_file`,
 :func:`truncate_file`) for proving the checkpoint digest rejects
 damaged files.
 
 A :class:`FaultPlan` is parsed from a compact spec string
-(``"router@120"``, ``"crash-rename@2"``, ``"sigint@300"``, comma-
-joined) so CI jobs and tests can describe faults declaratively; a
+(``"router@120"``, ``"crash-rename@2"``, ``"sigint@300"``,
+``"kill@300"``, comma-joined) so CI jobs and tests can describe faults
+declaratively; a
 :class:`FaultInjector` context manager arms the plan by installing the
 two module-global hooks (``route.incremental.FAULT_HOOK``,
 ``resilience.atomic.CRASH_HOOK``) and disarms them on exit.  Attempt
@@ -64,14 +71,15 @@ class FaultPlan:
     crash_write: int = 0
     crash_kind: str = "checkpoint"
     sigint_attempt: int = 0
+    kill_attempt: int = 0
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
-        """Parse ``"router@N,crash-rename@N,sigint@N"`` specs.
+        """Parse ``"router@N,crash-rename@N,sigint@N,kill@N"`` specs.
 
         Raises ValueError on unknown fault names or bad counts.
         """
-        router_attempt = crash_write = sigint_attempt = 0
+        router_attempt = crash_write = sigint_attempt = kill_attempt = 0
         for part in spec.split(","):
             part = part.strip()
             if not part:
@@ -93,15 +101,18 @@ class FaultPlan:
                 crash_write = count
             elif name == "sigint":
                 sigint_attempt = count
+            elif name == "kill":
+                kill_attempt = count
             else:
                 raise ValueError(
                     f"unknown fault {name!r} "
-                    "(expected router, crash-rename, or sigint)"
+                    "(expected router, crash-rename, sigint, or kill)"
                 )
         return cls(
             router_attempt=router_attempt,
             crash_write=crash_write,
             sigint_attempt=sigint_attempt,
+            kill_attempt=kill_attempt,
         )
 
 
@@ -132,6 +143,10 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _on_route(self, kind: str, net_index: int) -> None:
         self.route_attempts += 1
+        if self.route_attempts == self.plan.kill_attempt:
+            # Ungraceful death: SIGKILL cannot be caught, so nothing
+            # after this line runs — no final checkpoint, no cleanup.
+            os.kill(os.getpid(), signal.SIGKILL)
         if self.route_attempts == self.plan.sigint_attempt:
             os.kill(os.getpid(), signal.SIGINT)
         if self.route_attempts == self.plan.router_attempt:
@@ -159,7 +174,8 @@ class FaultInjector:
 
         if incremental.FAULT_HOOK is not None or atomic.CRASH_HOOK is not None:
             raise RuntimeError("a fault injector is already armed")
-        if self.plan.router_attempt or self.plan.sigint_attempt:
+        if self.plan.router_attempt or self.plan.sigint_attempt \
+                or self.plan.kill_attempt:
             incremental.FAULT_HOOK = self._route_hook
         if self.plan.crash_write:
             atomic.CRASH_HOOK = self._crash_hook

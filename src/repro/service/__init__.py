@@ -1,0 +1,70 @@
+"""repro.service — the fault-tolerant anneal job supervisor.
+
+Composes the repo's resilience and observability layers into managed
+execution (see docs/ROBUSTNESS.md, "Supervised execution"):
+
+* :mod:`repro.service.journal` — the persistent, append-only job
+  journal (atomic appends, replayable state);
+* :mod:`repro.service.worker` — one anneal job per worker process,
+  checkpointing and heartbeating always on, typed exit codes;
+* :mod:`repro.service.supervisor` — the pool, heartbeat/pid
+  watchdogs, checkpoint-resume retries with capped backoff,
+  pool-shrink degradation, and graceful signal drains;
+* :mod:`repro.service.status` — journal + live-probe batch
+  classification with typed exit codes;
+* :mod:`repro.service.cli` — ``repro-fpga jobs submit|run|status|
+  cancel|resume``.
+
+Everything is re-exported lazily: the worker/supervisor pull in the
+flows stack, which plain ``import repro.service`` should not pay for.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "JOURNAL_SCHEMA_VERSION": "journal",
+    "Job": "journal",
+    "JobSpec": "journal",
+    "JournalError": "journal",
+    "append_event": "journal",
+    "load_jobs": "journal",
+    "next_job_id": "journal",
+    "read_journal": "journal",
+    "replay": "journal",
+    "WORKER_CRASH": "worker",
+    "WORKER_DONE": "worker",
+    "WORKER_DRAINED": "worker",
+    "WORKER_SETUP": "worker",
+    "job_paths": "worker",
+    "read_result": "worker",
+    "run_job": "worker",
+    "worker_entry": "worker",
+    "Supervisor": "supervisor",
+    "SupervisorConfig": "supervisor",
+    "JOBS_EXIT_FAILED": "status",
+    "JOBS_EXIT_JOURNAL": "status",
+    "JOBS_EXIT_OK": "status",
+    "JOBS_EXIT_RUNNING": "status",
+    "JOBS_EXIT_STALLED": "status",
+    "JOBS_EXIT_USAGE": "status",
+    "JobStatus": "status",
+    "batch_exit_code": "status",
+    "classify": "status",
+    "classify_job": "status",
+    "jobs_main": "cli",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)
+
+
+__all__ = sorted(_EXPORTS)

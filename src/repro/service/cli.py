@@ -1,0 +1,323 @@
+"""Command line for the job service: ``repro-fpga jobs <cmd>``.
+
+``submit``
+    Queue one or more anneal jobs into a journal.
+``run`` / ``resume``
+    Drive the supervisor until the batch is terminal (``resume`` is
+    ``run`` after a supervisor crash or drain — identical behaviour,
+    kept as a separate verb so scripts read honestly; both replay the
+    journal and reap orphans first).
+``status``
+    Classify every job (journal + live probes) with typed exit codes.
+``cancel``
+    Request cancellation of queued or running jobs.
+
+Exit codes (the consolidated table lives in docs/ROBUSTNESS.md):
+``submit``/``cancel`` 0 ok, 2 usage; ``run``/``resume`` 0 all done,
+1 any failed, 3 drained with work pending (budget), 4 corrupt
+journal, 130 signal drain; ``status`` 0 all done, 1 any failed,
+2 usage, 3 in progress, 4 corrupt journal, 6 stalled.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..obs.console import get_console
+
+
+def _add_journal(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal", default="jobs.jsonl", metavar="PATH",
+        help="job journal file (default: jobs.jsonl)",
+    )
+    parser.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="per-job artifact directory (default: <journal>.d)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from ..netlist import PAPER_SPECS
+    from .journal import TINY_DESIGN
+
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga jobs",
+        description="Fault-tolerant anneal job supervisor "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    designs = sorted(PAPER_SPECS) + [TINY_DESIGN]
+    p_submit = sub.add_parser("submit", help="queue anneal jobs")
+    _add_journal(p_submit)
+    p_submit.add_argument("design", choices=designs)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument(
+        "--count", type=int, default=1, metavar="N",
+        help="submit N jobs with seeds seed..seed+N-1 (default: 1)",
+    )
+    p_submit.add_argument(
+        "--effort",
+        choices=("micro", "fast", "normal", "thorough"),
+        default="fast",
+    )
+    p_submit.add_argument("--tracks", type=int, default=24)
+    p_submit.add_argument("--vtracks", type=int, default=8)
+    p_submit.add_argument(
+        "--cells", type=int, default=32,
+        help="tiny design only: cell count (default: 32)",
+    )
+    p_submit.add_argument(
+        "--depth", type=int, default=4,
+        help="tiny design only: logic depth (default: 4)",
+    )
+    p_submit.add_argument(
+        "--netlist-seed", type=int, default=4,
+        help="tiny design only: generator seed (default: 4)",
+    )
+
+    for verb, help_text in (
+        ("run", "drive the supervisor until the batch is terminal"),
+        ("resume", "recover after a supervisor crash, then run"),
+    ):
+        p_run = sub.add_parser(verb, help=help_text)
+        _add_journal(p_run)
+        p_run.add_argument(
+            "--workers", type=int, default=2,
+            help="worker-pool size (default: 2)",
+        )
+        p_run.add_argument(
+            "--max-attempts", type=int, default=3,
+            help="attempts per job before it fails (default: 3)",
+        )
+        p_run.add_argument(
+            "--stall-timeout", type=float, default=30.0, metavar="S",
+            help="heartbeat staleness that counts as a stall "
+            "(default: 30)",
+        )
+        p_run.add_argument(
+            "--startup-grace", type=float, default=30.0, metavar="S",
+            help="max seconds a worker may run with no heartbeat "
+            "(default: 30)",
+        )
+        p_run.add_argument(
+            "--job-timeout", type=float, default=0.0, metavar="S",
+            help="cumulative per-job wall-clock budget (0 = none)",
+        )
+        p_run.add_argument(
+            "--backoff-base", type=float, default=0.0, metavar="S",
+            help="retry backoff base; doubles per attempt (default: 0)",
+        )
+        p_run.add_argument(
+            "--backoff-max", type=float, default=30.0, metavar="S",
+            help="retry backoff clamp (default: 30)",
+        )
+        p_run.add_argument(
+            "--shrink-after", type=int, default=3, metavar="N",
+            help="consecutive crashes before the pool shrinks by one "
+            "(0 = never; default: 3)",
+        )
+        p_run.add_argument(
+            "--drain-timeout", type=float, default=10.0, metavar="S",
+            help="grace between drain SIGTERM and SIGKILL (default: 10)",
+        )
+        p_run.add_argument(
+            "--checkpoint-every", type=int, default=1, metavar="N",
+            help="worker checkpoint cadence in stages (default: 1)",
+        )
+        p_run.add_argument(
+            "--heartbeat-interval", type=float, default=0.2, metavar="S",
+            help="worker heartbeat throttle (default: 0.2)",
+        )
+        p_run.add_argument(
+            "--budget", type=float, default=0.0, metavar="S",
+            help="supervisor wall-clock budget: drain to checkpoints "
+            "once elapsed (0 = none)",
+        )
+        p_run.add_argument(
+            "--chaos", default="", metavar="SPEC",
+            help="fault spec armed in each job's first attempt, e.g. "
+            "'kill@2000' (see repro.resilience.faults)",
+        )
+        p_run.add_argument(
+            "--ledger", default=None, metavar="PATH",
+            help="append each completed job's record to this run ledger",
+        )
+        p_run.add_argument("--tag", default="", metavar="TAG")
+
+    p_status = sub.add_parser(
+        "status", help="classify the batch with typed exit codes"
+    )
+    _add_journal(p_status)
+    p_status.add_argument(
+        "--stall-timeout", type=float, default=30.0, metavar="S",
+        help="heartbeat staleness that counts as a stall (default: 30)",
+    )
+    p_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    p_cancel = sub.add_parser(
+        "cancel", help="request cancellation of jobs"
+    )
+    _add_journal(p_cancel)
+    p_cancel.add_argument("job_ids", nargs="+", metavar="JOB")
+    return parser
+
+
+def _workdir(args: argparse.Namespace) -> Path:
+    if args.workdir is not None:
+        return Path(args.workdir)
+    journal = Path(args.journal)
+    return journal.with_name(journal.name + ".d")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .journal import JobSpec
+    from .supervisor import Supervisor
+
+    if args.count < 1:
+        get_console().error("--count must be >= 1")
+        return 2
+    supervisor = Supervisor(args.journal, _workdir(args))
+    for offset in range(args.count):
+        spec = JobSpec(
+            design=args.design,
+            seed=args.seed + offset,
+            effort=args.effort,
+            tracks=args.tracks,
+            vtracks=args.vtracks,
+            netlist_seed=args.netlist_seed,
+            num_cells=args.cells,
+            depth=args.depth,
+        )
+        job_id = supervisor.submit(spec)
+        print(f"{job_id}: submitted {args.design} seed={spec.seed} "
+              f"effort={spec.effort}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .supervisor import Supervisor, SupervisorConfig
+
+    config = SupervisorConfig(
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        job_timeout_s=args.job_timeout,
+        stall_timeout_s=args.stall_timeout,
+        startup_grace_s=args.startup_grace,
+        backoff_base_s=args.backoff_base,
+        backoff_max_s=args.backoff_max,
+        shrink_after=args.shrink_after,
+        drain_timeout_s=args.drain_timeout,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_min_interval_s=args.heartbeat_interval,
+        chaos=args.chaos,
+        ledger_path=args.ledger,
+        tag=args.tag,
+        handle_signals=True,
+        max_seconds=args.budget,
+    )
+    supervisor = Supervisor(args.journal, _workdir(args), config)
+    signalled = False
+    try:
+        supervisor.recover()
+        summary = supervisor.run_until_complete()
+    except KeyboardInterrupt:
+        get_console().error("aborted (second signal)")
+        return 130
+    signalled = summary.get("drained") and not args.budget
+    states = summary.get("states", {})
+    print(f"jobs: {summary['jobs']}  " + "  ".join(
+        f"{state}={count}" for state, count in sorted(states.items())
+    ))
+    if signalled:
+        return 130
+    if states.get("failed"):
+        return 1
+    pending = sum(
+        states.get(state, 0)
+        for state in ("submitted", "running", "checkpointed")
+    )
+    if pending:
+        return 3
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .status import classify
+
+    statuses, code, problems = classify(
+        args.journal, _workdir(args), stall_timeout_s=args.stall_timeout
+    )
+    if args.json:
+        from ..obs.cli import render_json
+
+        print(render_json({
+            "exit_code": code,
+            "jobs": [
+                {
+                    "job_id": status.job_id,
+                    "status": status.status,
+                    "state": status.state,
+                    "attempts": status.attempts,
+                    "detail": status.detail,
+                    "result": status.result,
+                }
+                for status in statuses
+            ],
+            "problems": problems,
+        }))
+        return code
+    if not statuses:
+        print("no jobs submitted")
+        return code
+    for status in statuses:
+        line = (f"{status.job_id}  {status.status:<9} "
+                f"attempts={status.attempts}")
+        if status.detail:
+            line += f"  {status.detail}"
+        if status.result and status.result.get("layout_sha256"):
+            line += f"  layout={status.result['layout_sha256'][:12]}"
+        print(line)
+    for problem in problems:
+        get_console().warn(problem)
+    return code
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .journal import append_event, load_jobs
+
+    jobs, _ = load_jobs(args.journal)
+    missing = [job_id for job_id in args.job_ids if job_id not in jobs]
+    if missing:
+        get_console().error(f"unknown job(s): {', '.join(missing)}")
+        return 2
+    for job_id in args.job_ids:
+        append_event(args.journal, {"kind": "cancel", "job_id": job_id})
+        print(f"{job_id}: cancellation requested")
+    return 0
+
+
+def jobs_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Jobs CLI entry point; returns a process exit code."""
+    from .journal import JournalError
+    from .status import JOBS_EXIT_JOURNAL
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "submit": _cmd_submit,
+        "run": _cmd_run,
+        "resume": _cmd_run,
+        "status": _cmd_status,
+        "cancel": _cmd_cancel,
+    }
+    try:
+        return handlers[args.command](args)
+    except JournalError as exc:
+        get_console().error(str(exc))
+        return JOBS_EXIT_JOURNAL

@@ -1,0 +1,319 @@
+"""The supervisor's persistent job journal.
+
+The journal is the service's single source of truth: an append-only
+JSONL event log, rewritten atomically on every append exactly like the
+run ledger (:mod:`repro.obs.ledger`), so a crash mid-append leaves
+either the old journal or the new one — never a torn line under the
+real name.  State is never stored; it is *replayed*: folding the event
+stream reconstructs every job's current state, which is what lets a
+freshly-started supervisor pick up where a dead one left off
+(:meth:`repro.service.supervisor.Supervisor.recover`).
+
+Event vocabulary (``kind`` field; every event also carries ``v`` and a
+monotonically increasing ``seq``):
+
+``submitted``
+    A new job and its :class:`JobSpec` entered the queue.
+``running``
+    An attempt started: worker pid, checkpoint and heartbeat paths.
+``checkpointed``
+    The attempt ended with a valid checkpoint on disk (a graceful
+    drain, or a crash that left periodic checkpoints behind); the job
+    is eligible for resume.
+``crashed``
+    The attempt died without finishing — worker exit code and a
+    human-readable reason.  The job folds back to ``checkpointed``
+    when a checkpoint path was recorded, else to ``submitted``.
+``done`` / ``failed`` / ``cancelled``
+    Terminal states.  ``done`` carries a compact result summary
+    (layout digest, worst delay, routedness); ``failed`` the reason
+    (retry budget, wall-clock budget, setup error).
+``cancel``
+    A cancellation *request* (from the CLI); the supervisor honours it
+    at the next scheduling point by appending ``cancelled``.
+``supervisor``
+    Free-form operational notes (pool shrinks, recovery actions);
+    ignored by the fold.
+
+The job lifecycle is therefore ``submitted → running → checkpointed →
+… → done|failed|cancelled``, with ``running → checkpointed`` loops for
+every retry.  :func:`read_journal` tolerates a torn *final* line (the
+signature of a non-atomic append by a foreign tool) and raises a typed
+:class:`JournalError` for corruption anywhere else, mirroring the
+ledger's damage policy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+#: Version of the journal event vocabulary.  Adding optional fields is
+#: compatible; removing or re-interpreting one requires a bump.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Job states a fold can produce.  The first three are live (the
+#: scheduler may act on them); the last three are terminal.
+LIVE_STATES = ("submitted", "running", "checkpointed")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Designs the service accepts: the paper suite plus the synthetic
+#: ``tiny`` generator used by tests and smokes.
+TINY_DESIGN = "tiny"
+
+
+class JournalError(ValueError):
+    """The journal file is corrupted or not a journal."""
+
+
+# ----------------------------------------------------------------------
+# Job specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to (re)build one anneal job from scratch.
+
+    A spec is a pure value: the same spec always produces the same
+    netlist, architecture, and annealer config, which is what makes a
+    retried job's trajectory bit-identical to its first attempt.
+    ``overrides`` maps :class:`~repro.core.AnnealerConfig` field names
+    to values (``schedule`` may be a plain dict) applied over the
+    effort preset.
+    """
+
+    design: str = TINY_DESIGN
+    seed: int = 0
+    effort: str = "fast"
+    tracks: int = 24
+    vtracks: int = 8
+    #: ``tiny`` generator knobs (ignored for paper designs).
+    netlist_seed: int = 4
+    num_cells: int = 32
+    depth: int = 4
+    overrides: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """JSON-safe form for the ``submitted`` event."""
+        return {
+            "design": self.design,
+            "seed": self.seed,
+            "effort": self.effort,
+            "tracks": self.tracks,
+            "vtracks": self.vtracks,
+            "netlist_seed": self.netlist_seed,
+            "num_cells": self.num_cells,
+            "depth": self.depth,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JobSpec":
+        if not isinstance(record, dict):
+            raise JournalError("job spec is not a JSON object")
+        known = {
+            "design", "seed", "effort", "tracks", "vtracks",
+            "netlist_seed", "num_cells", "depth", "overrides",
+        }
+        unknown = set(record) - known
+        if unknown:
+            raise JournalError(
+                f"job spec has unknown fields {sorted(unknown)}"
+            )
+        try:
+            return cls(**record)
+        except TypeError as exc:
+            raise JournalError(f"invalid job spec: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Folded job state
+# ----------------------------------------------------------------------
+@dataclass
+class Job:
+    """One job's current state, reconstructed by :func:`replay`."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "submitted"
+    #: Number of ``running`` events seen (== attempts started).
+    attempts: int = 0
+    #: Worker pid of the current attempt (None unless ``running``).
+    pid: Optional[int] = None
+    checkpoint: Optional[str] = None
+    heartbeat: Optional[str] = None
+    #: Compact result summary from the ``done`` event.
+    result: Optional[dict] = None
+    #: Why the job last crashed / failed / was cancelled.
+    reason: Optional[str] = None
+    cancel_requested: bool = False
+
+
+# ----------------------------------------------------------------------
+# Persistence (the ledger's atomic whole-file append idiom)
+# ----------------------------------------------------------------------
+def append_event(path: Union[str, Path], event: dict) -> dict:
+    """Append one event to the journal, atomically; returns the event.
+
+    Stamps ``v`` (schema version) and ``seq`` (1-based position).  The
+    whole file is rewritten through the atomic tmp+fsync+rename helper
+    so a crash mid-append can never tear a line.  The journal has a
+    single writer by design — the supervisor — with one exception:
+    ``cancel`` requests from the CLI, which are best-effort (a
+    concurrent supervisor append may win the rename race; the request
+    is simply re-issued).
+    """
+    from ..resilience.atomic import atomic_write_text
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    existing = ""
+    count = 0
+    if path.exists():
+        existing = path.read_text(encoding="utf-8")
+        count = sum(1 for line in existing.splitlines() if line.strip())
+        if existing and not existing.endswith("\n"):
+            existing += "\n"
+    stamped = dict(event)
+    stamped["v"] = JOURNAL_SCHEMA_VERSION
+    stamped["seq"] = count + 1
+    line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
+    atomic_write_text(path, existing + line + "\n", kind="journal")
+    return stamped
+
+
+def read_journal(
+    path: Union[str, Path],
+) -> tuple[list[dict], list[str]]:
+    """Load the raw event stream; returns ``(events, problems)``.
+
+    A missing file is an empty journal (submit creates it).  A
+    malformed *final* line is tolerated and reported — that is what a
+    torn non-atomic append looks like; malformed interior lines or
+    unsupported versions raise :class:`JournalError` (damage, not a
+    torn append).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return [], []
+    except OSError as exc:
+        raise JournalError(f"{path}: unreadable journal: {exc}") from exc
+    events: list[dict] = []
+    problems: list[str] = []
+    lines = [
+        (number, line.strip())
+        for number, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
+    for position, (number, line) in enumerate(lines):
+        last = position == len(lines) - 1
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if last:
+                problems.append(
+                    f"line {number}: torn final event dropped ({exc.msg})"
+                )
+                continue
+            raise JournalError(
+                f"{path}:{number}: corrupted journal event: {exc.msg}"
+            ) from exc
+        if not isinstance(event, dict):
+            raise JournalError(
+                f"{path}:{number}: journal event is not a JSON object"
+            )
+        version = event.get("v")
+        if version != JOURNAL_SCHEMA_VERSION:
+            raise JournalError(
+                f"{path}:{number}: unsupported journal version "
+                f"{version!r} (supported: {JOURNAL_SCHEMA_VERSION})"
+            )
+        events.append(event)
+    return events, problems
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+def replay(events: list[dict]) -> tuple[dict[str, Job], list[str]]:
+    """Fold the event stream into per-job state, in submission order.
+
+    Returns ``(jobs, problems)``; problems note events that reference
+    unknown jobs or carry unknown kinds (skipped, not fatal — a newer
+    writer may have appended events this reader does not understand).
+    """
+    jobs: dict[str, Job] = {}
+    problems: list[str] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "supervisor":
+            continue
+        job_id = event.get("job_id")
+        if kind == "submitted":
+            if not isinstance(job_id, str) or not job_id:
+                problems.append("submitted event without a job_id")
+                continue
+            if job_id in jobs:
+                problems.append(f"{job_id}: resubmitted; later spec wins")
+            jobs[job_id] = Job(
+                job_id=job_id, spec=JobSpec.from_record(event.get("spec"))
+            )
+            continue
+        job = jobs.get(job_id)
+        if job is None:
+            problems.append(f"{kind} event for unknown job {job_id!r}")
+            continue
+        if kind == "running":
+            job.state = "running"
+            job.attempts = int(event.get("attempt", job.attempts + 1))
+            job.pid = event.get("pid")
+            job.checkpoint = event.get("checkpoint", job.checkpoint)
+            job.heartbeat = event.get("heartbeat", job.heartbeat)
+        elif kind == "checkpointed":
+            job.state = "checkpointed"
+            job.pid = None
+            job.checkpoint = event.get("checkpoint", job.checkpoint)
+            job.reason = event.get("reason", job.reason)
+        elif kind == "crashed":
+            # Reschedulable: from its checkpoint when one was recorded,
+            # from scratch otherwise.
+            job.state = "checkpointed" if job.checkpoint else "submitted"
+            job.pid = None
+            job.reason = event.get("reason")
+        elif kind == "done":
+            job.state = "done"
+            job.pid = None
+            job.result = event.get("result")
+            job.reason = None
+        elif kind == "failed":
+            job.state = "failed"
+            job.pid = None
+            job.reason = event.get("reason")
+        elif kind == "cancelled":
+            job.state = "cancelled"
+            job.pid = None
+            job.reason = event.get("reason")
+        elif kind == "cancel":
+            job.cancel_requested = True
+        else:
+            problems.append(f"{job_id}: unknown event kind {kind!r}")
+    return jobs, problems
+
+
+def load_jobs(path: Union[str, Path]) -> tuple[dict[str, Job], list[str]]:
+    """Read + replay in one step; problems from both phases merged."""
+    events, problems = read_journal(path)
+    jobs, fold_problems = replay(events)
+    return jobs, problems + fold_problems
+
+
+def next_job_id(jobs: dict[str, Job]) -> str:
+    """Sequential ids (``j0001``, ``j0002``, ...) past every known id."""
+    highest = 0
+    for job_id in jobs:
+        if job_id.startswith("j") and job_id[1:].isdigit():
+            highest = max(highest, int(job_id[1:]))
+    return f"j{highest + 1:04d}"

@@ -1,0 +1,145 @@
+"""Batch status classification behind ``repro-fpga jobs status``.
+
+Works from the journal alone — no supervisor needs to be alive — plus
+two live probes per nominally-running job: the heartbeat sidecar's
+mtime age and the pid-liveness check (:func:`repro.obs.live.
+heartbeat_pid_dead`), so a worker that died *with* its supervisor is
+reported ``stalled`` immediately instead of looking fresh until a
+human notices.
+
+Typed exit codes (consolidated table in docs/ROBUSTNESS.md):
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     every job is done (cancelled jobs do not block success)
+1     at least one job failed
+2     bad usage
+3     jobs are still queued or running (no failures, no stalls)
+6     at least one job is stalled (dead/silent worker, live state)
+====  ==========================================================
+
+Precedence, most-urgent first: stalled (6) > failed (1) >
+in-progress (3) > ok (0).  Journal corruption is exit 4, matching
+the run-ledger CLI's unreadable-artifact code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .journal import Job, load_jobs
+from .worker import job_paths
+
+JOBS_EXIT_OK = 0
+JOBS_EXIT_FAILED = 1
+JOBS_EXIT_USAGE = 2
+JOBS_EXIT_RUNNING = 3
+JOBS_EXIT_JOURNAL = 4
+JOBS_EXIT_STALLED = 6
+
+
+@dataclass
+class JobStatus:
+    """One job's classified status plus supporting detail."""
+
+    job_id: str
+    #: ``done``/``failed``/``cancelled``/``pending``/``running``/
+    #: ``stalled``.
+    status: str
+    state: str
+    attempts: int
+    detail: str = ""
+    result: Optional[dict] = None
+
+
+def classify_job(
+    job: Job,
+    workdir: Union[str, Path],
+    stall_timeout_s: float = 30.0,
+) -> JobStatus:
+    """Fold one job's journal state with the live-probe evidence."""
+    from ..obs.live import (
+        heartbeat_age_s,
+        heartbeat_pid_dead,
+        read_heartbeat,
+    )
+
+    base = dict(
+        job_id=job.job_id,
+        state=job.state,
+        attempts=job.attempts,
+        result=job.result,
+    )
+    if job.state in ("done", "failed", "cancelled"):
+        return JobStatus(
+            status=job.state, detail=job.reason or "", **base
+        )
+    if job.state in ("submitted", "checkpointed"):
+        detail = "awaiting a supervisor"
+        if job.reason:
+            detail = f"{detail} ({job.reason})"
+        return JobStatus(status="pending", detail=detail, **base)
+    # Nominally running: believe the journal only while the evidence
+    # agrees.  A provably-dead pid or a stale heartbeat means the
+    # worker (and most likely its supervisor) is gone.
+    heartbeat_file = job.heartbeat or str(
+        job_paths(workdir, job.job_id).heartbeat
+    )
+    payload, _ = read_heartbeat(heartbeat_file)
+    if payload is None:
+        payload = {"pid": job.pid} if job.pid else None
+    if heartbeat_pid_dead(payload):
+        return JobStatus(
+            status="stalled",
+            detail=f"worker pid {payload.get('pid')} is dead",
+            **base,
+        )
+    age = heartbeat_age_s(heartbeat_file)
+    if age is not None and age > stall_timeout_s:
+        return JobStatus(
+            status="stalled",
+            detail=f"heartbeat {age:.1f}s stale "
+                   f"(threshold {stall_timeout_s:.0f}s)",
+            **base,
+        )
+    return JobStatus(
+        status="running",
+        detail=f"pid {job.pid}, attempt {job.attempts}",
+        **base,
+    )
+
+
+def classify(
+    journal: Union[str, Path],
+    workdir: Optional[Union[str, Path]] = None,
+    stall_timeout_s: float = 30.0,
+) -> tuple[list[JobStatus], int, list[str]]:
+    """Classify every job; returns ``(statuses, exit_code, problems)``.
+
+    Raises :class:`repro.service.journal.JournalError` on a corrupted
+    journal (the CLI maps it to exit 4).
+    """
+    journal = Path(journal)
+    if workdir is None:
+        workdir = journal.with_name(journal.name + ".d")
+    jobs, problems = load_jobs(journal)
+    statuses = [
+        classify_job(jobs[job_id], workdir, stall_timeout_s)
+        for job_id in sorted(jobs)
+    ]
+    return statuses, batch_exit_code(statuses), problems
+
+
+def batch_exit_code(statuses: list[JobStatus]) -> int:
+    """The batch verdict under the documented precedence."""
+    kinds = {status.status for status in statuses}
+    if "stalled" in kinds:
+        return JOBS_EXIT_STALLED
+    if "failed" in kinds:
+        return JOBS_EXIT_FAILED
+    if "pending" in kinds or "running" in kinds:
+        return JOBS_EXIT_RUNNING
+    return JOBS_EXIT_OK

@@ -1,0 +1,608 @@
+"""The fault-tolerant anneal supervisor: queue, pool, watchdog, retry.
+
+One :class:`Supervisor` owns one journal (it is the journal's single
+writer) and a ``multiprocessing`` pool of sacrificial workers, each
+running one anneal job with checkpointing and heartbeating always on
+(:mod:`repro.service.worker`).  The control loop composes the
+resilience/observability layers the repo already trusts:
+
+* **Watchdog** — a worker is reaped when its process exits, when its
+  heartbeat sidecar goes stale past ``stall_timeout_s`` (mtime age,
+  :func:`repro.obs.live.heartbeat_age_s`), when it never heartbeats
+  within ``startup_grace_s``, or when its job's cumulative wall-clock
+  budget ``job_timeout_s`` runs out.
+* **Retry with resume** — a crashed/stalled attempt is rescheduled
+  from the job's last *valid* checkpoint (digest-verified; a torn or
+  missing checkpoint restarts from scratch, which is always safe
+  because resume is bit-identical to a fresh run of the same spec),
+  under a capped, deterministic policy: at most ``max_attempts``
+  attempts, exponential backoff ``backoff_base_s * 2**(attempt-1)``
+  clamped to ``backoff_max_s``.
+* **Graceful degradation** — ``shrink_after`` consecutive crashes
+  with no completed job in between shrinks the pool by one worker
+  (never below one), on the theory that repeated infrastructure
+  failure under load is best answered by less load.
+* **Drain** — SIGINT/SIGTERM (opt-in, mirroring
+  :class:`repro.resilience.interrupt.InterruptController`): the first
+  signal stops scheduling and SIGTERMs in-flight workers, whose
+  annealers flush final checkpoints and exit ``drained``; workers
+  that ignore the request are SIGKILLed after ``drain_timeout_s``.
+  A second signal raises KeyboardInterrupt immediately.  A
+  ``max_seconds`` budget triggers the same drain without a signal.
+
+Because every scheduling decision is journalled before it takes
+effect and every worker artifact is written atomically, a SIGKILLed
+*supervisor* loses nothing: a new supervisor's :meth:`Supervisor.
+recover` replays the journal, reaps orphans, and continues — the
+acceptance tests pin that the final layouts are bit-identical to an
+uninterrupted batch regardless of the kill/retry schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..obs.console import get_console
+from .journal import (
+    Job,
+    JobSpec,
+    append_event,
+    load_jobs,
+    next_job_id,
+)
+from .worker import (
+    WORKER_DONE,
+    WORKER_DRAINED,
+    WORKER_SETUP,
+    job_paths,
+    read_result,
+    worker_entry,
+)
+
+
+@dataclass
+class SupervisorConfig:
+    """Pool sizing, watchdog thresholds, and the retry/backoff policy."""
+
+    #: Initial worker-pool size (may shrink; see ``shrink_after``).
+    workers: int = 2
+    #: Maximum attempts per job (first run + retries).
+    max_attempts: int = 3
+    #: Cumulative per-job wall-clock budget across attempts, in
+    #: seconds; exceeding it fails the job (0 = unlimited).
+    job_timeout_s: float = 0.0
+    #: Heartbeat staleness that counts as a stall (mtime age).
+    stall_timeout_s: float = 30.0
+    #: How long a fresh worker may run without any heartbeat at all.
+    startup_grace_s: float = 30.0
+    #: Control-loop poll cadence.
+    poll_interval_s: float = 0.05
+    #: Retry backoff: ``base * 2**(attempt-1)``, clamped to the max.
+    backoff_base_s: float = 0.0
+    backoff_max_s: float = 30.0
+    #: Consecutive crashes (no job completing in between) that trigger
+    #: one pool-shrink step; 0 disables shrinking.
+    shrink_after: int = 3
+    #: Grace between the drain SIGTERM and the SIGKILL escalation.
+    drain_timeout_s: float = 10.0
+    #: Worker checkpoint cadence in anneal stages (always >= 1 so a
+    #: SIGKILLed worker leaves a resumable trail).
+    checkpoint_every: int = 1
+    heartbeat_min_interval_s: float = 0.2
+    #: Fault spec (:meth:`repro.resilience.faults.FaultPlan.parse`)
+    #: armed inside each job's *first* attempt — the chaos mode.
+    chaos: str = ""
+    #: Append each completed job's ledger record here (optional).
+    ledger_path: Optional[str] = None
+    tag: str = ""
+    #: Install SIGINT/SIGTERM drain handlers around the control loop.
+    handle_signals: bool = False
+    #: Supervisor wall-clock budget: drain once elapsed (0 = none).
+    max_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        for name in ("job_timeout_s", "stall_timeout_s", "startup_grace_s",
+                     "backoff_base_s", "backoff_max_s", "drain_timeout_s",
+                     "max_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class _Attempt:
+    """Supervisor-side handle for one in-flight worker."""
+
+    process: object
+    attempt: int
+    started: float
+    job_id: str
+    terminated: bool = False
+
+
+class Supervisor:
+    """Single-writer owner of one journal and its worker pool."""
+
+    def __init__(
+        self,
+        journal: Union[str, Path],
+        workdir: Optional[Union[str, Path]] = None,
+        config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        self.journal = Path(journal)
+        self.workdir = (
+            Path(workdir) if workdir is not None
+            else self.journal.with_name(self.journal.name + ".d")
+        )
+        self.config = config or SupervisorConfig()
+        self.console = get_console()
+        self.jobs: dict[str, Job] = {}
+        self.problems: list[str] = []
+        self._attempts: dict[str, _Attempt] = {}
+        #: job_id -> monotonic instant before which it must not launch.
+        self._ready_at: dict[str, float] = {}
+        #: job_id -> wall-clock seconds consumed by finished attempts.
+        self._runtime: dict[str, float] = {}
+        #: Jobs failed for budget/policy reasons (never retried).
+        self._no_retry: set[str] = set()
+        self._consecutive_crashes = 0
+        self._pool = self.config.workers
+        self._drain = False
+        self.reload()
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def reload(self) -> None:
+        self.jobs, self.problems = load_jobs(self.journal)
+
+    def _append(self, event: dict) -> None:
+        append_event(self.journal, event)
+        self.jobs, _ = load_jobs(self.journal)
+
+    def _note(self, note: str) -> None:
+        self._append({"kind": "supervisor", "job_id": None, "note": note})
+        self.console.note(f"supervisor: {note}")
+
+    # ------------------------------------------------------------------
+    # Submission and recovery
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        """Queue one job; returns its id."""
+        job_id = next_job_id(self.jobs)
+        self._append({
+            "kind": "submitted",
+            "job_id": job_id,
+            "spec": spec.to_record(),
+        })
+        return job_id
+
+    def recover(self) -> list[str]:
+        """Reconcile the journal with reality after a restart.
+
+        Jobs the journal believes are ``running`` belong to a previous
+        supervisor.  A dead pid is recorded as a crash (the job folds
+        back to its checkpoint); a live orphan is killed first — it
+        cannot be adopted, and two workers on one checkpoint path
+        would race their atomic renames.
+        """
+        from ..obs.live import pid_alive
+
+        notes: list[str] = []
+        for job in list(self.jobs.values()):
+            if job.state != "running" or job.job_id in self._attempts:
+                continue
+            alive = pid_alive(job.pid)
+            if alive:
+                try:
+                    os.kill(job.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                reason = (
+                    f"recovery: orphaned worker pid {job.pid} reaped "
+                    "after supervisor restart"
+                )
+            else:
+                reason = (
+                    f"recovery: worker pid {job.pid} died with the "
+                    "previous supervisor"
+                )
+            self._append({
+                "kind": "crashed",
+                "job_id": job.job_id,
+                "attempt": job.attempts,
+                "exitcode": None,
+                "reason": reason,
+            })
+            notes.append(f"{job.job_id}: {reason}")
+        if notes:
+            self._note(f"recovered {len(notes)} orphaned attempt(s)")
+        return notes
+
+    def request_drain(self) -> None:
+        """Stop scheduling and drain in-flight jobs to checkpoints."""
+        self._drain = True
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _valid_checkpoint(self, job: Job) -> bool:
+        from ..resilience import CheckpointError, read_checkpoint
+
+        path = job_paths(self.workdir, job.job_id).checkpoint
+        try:
+            read_checkpoint(path)
+        except CheckpointError:
+            return False
+        return True
+
+    def _launch(self, job: Job) -> None:
+        import multiprocessing
+
+        attempt = job.attempts + 1
+        paths = job_paths(self.workdir, job.job_id)
+        resume = attempt > 1 and self._valid_checkpoint(job)
+        chaos = self.config.chaos if attempt == 1 else ""
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        process = context.Process(
+            target=worker_entry,
+            args=(
+                job.job_id,
+                job.spec.to_record(),
+                str(self.workdir),
+                attempt,
+                resume,
+                chaos or None,
+                self.config.checkpoint_every,
+                self.config.heartbeat_min_interval_s,
+                self.config.tag,
+            ),
+            name=f"repro-job-{job.job_id}-a{attempt}",
+        )
+        process.start()
+        self._attempts[job.job_id] = _Attempt(
+            process=process,
+            attempt=attempt,
+            started=time.monotonic(),
+            job_id=job.job_id,
+        )
+        self._append({
+            "kind": "running",
+            "job_id": job.job_id,
+            "attempt": attempt,
+            "pid": process.pid,
+            "resume": resume,
+            "chaos": chaos or None,
+            "checkpoint": str(paths.checkpoint),
+            "heartbeat": str(paths.heartbeat),
+        })
+
+    def _schedule(self) -> None:
+        if self._drain:
+            return
+        now = time.monotonic()
+        for job_id in sorted(self.jobs):
+            if len(self._attempts) >= self._pool:
+                break
+            job = self.jobs[job_id]
+            if job_id in self._attempts or job_id in self._no_retry:
+                continue
+            if job.state not in ("submitted", "checkpointed"):
+                continue
+            if job.cancel_requested:
+                self._append({
+                    "kind": "cancelled",
+                    "job_id": job_id,
+                    "reason": "cancel requested",
+                })
+                continue
+            if now < self._ready_at.get(job_id, 0.0):
+                continue
+            self._launch(self.jobs[job_id])
+
+    # ------------------------------------------------------------------
+    # Reaping and the retry policy
+    # ------------------------------------------------------------------
+    def _kill(self, attempt: _Attempt) -> None:
+        try:
+            attempt.process.kill()
+        except (OSError, ValueError):
+            pass
+        attempt.process.join()
+
+    def _backoff(self, attempt: int) -> float:
+        base = self.config.backoff_base_s
+        if base <= 0:
+            return 0.0
+        return min(base * (2 ** (attempt - 1)), self.config.backoff_max_s)
+
+    def _record_crash(
+        self, job: Job, attempt: _Attempt, exitcode, reason: str
+    ) -> None:
+        self._append({
+            "kind": "crashed",
+            "job_id": job.job_id,
+            "attempt": attempt.attempt,
+            "exitcode": exitcode,
+            "reason": reason,
+        })
+        self._consecutive_crashes += 1
+        shrink = self.config.shrink_after
+        if shrink and self._consecutive_crashes >= shrink and self._pool > 1:
+            self._pool -= 1
+            self._consecutive_crashes = 0
+            self._note(
+                f"pool shrunk to {self._pool} worker(s) after "
+                f"{shrink} consecutive crashes"
+            )
+        if attempt.attempt >= self.config.max_attempts:
+            self._no_retry.add(job.job_id)
+            self._append({
+                "kind": "failed",
+                "job_id": job.job_id,
+                "attempt": attempt.attempt,
+                "reason": (
+                    f"retry budget exhausted after "
+                    f"{attempt.attempt} attempt(s); last: {reason}"
+                ),
+            })
+        else:
+            delay = self._backoff(attempt.attempt)
+            self._ready_at[job.job_id] = time.monotonic() + delay
+            self.console.warn(
+                f"{job.job_id}: attempt {attempt.attempt} {reason}; "
+                f"retrying from last valid checkpoint"
+                + (f" in {delay:.1f}s" if delay else "")
+            )
+
+    def _reap(self, job_id: str, attempt: _Attempt) -> None:
+        attempt.process.join()
+        exitcode = attempt.process.exitcode
+        elapsed = time.monotonic() - attempt.started
+        self._runtime[job_id] = self._runtime.get(job_id, 0.0) + elapsed
+        del self._attempts[job_id]
+        job = self.jobs[job_id]
+        paths = job_paths(self.workdir, job_id)
+        if exitcode == WORKER_DONE:
+            record = read_result(paths.result)
+            if record is None:
+                self._record_crash(
+                    job, attempt, exitcode,
+                    "exited 0 without a readable result.json",
+                )
+                return
+            self._consecutive_crashes = 0
+            self._append({
+                "kind": "done",
+                "job_id": job_id,
+                "attempt": attempt.attempt,
+                "result": {
+                    "layout_sha256": record.get("layout_sha256"),
+                    "record_digest": (
+                        (record.get("ledger_record") or {})
+                        .get("record_digest")
+                    ),
+                    "worst_delay_ns": (
+                        (record.get("metrics") or {}).get("worst_delay_ns")
+                    ),
+                    "fully_routed": (
+                        (record.get("metrics") or {}).get("fully_routed")
+                    ),
+                },
+            })
+            ledger = self.config.ledger_path
+            if ledger and record.get("ledger_record"):
+                from ..obs.ledger import append_record
+
+                append_record(ledger, record["ledger_record"])
+            self.console.note(
+                f"{job_id}: done (attempt {attempt.attempt})"
+            )
+        elif exitcode == WORKER_DRAINED:
+            self._append({
+                "kind": "checkpointed",
+                "job_id": job_id,
+                "attempt": attempt.attempt,
+                "checkpoint": str(paths.checkpoint),
+                "reason": "drained to final checkpoint",
+            })
+            if job.cancel_requested:
+                self._append({
+                    "kind": "cancelled",
+                    "job_id": job_id,
+                    "reason": "cancel requested",
+                })
+        elif exitcode == WORKER_SETUP:
+            self._no_retry.add(job_id)
+            self._append({
+                "kind": "failed",
+                "job_id": job_id,
+                "attempt": attempt.attempt,
+                "reason": "permanent setup error (bad job spec)",
+            })
+        else:
+            self._record_crash(
+                job, attempt, exitcode, f"crashed (exit {exitcode})"
+            )
+
+    def _watchdog(self) -> None:
+        """Kill stalled or over-budget workers; reap finished ones."""
+        from ..obs.live import heartbeat_age_s
+
+        now = time.monotonic()
+        for job_id, attempt in list(self._attempts.items()):
+            if not attempt.process.is_alive():
+                self._reap(job_id, attempt)
+                continue
+            job = self.jobs[job_id]
+            elapsed = now - attempt.started
+            budget = self.config.job_timeout_s
+            if budget and self._runtime.get(job_id, 0.0) + elapsed > budget:
+                self._kill(attempt)
+                del self._attempts[job_id]
+                self._runtime[job_id] = (
+                    self._runtime.get(job_id, 0.0) + elapsed
+                )
+                self._no_retry.add(job_id)
+                self._append({
+                    "kind": "crashed",
+                    "job_id": job_id,
+                    "attempt": attempt.attempt,
+                    "exitcode": None,
+                    "reason": "killed: per-job wall-clock budget",
+                })
+                self._append({
+                    "kind": "failed",
+                    "job_id": job_id,
+                    "attempt": attempt.attempt,
+                    "reason": (
+                        f"per-job wall-clock budget "
+                        f"({budget:.0f}s) exhausted"
+                    ),
+                })
+                continue
+            if job.cancel_requested and not attempt.terminated:
+                attempt.terminated = True
+                try:
+                    attempt.process.terminate()
+                except (OSError, ValueError):
+                    pass
+                continue
+            age = heartbeat_age_s(job_paths(self.workdir, job_id).heartbeat)
+            stalled = (
+                age is not None and age > self.config.stall_timeout_s
+            ) or (
+                age is None and elapsed > self.config.startup_grace_s
+            )
+            if stalled:
+                self._kill(attempt)
+                detail = (
+                    f"heartbeat {age:.1f}s stale" if age is not None
+                    else "no heartbeat within startup grace"
+                )
+                del self._attempts[job_id]
+                self._record_crash(
+                    self.jobs[job_id], attempt, None, f"stalled ({detail})"
+                )
+                self._runtime[job_id] = (
+                    self._runtime.get(job_id, 0.0) + elapsed
+                )
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def _drain_pool(self) -> None:
+        """SIGTERM every in-flight worker, escalate to SIGKILL, reap."""
+        if not self._attempts:
+            return
+        self.console.note(
+            f"draining {len(self._attempts)} in-flight job(s) to "
+            "final checkpoints"
+        )
+        for attempt in self._attempts.values():
+            try:
+                attempt.process.terminate()
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self._attempts and time.monotonic() < deadline:
+            for job_id, attempt in list(self._attempts.items()):
+                if not attempt.process.is_alive():
+                    self._reap(job_id, attempt)
+            if self._attempts:
+                time.sleep(self.config.poll_interval_s)
+        for job_id, attempt in list(self._attempts.items()):
+            self.console.warn(
+                f"{job_id}: ignored drain request; killing"
+            )
+            self._kill(attempt)
+            self._reap(job_id, attempt)
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def _live_jobs(self) -> list[Job]:
+        return [
+            job for job in self.jobs.values()
+            if job.state not in ("done", "failed", "cancelled")
+            and job.job_id not in self._no_retry
+        ]
+
+    def summary(self) -> dict:
+        counts: dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return {
+            "jobs": len(self.jobs),
+            "states": counts,
+            "drained": self._drain,
+            "pool": self._pool,
+        }
+
+    def run_until_complete(self) -> dict:
+        """Drive the pool until every job is terminal (or drained).
+
+        Returns :meth:`summary`.  With ``handle_signals`` the first
+        SIGINT/SIGTERM requests a drain and the second escalates to
+        KeyboardInterrupt, mirroring the annealer's own controller.
+        """
+        config = self.config
+        started = time.monotonic()
+        previous: dict = {}
+
+        def _on_signal(signum, frame):
+            del frame
+            if self._drain:
+                raise KeyboardInterrupt
+            name = signal.Signals(signum).name
+            self.console.warn(
+                f"received {name}: draining (signal again to abort)"
+            )
+            self.request_drain()
+
+        if config.handle_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous[signum] = signal.signal(signum, _on_signal)
+        try:
+            while True:
+                if (config.max_seconds
+                        and not self._drain
+                        and time.monotonic() - started
+                        > config.max_seconds):
+                    self.console.warn(
+                        f"supervisor budget ({config.max_seconds:.0f}s) "
+                        "elapsed: draining"
+                    )
+                    self.request_drain()
+                if self._drain:
+                    self._drain_pool()
+                    self._note("drained: in-flight jobs checkpointed")
+                    break
+                self._watchdog()
+                self._schedule()
+                pending = any(
+                    job.state in ("submitted", "checkpointed")
+                    and not job.cancel_requested
+                    and job.job_id not in self._no_retry
+                    for job in self.jobs.values()
+                )
+                if not self._attempts and not pending:
+                    break
+                time.sleep(config.poll_interval_s)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        return self.summary()

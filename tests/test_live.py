@@ -50,8 +50,10 @@ from repro.obs.live import (
     follow_trace,
     heartbeat_age_s,
     heartbeat_path,
+    heartbeat_pid_dead,
     heartbeat_terminal,
     maybe_heartbeat,
+    pid_alive,
     read_heartbeat,
     watch_once,
 )
@@ -575,3 +577,104 @@ class TestRunsListJson:
         listed = json.loads(capsys.readouterr().out)
         assert len(listed) == 1
         assert listed[0]["record"]["design"] == "big"
+
+
+# ----------------------------------------------------------------------
+# Pid-liveness probe: dead workers classify stalled immediately
+# ----------------------------------------------------------------------
+def reaped_pid() -> int:
+    """A pid that is guaranteed dead (spawned, exited, and reaped)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestPidLiveness:
+    def test_own_pid_is_alive(self):
+        assert pid_alive(os.getpid()) is True
+
+    def test_reaped_pid_is_dead(self):
+        assert pid_alive(reaped_pid()) is False
+
+    @pytest.mark.parametrize("pid", [None, 0, -4, True, "123", 2**62])
+    def test_unknowable_pids_return_none(self, pid):
+        assert pid_alive(pid) is None
+
+    def test_writer_stamps_host(self, tmp_path):
+        import socket
+
+        hb = tmp_path / "run.hb"
+        HeartbeatWriter(hb, 0.001).beat({"status": "running"})
+        payload, _ = read_heartbeat(hb)
+        assert payload["host"] == socket.gethostname()
+
+    def test_dead_pid_on_this_host_is_provably_dead(self):
+        import socket
+
+        payload = {"pid": reaped_pid(), "host": socket.gethostname()}
+        assert heartbeat_pid_dead(payload) is True
+
+    def test_pre_host_stamp_heartbeats_still_probe(self):
+        # Heartbeats written before the host field existed carry no
+        # stamp; they are local by construction and stay probeable.
+        assert heartbeat_pid_dead({"pid": reaped_pid()}) is True
+
+    def test_foreign_host_never_probed(self):
+        payload = {"pid": reaped_pid(), "host": "some-other-machine"}
+        assert heartbeat_pid_dead(payload) is False
+
+    def test_live_or_unknowable_pids_are_not_dead(self):
+        assert heartbeat_pid_dead({"pid": os.getpid()}) is False
+        assert heartbeat_pid_dead({"status": "running"}) is False
+        assert heartbeat_pid_dead(None) is False
+
+    def test_engine_flags_dead_pid_without_waiting_for_staleness(self):
+        engine = AnomalyEngine(stall_after_s=3600)
+        trace = RunTrace([run_start_event(), stage_event(0)])
+        alarms = engine.scan(
+            trace,
+            heartbeat={"status": "running", "pid": reaped_pid()},
+            heartbeat_age=0.1,  # fresh mtime: only the probe can tell
+        )
+        assert any(
+            alarm.kind == "stall" and "dead" in alarm.message
+            for alarm in alarms
+        )
+
+    def test_engine_ignores_dead_pid_after_finish(self):
+        done = RunTrace(
+            [run_start_event(), stage_event(0), run_end_event()]
+        )
+        assert AnomalyEngine(stall_after_s=3600).scan(
+            done,
+            heartbeat={"status": "completed", "pid": reaped_pid()},
+            heartbeat_age=0.1,
+        ) == []
+
+    def dead_pid_heartbeat(self, tmp_path):
+        """A live-looking run whose heartbeat names a dead process."""
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, [run_start_event(), stage_event(0)])
+        hb = heartbeat_path(path)
+        HeartbeatWriter(hb, 0.001).beat({"status": "running"})
+        payload, _ = read_heartbeat(hb)
+        payload["pid"] = reaped_pid()
+        hb.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        return path, hb
+
+    def test_watch_once_dead_pid_classifies_stalled(self, tmp_path):
+        path, hb = self.dead_pid_heartbeat(tmp_path)
+        state = watch_once(
+            follow_trace(path), hb, AnomalyEngine(stall_after_s=3600)
+        )
+        assert state.status == "stalled"
+        assert any("dead" in alarm.message for alarm in state.alarms)
+
+    def test_gate_on_dead_pid_exits_6_immediately(self, tmp_path, capsys):
+        path, _ = self.dead_pid_heartbeat(tmp_path)
+        # A huge --stall-timeout proves the verdict comes from the pid
+        # probe, not from mtime staleness.
+        code = watch_main([str(path), "--gate", "--stall-timeout", "3600",
+                           "--interval", "0.05"])
+        assert code == WATCH_EXIT_STALLED
+        assert "dead" in capsys.readouterr().out

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import multiprocessing
 import signal
 
 import pytest
@@ -34,6 +35,10 @@ from repro.resilience import (
     resume_digest,
     truncate_file,
     write_checkpoint,
+)
+from repro.resilience.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA_VERSION,
 )
 
 from conftest import architecture_for
@@ -384,10 +389,23 @@ def count_route_attempts(config):
 
 class TestFaultPlanParse:
     def test_parse_all_kinds(self):
-        plan = FaultPlan.parse("router@120, crash-rename@2, sigint@300")
-        assert plan == FaultPlan(
-            router_attempt=120, crash_write=2, sigint_attempt=300
+        plan = FaultPlan.parse(
+            "router@120, crash-rename@2, sigint@300, kill@40"
         )
+        assert plan == FaultPlan(
+            router_attempt=120,
+            crash_write=2,
+            sigint_attempt=300,
+            kill_attempt=40,
+        )
+
+    def test_parse_kill_alone(self):
+        assert FaultPlan.parse("kill@300") == FaultPlan(kill_attempt=300)
+
+    @pytest.mark.parametrize("spec", ["kill", "kill@x", "kill@0"])
+    def test_bad_kill_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
 
     def test_empty_spec(self):
         assert FaultPlan.parse("") == FaultPlan()
@@ -519,3 +537,176 @@ class TestLayoutSnapshot:
         other_placement, other_state = random_routed_tiny
         with pytest.raises(CheckpointError):
             bad.restore(other_placement, other_state)
+
+
+# ----------------------------------------------------------------------
+# Kill faults (real SIGKILL, delivered in a child process)
+# ----------------------------------------------------------------------
+def _anneal_until_killed(checkpoint_path, kill_attempt):
+    """Child-process target: anneal with periodic checkpoints until the
+    armed kill fault SIGKILLs us mid-run.  Never returns normally."""
+    cfg = micro_config(checkpoint_path=str(checkpoint_path), checkpoint_every=1)
+    netlist, arch = make_design()
+    annealer = SimultaneousAnnealer(netlist, arch, cfg)
+    with FaultInjector(FaultPlan(kill_attempt=kill_attempt)):
+        annealer.run()
+
+
+class TestKillFault:
+    def test_sigkill_mid_anneal_then_resume_matches_reference(self, tmp_path):
+        """A real SIGKILL — no handler, no cleanup, no final checkpoint —
+        leaves the last *periodic* checkpoint intact under the real
+        name, and resuming from it reproduces the uninterrupted run
+        bit-exactly.  This is the exact contract the service supervisor
+        leans on when it reschedules a reaped worker."""
+        _, reference = run_anneal(micro_config())
+        total = count_route_attempts(micro_config())
+
+        path = tmp_path / "ck.ckpt"
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(
+            target=_anneal_until_killed, args=(path, total // 2)
+        )
+        child.start()
+        child.join(timeout=120)
+        assert child.exitcode == -signal.SIGKILL
+
+        # The periodic checkpoint survived the kill and verifies.
+        payload = read_checkpoint(path)
+        assert payload["kind"] == CHECKPOINT_KIND
+
+        netlist, arch = make_design()
+        resumed = SimultaneousAnnealer.resume(
+            netlist, arch, path, config=micro_config()
+        ).run()
+        assert comparable_metrics(resumed) == comparable_metrics(reference)
+        assert layout_digest(resumed) == layout_digest(reference)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-path races
+# ----------------------------------------------------------------------
+def _race_writer(path, marker, rounds):
+    """Child-process target: hammer ``write_checkpoint`` on a shared
+    path.  A concurrent writer may steal our temp sibling between write
+    and rename (the deterministic ``.tmp`` name is shared); that
+    surfaces as ``FileNotFoundError`` from ``os.replace`` and is the
+    documented best-effort rename race — retry by moving on."""
+    payload = {
+        "format": CHECKPOINT_SCHEMA_VERSION,
+        "kind": CHECKPOINT_KIND,
+        "marker": marker,
+    }
+    done = 0
+    while done < rounds:
+        try:
+            write_checkpoint(payload, path)
+        except FileNotFoundError:
+            continue
+        done += 1
+
+
+def _alternating_writer(path, envelope_a, envelope_b, rounds):
+    """Child-process target: atomically republish two pre-serialised
+    checkpoint envelopes over the same path, alternating."""
+    for index in range(rounds):
+        atomic_write_text(
+            path, envelope_b if index % 2 else envelope_a, kind="checkpoint"
+        )
+
+
+class TestCheckpointPathRaces:
+    def test_concurrent_writers_never_publish_silent_garbage(self, tmp_path):
+        """Two processes writing the same checkpoint path: every read
+        during the race either verifies (yielding one writer's intact
+        payload) or fails with the typed ``CheckpointError`` — the
+        digest envelope turns any torn publish into a detected one,
+        never a silently-accepted one.  Once the race is over, a final
+        uncontended write wins outright."""
+        path = tmp_path / "shared.ckpt"
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(target=_race_writer, args=(path, marker, 150))
+            for marker in ("alpha", "beta")
+        ]
+        for writer in writers:
+            writer.start()
+
+        seen = set()
+        while any(writer.is_alive() for writer in writers):
+            try:
+                payload = read_checkpoint(path)
+            except CheckpointError:
+                continue  # not-yet-created or detected-torn: both typed
+            assert payload["marker"] in ("alpha", "beta")
+            seen.add(payload["marker"])
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+        assert seen, "reader never observed a committed checkpoint"
+
+        # Last (uncontended) writer wins under the real name.
+        final = {
+            "format": CHECKPOINT_SCHEMA_VERSION,
+            "kind": CHECKPOINT_KIND,
+            "marker": "final",
+        }
+        write_checkpoint(final, path)
+        assert read_checkpoint(path)["marker"] == "final"
+
+    def test_resume_while_writer_replaces_checkpoint(self, tmp_path):
+        """``resume()`` racing a single writer that keeps replacing the
+        checkpoint: with one writer there is no temp-name contention,
+        so every read must succeed — the reader sees one complete
+        envelope or the other, never a blend — and whichever one it
+        catches resumes to the bit-identical reference layout (the two
+        checkpoints differ only in ``max_stages``, a non-identity
+        budget field, so they share one resume digest)."""
+        _, reference = run_anneal(micro_config())
+        ref_metrics = comparable_metrics(reference)
+        ref_digest = layout_digest(reference)
+
+        stages = {}
+        for interrupt_at in (2, 5):
+            source = tmp_path / f"src_{interrupt_at}.ckpt"
+            run_anneal(
+                micro_config(
+                    checkpoint_path=str(source),
+                    checkpoint_every=1,
+                    max_stages=interrupt_at,
+                )
+            )
+            payload = read_checkpoint(source)
+            stages[payload["stage_index"]] = source
+        assert len(stages) == 2
+        envelopes = [p.read_text(encoding="utf-8") for p in stages.values()]
+
+        shared = tmp_path / "shared.ckpt"
+        ctx = multiprocessing.get_context("fork")
+        writer = ctx.Process(
+            target=_alternating_writer, args=(shared, *envelopes, 400)
+        )
+        writer.start()
+
+        observed = set()
+        resumed_from = set()
+        while writer.is_alive():
+            try:
+                payload = read_checkpoint(shared)
+            except CheckpointError as exc:
+                # Only tolerable before the very first publish.
+                assert not observed, f"read tore mid-race: {exc}"
+                continue
+            observed.add(payload["stage_index"])
+            if payload["stage_index"] not in resumed_from:
+                netlist, arch = make_design()
+                resumed = SimultaneousAnnealer.resume(
+                    netlist, arch, dict(payload), config=micro_config()
+                ).run()
+                assert comparable_metrics(resumed) == ref_metrics
+                assert layout_digest(resumed) == ref_digest
+                resumed_from.add(payload["stage_index"])
+        writer.join(timeout=60)
+        assert writer.exitcode == 0
+        assert observed <= set(stages)
+        assert resumed_from, "never resumed from the contended checkpoint"
