@@ -76,6 +76,7 @@ _LIVE_EXPORTS = (
     "follow_trace",
     "heartbeat_path",
     "heartbeat_pid_dead",
+    "local_host",
     "maybe_heartbeat",
     "pid_alive",
     "read_heartbeat",

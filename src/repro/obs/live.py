@@ -71,8 +71,14 @@ def heartbeat_terminal(payload: Optional[dict]) -> bool:
 _LOCAL_HOST: Optional[str] = None
 
 
-def _local_host() -> str:
-    """This machine's name, as heartbeat writers stamp it (cached)."""
+def local_host() -> str:
+    """This machine's name, as heartbeat writers stamp it (cached).
+
+    The same stamp scopes every pid recorded by this package (heartbeat
+    payloads, the job journal's ``running`` events): a reader may only
+    signal-0 probe — let alone kill — a pid it can prove was minted on
+    its own machine.
+    """
     global _LOCAL_HOST
     if _LOCAL_HOST is None:
         import socket
@@ -116,7 +122,7 @@ def heartbeat_pid_dead(payload: Optional[dict]) -> bool:
     if not isinstance(payload, dict):
         return False
     host = payload.get("host")
-    if host is not None and host != _local_host():
+    if host is not None and host != local_host():
         return False  # written on another machine; pids don't transfer
     return pid_alive(payload.get("pid")) is False
 
@@ -170,7 +176,7 @@ class HeartbeatWriter:
         payload["pid"] = os.getpid()
         # The host stamp scopes the pid: a reader may only signal-0
         # probe a pid it knows was minted on its own machine.
-        payload["host"] = _local_host()
+        payload["host"] = local_host()
         payload["seq"] = self.seq
         # durable=False: beats are advisory — a crash leaving the
         # sidecar stale is exactly the watchdog's signal, and an fsync

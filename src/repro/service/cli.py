@@ -222,14 +222,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_seconds=args.budget,
     )
     supervisor = Supervisor(args.journal, _workdir(args), config)
-    signalled = False
     try:
         supervisor.recover()
         summary = supervisor.run_until_complete()
     except KeyboardInterrupt:
         get_console().error("aborted (second signal)")
         return 130
-    signalled = summary.get("drained") and not args.budget
+    # The supervisor records who asked for the drain, so a SIGINT
+    # lands on 130 even when a --budget is also set.
+    signalled = summary.get("drain_reason") == "signal"
     states = summary.get("states", {})
     print(f"jobs: {summary['jobs']}  " + "  ".join(
         f"{state}={count}" for state, count in sorted(states.items())

@@ -1,11 +1,14 @@
 """The supervisor's persistent job journal.
 
 The journal is the service's single source of truth: an append-only
-JSONL event log, rewritten atomically on every append exactly like the
-run ledger (:mod:`repro.obs.ledger`), so a crash mid-append leaves
-either the old journal or the new one — never a torn line under the
-real name.  State is never stored; it is *replayed*: folding the event
-stream reconstructs every job's current state, which is what lets a
+JSONL event log.  Each append is one ``O_APPEND`` write of one line,
+serialized against concurrent appenders (the supervisor vs. a ``jobs
+cancel`` from another process) by an exclusive lock on a ``.lock``
+sidecar — concurrent events interleave, none is lost, and ``seq``
+stays strictly increasing.  A crash mid-append can tear at most the
+*final* line, which :func:`read_journal` tolerates by design.  State
+is never stored; it is *replayed*: folding the event stream
+reconstructs every job's current state, which is what lets a
 freshly-started supervisor pick up where a dead one left off
 (:meth:`repro.service.supervisor.Supervisor.recover`).
 
@@ -15,7 +18,9 @@ monotonically increasing ``seq``):
 ``submitted``
     A new job and its :class:`JobSpec` entered the queue.
 ``running``
-    An attempt started: worker pid, checkpoint and heartbeat paths.
+    An attempt started: worker pid, the supervisor's host stamp (the
+    machine the pid was minted on — pids mean nothing elsewhere), and
+    the checkpoint and heartbeat paths.
 ``checkpointed``
     The attempt ended with a valid checkpoint on disk (a graceful
     drain, or a crash that left periodic checkpoints behind); the job
@@ -38,7 +43,7 @@ monotonically increasing ``seq``):
 The job lifecycle is therefore ``submitted → running → checkpointed →
 … → done|failed|cancelled``, with ``running → checkpointed`` loops for
 every retry.  :func:`read_journal` tolerates a torn *final* line (the
-signature of a non-atomic append by a foreign tool) and raises a typed
+signature of an append cut short by a crash) and raises a typed
 :class:`JournalError` for corruption anywhere else, mirroring the
 ledger's damage policy.
 """
@@ -46,6 +51,7 @@ ledger's damage policy.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
@@ -141,6 +147,9 @@ class Job:
     attempts: int = 0
     #: Worker pid of the current attempt (None unless ``running``).
     pid: Optional[int] = None
+    #: Host the supervisor that launched the current attempt ran on —
+    #: the only machine where ``pid`` may be probed or signalled.
+    host: Optional[str] = None
     checkpoint: Optional[str] = None
     heartbeat: Optional[str] = None
     #: Compact result summary from the ``done`` event.
@@ -151,35 +160,51 @@ class Job:
 
 
 # ----------------------------------------------------------------------
-# Persistence (the ledger's atomic whole-file append idiom)
+# Persistence (locked single-line appends)
 # ----------------------------------------------------------------------
 def append_event(path: Union[str, Path], event: dict) -> dict:
-    """Append one event to the journal, atomically; returns the event.
+    """Append one event to the journal; returns the stamped event.
 
-    Stamps ``v`` (schema version) and ``seq`` (1-based position).  The
-    whole file is rewritten through the atomic tmp+fsync+rename helper
-    so a crash mid-append can never tear a line.  The journal has a
-    single writer by design — the supervisor — with one exception:
-    ``cancel`` requests from the CLI, which are best-effort (a
-    concurrent supervisor append may win the rename race; the request
-    is simply re-issued).
+    Stamps ``v`` (schema version) and ``seq`` (1-based position), then
+    writes exactly one line through an ``O_APPEND`` handle while
+    holding an exclusive :mod:`fcntl` lock on ``<journal>.lock``.  The
+    lock serializes the read-count-append cycle against concurrent
+    appenders — the supervisor and a ``jobs cancel`` issued from
+    another process both go through here, and neither can erase the
+    other's event or mint a duplicate ``seq``.  A crash mid-write can
+    tear at most the final line, which :func:`read_journal` already
+    tolerates; the bytes are fsynced before the lock is released, so
+    an event that was reported appended survives power loss.
     """
-    from ..resilience.atomic import atomic_write_text
-
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    existing = ""
-    count = 0
-    if path.exists():
-        existing = path.read_text(encoding="utf-8")
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "a", encoding="utf-8") as lock:
+        try:
+            import fcntl
+
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            pass  # no locking on this platform/filesystem; best effort
+        existing = ""
+        try:
+            existing = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            pass
         count = sum(1 for line in existing.splitlines() if line.strip())
-        if existing and not existing.endswith("\n"):
-            existing += "\n"
-    stamped = dict(event)
-    stamped["v"] = JOURNAL_SCHEMA_VERSION
-    stamped["seq"] = count + 1
-    line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
-    atomic_write_text(path, existing + line + "\n", kind="journal")
+        stamped = dict(event)
+        stamped["v"] = JOURNAL_SCHEMA_VERSION
+        stamped["seq"] = count + 1
+        line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
+        # Seal a foreign torn line first so this event starts a fresh
+        # line rather than gluing onto the fragment (which would also
+        # corrupt this event); the fragment itself then reads as the
+        # interior damage it is.
+        prefix = "\n" if existing and not existing.endswith("\n") else ""
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(prefix + line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
     return stamped
 
 
@@ -270,6 +295,7 @@ def replay(events: list[dict]) -> tuple[dict[str, Job], list[str]]:
             job.state = "running"
             job.attempts = int(event.get("attempt", job.attempts + 1))
             job.pid = event.get("pid")
+            job.host = event.get("host")
             job.checkpoint = event.get("checkpoint", job.checkpoint)
             job.heartbeat = event.get("heartbeat", job.heartbeat)
         elif kind == "checkpointed":

@@ -64,6 +64,7 @@ def classify_job(
     from ..obs.live import (
         heartbeat_age_s,
         heartbeat_pid_dead,
+        local_host,
         read_heartbeat,
     )
 
@@ -89,8 +90,12 @@ def classify_job(
         job_paths(workdir, job.job_id).heartbeat
     )
     payload, _ = read_heartbeat(heartbeat_file)
-    if payload is None:
-        payload = {"pid": job.pid} if job.pid else None
+    if payload is None and job.pid and job.host == local_host():
+        # No heartbeat yet, but the journal's running event proves the
+        # pid was minted here, so the signal-0 probe is meaningful.
+        # Without that proof (old journal, or a journal shared from
+        # another machine) the verdict is left to the staleness clock.
+        payload = {"pid": job.pid, "host": job.host}
     if heartbeat_pid_dead(payload):
         return JobStatus(
             status="stalled",

@@ -158,6 +158,9 @@ class Supervisor:
         self._consecutive_crashes = 0
         self._pool = self.config.workers
         self._drain = False
+        #: Why the drain was requested ("signal", "budget", ...); the
+        #: CLI maps signal-initiated drains to exit 130.
+        self._drain_reason: Optional[str] = None
         self.reload()
 
     # ------------------------------------------------------------------
@@ -192,30 +195,96 @@ class Supervisor:
 
         Jobs the journal believes are ``running`` belong to a previous
         supervisor.  A dead pid is recorded as a crash (the job folds
-        back to its checkpoint); a live orphan is killed first — it
+        back to its checkpoint); a live orphan is SIGKILLed first — it
         cannot be adopted, and two workers on one checkpoint path
         would race their atomic renames.
+
+        The kill only fires when ownership is *proven*: the job's
+        heartbeat sidecar must name exactly this pid minted on exactly
+        this host (:class:`repro.obs.live.HeartbeatWriter` stamps
+        both).  A bare live pid proves nothing — it may have been
+        recycled to an unrelated process, or (journal on a shared
+        filesystem) minted on another machine entirely — so unproven
+        cases skip the kill: the attempt is still recorded as crashed
+        when the worker is evidently gone, while a foreign worker that
+        is demonstrably alive (fresh heartbeat from another host) is
+        left alone with a note.
         """
-        from ..obs.live import pid_alive
+        from ..obs.live import (
+            heartbeat_age_s,
+            local_host,
+            pid_alive,
+            read_heartbeat,
+        )
 
         notes: list[str] = []
+        host = local_host()
         for job in list(self.jobs.values()):
             if job.state != "running" or job.job_id in self._attempts:
                 continue
-            alive = pid_alive(job.pid)
-            if alive:
+            hb_path = job.heartbeat or str(
+                job_paths(self.workdir, job.job_id).heartbeat
+            )
+            payload, _ = read_heartbeat(hb_path)
+            age = heartbeat_age_s(hb_path)
+            beating = (
+                age is not None and age <= self.config.stall_timeout_s
+            )
+            owned = (
+                isinstance(payload, dict)
+                and payload.get("pid") == job.pid
+                and payload.get("host") == host
+            )
+            job_local = job.host is None or job.host == host
+            if not job_local and not owned:
+                # Launched by a supervisor on another machine: local
+                # pid probes (and kills) prove nothing about it.
+                if beating:
+                    note = (
+                        f"{job.job_id}: worker on {job.host} is still "
+                        "heartbeating; leaving it alone"
+                    )
+                    self.problems.append(note)
+                    notes.append(note)
+                    self.console.warn(note)
+                    continue
+                reason = (
+                    f"recovery: worker pid {job.pid} on {job.host} "
+                    "presumed dead (heartbeat stale or absent)"
+                )
+            elif owned and pid_alive(job.pid):
                 try:
                     os.kill(job.pid, signal.SIGKILL)
+                    reason = (
+                        f"recovery: orphaned worker pid {job.pid} "
+                        "reaped after supervisor restart"
+                    )
+                except PermissionError:
+                    # Not ours after all: the pid was recycled to
+                    # another user's process between probe and kill.
+                    reason = (
+                        f"recovery: worker pid {job.pid} recycled to "
+                        "another user's process; worker presumed dead"
+                    )
                 except OSError:
-                    pass
-                reason = (
-                    f"recovery: orphaned worker pid {job.pid} reaped "
-                    "after supervisor restart"
-                )
-            else:
+                    reason = (
+                        f"recovery: worker pid {job.pid} died with "
+                        "the previous supervisor"
+                    )
+            elif pid_alive(job.pid) is False:
                 reason = (
                     f"recovery: worker pid {job.pid} died with the "
                     "previous supervisor"
+                )
+            else:
+                # Alive (or unprobeable) but not provably our worker —
+                # no matching heartbeat was ever written.  Do not kill
+                # what cannot be proven ours; record the crash and let
+                # the retry fold back to the last checkpoint.
+                reason = (
+                    f"recovery: pid {job.pid} is alive but cannot be "
+                    "proven to be the orphaned worker (no matching "
+                    "heartbeat); not killed, worker presumed dead"
                 )
             self._append({
                 "kind": "crashed",
@@ -229,8 +298,16 @@ class Supervisor:
             self._note(f"recovered {len(notes)} orphaned attempt(s)")
         return notes
 
-    def request_drain(self) -> None:
-        """Stop scheduling and drain in-flight jobs to checkpoints."""
+    def request_drain(self, reason: str = "request") -> None:
+        """Stop scheduling and drain in-flight jobs to checkpoints.
+
+        ``reason`` records who asked ("signal", "budget", or the
+        default "request" for direct API calls); the first requester
+        wins, so a signal landing mid-budget-drain does not relabel
+        the drain already underway.
+        """
+        if not self._drain:
+            self._drain_reason = reason
         self._drain = True
 
     # ------------------------------------------------------------------
@@ -249,10 +326,23 @@ class Supervisor:
     def _launch(self, job: Job) -> None:
         import multiprocessing
 
+        from ..obs.live import local_host
+
         attempt = job.attempts + 1
         paths = job_paths(self.workdir, job.job_id)
         resume = attempt > 1 and self._valid_checkpoint(job)
         chaos = self.config.chaos if attempt == 1 else ""
+        # Drop any heartbeat left by a previous attempt before the new
+        # worker exists: the watchdog judges staleness by file mtime,
+        # and a stale leftover (after a stall-kill, a backoff delay, or
+        # a long queue wait) would otherwise get the fresh worker
+        # killed on the first poll tick, before its first beat.  No
+        # writer is alive here — the prior attempt was reaped/joined —
+        # so the unlink cannot race a beat.
+        try:
+            paths.heartbeat.unlink()
+        except OSError:
+            pass
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
@@ -284,6 +374,10 @@ class Supervisor:
             "job_id": job.job_id,
             "attempt": attempt,
             "pid": process.pid,
+            # The pid is only meaningful on the machine that minted
+            # it; readers (status probes, recovery) must compare this
+            # stamp before signalling it.
+            "host": local_host(),
             "resume": resume,
             "chaos": chaos or None,
             "checkpoint": str(paths.checkpoint),
@@ -549,6 +643,7 @@ class Supervisor:
             "jobs": len(self.jobs),
             "states": counts,
             "drained": self._drain,
+            "drain_reason": self._drain_reason,
             "pool": self._pool,
         }
 
@@ -571,7 +666,7 @@ class Supervisor:
             self.console.warn(
                 f"received {name}: draining (signal again to abort)"
             )
-            self.request_drain()
+            self.request_drain("signal")
 
         if config.handle_signals:
             for signum in (signal.SIGINT, signal.SIGTERM):
@@ -586,7 +681,7 @@ class Supervisor:
                         f"supervisor budget ({config.max_seconds:.0f}s) "
                         "elapsed: draining"
                     )
-                    self.request_drain()
+                    self.request_drain("budget")
                 if self._drain:
                     self._drain_pool()
                     self._note("drained: in-flight jobs checkpointed")

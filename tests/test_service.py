@@ -13,8 +13,10 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -227,6 +229,29 @@ class TestJournal:
         assert jobs["j0001"].state == "submitted"
         assert len(problems) == 2
 
+    def test_concurrent_appends_lose_nothing(self, tmp_path):
+        """The supervisor and a `jobs cancel` from another process may
+        append concurrently; the lock + O_APPEND write means neither
+        can erase the other's event or mint a duplicate seq."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        path = tmp_path / "jobs.jsonl"
+
+        def appender(worker):
+            for index in range(25):
+                append_event(path, {
+                    "kind": "supervisor", "job_id": None,
+                    "note": f"w{worker}-{index}",
+                })
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(appender, range(4)))
+        events, problems = read_journal(path)
+        assert problems == []
+        assert len(events) == 100
+        assert [e["seq"] for e in events] == list(range(1, 101))
+        assert len({e["note"] for e in events}) == 100
+
     def test_next_job_id_is_sequential(self):
         jobs, _ = replay([
             {"kind": "submitted", "job_id": "j0007",
@@ -341,16 +366,25 @@ class TestRecovery:
         assert supervisor.jobs["j0001"].state == "submitted"
 
     def test_live_orphan_is_reaped(self, tmp_path):
+        """A live orphan is killed only because its heartbeat *proves*
+        ownership: this pid, minted on this host."""
         orphan = subprocess.Popen(
             [sys.executable, "-c", "import time; time.sleep(120)"]
         )
         try:
             journal = tmp_path / "jobs.jsonl"
+            heartbeat = tmp_path / "hb.json"
+            heartbeat.write_text(json.dumps({
+                "schema_version": 1, "pid": orphan.pid,
+                "host": socket.gethostname(),
+            }))
             append_event(journal, {"kind": "submitted", "job_id": "j0001",
                                    "spec": micro_spec().to_record()})
             append_event(journal, {"kind": "running", "job_id": "j0001",
                                    "attempt": 1, "pid": orphan.pid,
-                                   "checkpoint": "ck"})
+                                   "host": socket.gethostname(),
+                                   "checkpoint": "ck",
+                                   "heartbeat": str(heartbeat)})
             supervisor = Supervisor(journal, config=patient_config())
             notes = supervisor.recover()
             assert len(notes) == 1 and "orphaned" in notes[0]
@@ -360,6 +394,105 @@ class TestRecovery:
             if orphan.poll() is None:
                 orphan.kill()
                 orphan.wait()
+
+    def test_unproven_live_pid_is_not_killed(self, tmp_path):
+        """A live pid with no matching heartbeat may belong to anyone
+        (pid recycling); recovery records the crash but must not shoot
+        a process it cannot prove is the orphaned worker."""
+        bystander = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(120)"]
+        )
+        try:
+            journal = tmp_path / "jobs.jsonl"
+            append_event(journal, {"kind": "submitted", "job_id": "j0001",
+                                   "spec": micro_spec().to_record()})
+            append_event(journal, {"kind": "running", "job_id": "j0001",
+                                   "attempt": 1, "pid": bystander.pid,
+                                   "host": socket.gethostname(),
+                                   "checkpoint": "ck"})
+            supervisor = Supervisor(journal, config=patient_config())
+            notes = supervisor.recover()
+            assert len(notes) == 1 and "not killed" in notes[0]
+            # The bystander survived recovery.
+            assert bystander.poll() is None
+            # The job is still rescheduled from its checkpoint.
+            assert supervisor.jobs["j0001"].state == "checkpointed"
+        finally:
+            if bystander.poll() is None:
+                bystander.kill()
+                bystander.wait()
+
+    def test_foreign_live_worker_left_alone(self, tmp_path):
+        """A journal on a shared filesystem can name a worker launched
+        on another machine; while its heartbeat is fresh, recovery
+        must neither signal the (meaningless local) pid nor reschedule
+        the job under a still-live writer."""
+        journal = tmp_path / "jobs.jsonl"
+        heartbeat = tmp_path / "hb.json"
+        heartbeat.write_text(json.dumps({
+            "schema_version": 1, "pid": 12345, "host": "elsewhere",
+        }))
+        append_event(journal, {"kind": "submitted", "job_id": "j0001",
+                               "spec": micro_spec().to_record()})
+        append_event(journal, {"kind": "running", "job_id": "j0001",
+                               "attempt": 1, "pid": 12345,
+                               "host": "elsewhere",
+                               "heartbeat": str(heartbeat)})
+        supervisor = Supervisor(journal, config=patient_config())
+        notes = supervisor.recover()
+        assert len(notes) == 1 and "leaving it alone" in notes[0]
+        assert supervisor.jobs["j0001"].state == "running"
+        events, _ = read_journal(journal)
+        assert not [e for e in events if e.get("kind") == "crashed"]
+
+    def test_foreign_stale_worker_presumed_dead(self, tmp_path):
+        """Same shared-filesystem journal, but the remote heartbeat
+        went stale: the attempt is recorded as crashed (no local kill
+        is attempted — the pid means nothing here)."""
+        journal = tmp_path / "jobs.jsonl"
+        heartbeat = tmp_path / "hb.json"
+        heartbeat.write_text(json.dumps({
+            "schema_version": 1, "pid": 12345, "host": "elsewhere",
+        }))
+        ancient = time.time() - 10_000
+        os.utime(heartbeat, (ancient, ancient))
+        append_event(journal, {"kind": "submitted", "job_id": "j0001",
+                               "spec": micro_spec().to_record()})
+        append_event(journal, {"kind": "running", "job_id": "j0001",
+                               "attempt": 1, "pid": 12345,
+                               "host": "elsewhere", "checkpoint": "ck",
+                               "heartbeat": str(heartbeat)})
+        supervisor = Supervisor(
+            journal, config=patient_config(stall_timeout_s=30.0)
+        )
+        notes = supervisor.recover()
+        assert len(notes) == 1 and "presumed dead" in notes[0]
+        assert supervisor.jobs["j0001"].state == "checkpointed"
+
+    def test_leftover_heartbeat_does_not_kill_fresh_attempt(self, tmp_path):
+        """A heartbeat file left by a previous attempt must not trip
+        the stall watchdog before the new worker's first beat — the
+        launch unlinks it, so the retry-after-stall path converges."""
+        journal = tmp_path / "jobs.jsonl"
+        supervisor = Supervisor(
+            journal,
+            # Far above any plausible CI beat gap, far below the
+            # leftover file's 10000s age — only the stale file could
+            # trip this threshold.
+            config=patient_config(stall_timeout_s=60.0, workers=1),
+        )
+        job_id = supervisor.submit(micro_spec())
+        paths = job_paths(supervisor.workdir, job_id)
+        paths.root.mkdir(parents=True, exist_ok=True)
+        paths.heartbeat.write_text(json.dumps(
+            {"schema_version": 1, "pid": 1}
+        ))
+        ancient = time.time() - 10_000
+        os.utime(paths.heartbeat, (ancient, ancient))
+        summary = supervisor.run_until_complete()
+        assert summary["states"] == {"done": 1}
+        # One attempt: the stale file never got the worker killed.
+        assert supervisor.jobs[job_id].attempts == 1
 
 
 # ----------------------------------------------------------------------
@@ -403,8 +536,10 @@ class TestStatusClassification:
         terminal_journal(journal, ["failed"])
         append_event(journal, {"kind": "submitted", "job_id": "j0002",
                                "spec": micro_spec(seed=1).to_record()})
+        # The host stamp proves the pid is probeable from here.
         append_event(journal, {"kind": "running", "job_id": "j0002",
-                               "attempt": 1, "pid": reaped_pid()})
+                               "attempt": 1, "pid": reaped_pid(),
+                               "host": socket.gethostname()})
         statuses, code, _ = classify(journal, stall_timeout_s=3600.0)
         # Stalled outranks failed: it needs a human (or a resume) NOW.
         assert code == JOBS_EXIT_STALLED
@@ -426,6 +561,21 @@ class TestStatusClassification:
         statuses, code, _ = classify(journal, stall_timeout_s=3600.0)
         assert code == JOBS_EXIT_RUNNING
         assert statuses[0].status == "running"
+
+    def test_remote_pid_defers_to_staleness_clock(self, tmp_path):
+        """A running event from another machine must not be signal-0
+        probed here — a recycled local pid would misreport stalled (or
+        a dead remote worker would look alive).  With no heartbeat
+        file either, the verdict stays with the staleness clock."""
+        journal = tmp_path / "jobs.jsonl"
+        append_event(journal, {"kind": "submitted", "job_id": "j0001",
+                               "spec": micro_spec().to_record()})
+        append_event(journal, {"kind": "running", "job_id": "j0001",
+                               "attempt": 1, "pid": reaped_pid(),
+                               "host": "elsewhere"})
+        statuses, code, _ = classify(journal, stall_timeout_s=3600.0)
+        assert statuses[0].status == "running"
+        assert code == JOBS_EXIT_RUNNING
 
     def test_empty_batch_is_ok(self, tmp_path):
         assert batch_exit_code([]) == JOBS_EXIT_OK
@@ -461,7 +611,8 @@ class TestJobsCliExitCodes:
         journal = tmp_path / "jobs.jsonl"
         submit_only_journal(journal)
         append_event(journal, {"kind": "running", "job_id": "j0001",
-                               "attempt": 1, "pid": reaped_pid()})
+                               "attempt": 1, "pid": reaped_pid(),
+                               "host": socket.gethostname()})
         proc = jobs_cli(
             "status", "--stall-timeout", "3600", cwd=tmp_path
         )
@@ -492,6 +643,53 @@ class TestJobsCliExitCodes:
         status = jobs_cli("status", cwd=tmp_path)
         assert status.returncode == JOBS_EXIT_OK
         assert "layout=" in status.stdout
+
+    def test_budget_drain_is_not_a_signal_drain(self, tmp_path):
+        """A --budget drain reports its cause; only signal-initiated
+        drains may map to exit 130."""
+        journal = tmp_path / "jobs.jsonl"
+        supervisor = Supervisor(
+            journal, config=patient_config(max_seconds=0.01, workers=1)
+        )
+        supervisor.submit(micro_spec())
+        summary = supervisor.run_until_complete()
+        assert summary["drained"] is True
+        assert summary["drain_reason"] == "budget"
+
+    def test_sigint_exits_130_even_with_budget(self, tmp_path):
+        """The documented signal contract: SIGINT drains and exits 130
+        regardless of an armed --budget (which would otherwise claim
+        the drain and exit 0/1/3)."""
+        journal = tmp_path / "jobs.jsonl"
+        submit_only_journal(journal, count=3)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "jobs", "run",
+             "--journal", str(journal), "--workers", "1",
+             "--stall-timeout", "3600", "--startup-grace", "3600",
+             "--budget", "3600"],
+            cwd=tmp_path, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        try:
+            # Signal only once the batch is demonstrably in flight
+            # (the drain handlers are installed before any launch).
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if (journal.exists()
+                        and '"kind":"running"' in journal.read_text()):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("supervisor never started a worker")
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, out + err
 
     def test_cancel_unknown_job_exits_2(self, tmp_path):
         submit_only_journal(tmp_path / "jobs.jsonl")
